@@ -1,0 +1,201 @@
+// Command shootdownsim regenerates the tables and figures of "Translation
+// Lookaside Buffer Consistency: A Software Approach" (Black et al., ASPLOS
+// 1989) on the simulated multiprocessor.
+//
+// Usage:
+//
+//	shootdownsim [flags] <experiment>...
+//
+// Experiments: fig2, table1, table2, table3, table4, overhead, perturb,
+// scale, strategies, ipimodes, highprio, idleopt, threshold, queue, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"shootdown/internal/experiments"
+)
+
+var (
+	seed = flag.Int64("seed", 42, "simulation seed (jitter, scheduling, workload randomness)")
+	runs = flag.Int("runs", 10, "runs per data point for the fig2/scale sweeps")
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: shootdownsim [flags] <experiment>...
+
+Reproduces the evaluation of the Mach TLB shootdown paper (ASPLOS 1989)
+on a simulated 16-processor Encore Multimax.
+
+experiments:
+  fig2        Figure 2: basic costs of TLB shootdown (1..15 processors)
+  table1      Table 1: effect of lazy evaluation (Mach build, Parthenon)
+  table2      Table 2: kernel pmap shootdowns, initiator side
+  table3      Table 3: user pmap shootdowns, initiator side
+  table4      Table 4: responder results
+  overhead    Section 8: machine-wide overhead per application
+  perturb     Section 6.1: instrumentation perturbation check
+  scale       Sections 8/11: scaling to larger machines (measured, not
+              just extrapolated)
+  strategies  Ablation: shootdown vs hardware remote-invalidate vs
+              postponed-IPI vs timer-flush
+  ipimodes    Ablation: unicast vs multicast vs broadcast interrupts
+  highprio    Ablation: high-priority software interrupt
+  idleopt     Ablation: idle-processor optimization
+  threshold   Ablation: invalidate-vs-flush threshold
+  queue       Ablation: consistency-action queue sizing
+  taggedtlb   Extension: ASID-tagged TLBs with lazy release (§10)
+  pools       Extension: processor pools for NUMA machines (§8)
+  pageout     Extension: pageout under memory pressure (§5)
+  all         everything above
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	want := map[string]bool{}
+	for _, a := range args {
+		want[a] = true
+	}
+	all := want["all"]
+
+	// Tables 2-4 and the overhead analysis share one set of application
+	// runs; compute them lazily and only once.
+	var tables *experiments.TablesResult
+	getTables := func() (*experiments.TablesResult, error) {
+		if tables != nil {
+			return tables, nil
+		}
+		r, err := experiments.Tables234(*seed)
+		if err != nil {
+			return nil, err
+		}
+		tables = &r
+		return tables, nil
+	}
+
+	type job struct {
+		name string
+		run  func() (string, error)
+	}
+	jobs := []job{
+		{"fig2", func() (string, error) {
+			r, err := experiments.Fig2(*seed, *runs)
+			return r.Render(), err
+		}},
+		{"table1", func() (string, error) {
+			r, err := experiments.Table1(*seed)
+			return r.Render(), err
+		}},
+		{"table2", func() (string, error) {
+			r, err := getTables()
+			if err != nil {
+				return "", err
+			}
+			return r.RenderTable2(), nil
+		}},
+		{"table3", func() (string, error) {
+			r, err := getTables()
+			if err != nil {
+				return "", err
+			}
+			return r.RenderTable3(), nil
+		}},
+		{"table4", func() (string, error) {
+			r, err := getTables()
+			if err != nil {
+				return "", err
+			}
+			return r.RenderTable4(), nil
+		}},
+		{"overhead", func() (string, error) {
+			r, err := getTables()
+			if err != nil {
+				return "", err
+			}
+			return r.RenderOverhead(), nil
+		}},
+		{"perturb", func() (string, error) {
+			r, err := experiments.Perturbation(*seed)
+			return r.Render(), err
+		}},
+		{"scale", func() (string, error) {
+			r, err := experiments.Scale(*seed, *runs)
+			return r.Render(), err
+		}},
+		{"strategies", func() (string, error) {
+			r, err := experiments.StrategyCompare(*seed, nil)
+			return r.Render(), err
+		}},
+		{"ipimodes", func() (string, error) {
+			r, err := experiments.IPIModes(*seed, nil)
+			return r.Render(), err
+		}},
+		{"highprio", func() (string, error) {
+			r, err := experiments.HighPriorityIPI(*seed)
+			return r.Render(), err
+		}},
+		{"idleopt", func() (string, error) {
+			r, err := experiments.IdleOpt(*seed)
+			return r.Render(), err
+		}},
+		{"threshold", func() (string, error) {
+			r, err := experiments.FlushThreshold(*seed, 16)
+			return r.Render(), err
+		}},
+		{"queue", func() (string, error) {
+			r, err := experiments.QueueSize(*seed)
+			return r.Render(), err
+		}},
+		{"taggedtlb", func() (string, error) {
+			r, err := experiments.TaggedTLB(*seed)
+			return r.Render(), err
+		}},
+		{"pools", func() (string, error) {
+			r, err := experiments.Pools(*seed, 8)
+			return r.Render(), err
+		}},
+		{"pageout", func() (string, error) {
+			r, err := experiments.Pageout(*seed)
+			return r.Render(), err
+		}},
+	}
+
+	known := map[string]bool{"all": true}
+	for _, j := range jobs {
+		known[j.name] = true
+	}
+	for _, a := range args {
+		if !known[a] {
+			fmt.Fprintf(os.Stderr, "shootdownsim: unknown experiment %q\n\n", a)
+			usage()
+			os.Exit(2)
+		}
+	}
+
+	for _, j := range jobs {
+		if !all && !want[j.name] {
+			continue
+		}
+		start := time.Now()
+		out, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shootdownsim: %s: %v\n", j.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %.1fs wall clock]\n\n", j.name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,21 @@
+// Package shootdown is a from-scratch reproduction of "Translation
+// Lookaside Buffer Consistency: A Software Approach" (Black, Rashid, Golub,
+// Hill, Baron; ASPLOS 1989) — the Mach TLB shootdown paper — as a
+// deterministic discrete-event simulation in pure Go.
+//
+// The repository contains the complete system the paper describes: a
+// simulated shared-bus multiprocessor with per-processor TLBs, interrupt
+// controllers and write-through caches (internal/machine, internal/sim),
+// two-level page tables living in simulated physical memory
+// (internal/ptable, internal/mem), the Mach VM system with copy-on-write
+// and lazily populated pmaps (internal/vm, internal/pmap), the shootdown
+// algorithm itself with all of the paper's refinements (internal/core),
+// the alternative consistency mechanisms of Sections 3 and 9
+// (internal/baseline), the paper's evaluation applications and the §5.1
+// consistency tester (internal/workload), and generators for every table
+// and figure in the evaluation (internal/experiments).
+//
+// Start with cmd/shootdownsim to regenerate the paper's results, or
+// examples/quickstart to see the algorithm run. DESIGN.md maps the paper
+// to the code; EXPERIMENTS.md records reproduced-vs-paper numbers.
+package shootdown

@@ -1,0 +1,3 @@
+module shootdown
+
+go 1.22

@@ -1,0 +1,498 @@
+// Package core implements the Mach TLB shootdown algorithm (Section 4 of
+// the paper) — the software protocol that keeps per-processor TLBs
+// consistent with physical maps on hardware with no remote TLB control.
+//
+// The algorithm proceeds in four phases once a pmap operation detects that
+// its changes could leave an inconsistent TLB entry somewhere:
+//
+//	1 Initiator: queue consistency actions for every processor using the
+//	  pmap, set their action-needed flags, send interrupts, and wait.
+//	2 Responders: acknowledge by leaving the active set, then spin until
+//	  the initiator finishes its pmap changes (they must neither read nor
+//	  write the pmap mid-update: hardware reload could cache a stale entry
+//	  and the reference/modify writeback could corrupt the update).
+//	3 Initiator: with every relevant processor inactive (or no longer using
+//	  the pmap), make the pmap changes and unlock the pmap.
+//	4 Responders: perform the queued invalidations, clear their flags, and
+//	  rejoin the active set.
+//
+// All five of the paper's refinements are implemented: initiators notice
+// responders that cease using the pmap; crossed shootdowns cannot deadlock
+// because initiators remove themselves from the active set and disable
+// shootdown interrupts; all interrupts are disabled during the protocol;
+// locks carry fixed interrupt priorities (machine.SpinLock); and idle
+// processors are not interrupted — they drain their action queues before
+// becoming active.
+package core
+
+import (
+	"fmt"
+
+	"shootdown/internal/machine"
+	"shootdown/internal/mem"
+	"shootdown/internal/ptable"
+	"shootdown/internal/sim"
+	"shootdown/internal/tlb"
+	"shootdown/internal/xpr"
+)
+
+// Pmap is the view of a physical map the shootdown algorithm needs. The
+// pmap module implements it; keeping it an interface keeps the protocol
+// independent of pmap internals (the paper's policy/mechanism separation).
+type Pmap interface {
+	// Locked reports whether the pmap's update lock is held. Responders
+	// spin on this to stall while an update is in progress.
+	Locked() bool
+	// InUse reports whether the given processor is actively translating
+	// through this pmap. The kernel pmap is in use on every processor.
+	InUse(cpu int) bool
+	// ASID tags the pmap's TLB entries on ASID-tagged hardware.
+	ASID() tlb.ASID
+	// IsKernel distinguishes kernel-pmap shootdowns in instrumentation.
+	IsKernel() bool
+}
+
+// Action is one queued consistency action: invalidate [Start, End) for the
+// given address space, or flush everything.
+type Action struct {
+	Pmap     Pmap // the map the action is for (nil for synthetic actions)
+	ASID     tlb.ASID
+	Start    ptable.VAddr
+	End      ptable.VAddr
+	FlushAll bool
+}
+
+// RangeScopedPmap extends Pmap for the Section 8 restructuring proposed
+// for large NUMA machines: the kernel address space is divided into pools
+// mirroring the processor pools, and memory that may require shootdowns is
+// not shared between pools — so a shootdown for a pooled range involves
+// only the pool's processors instead of the entire machine.
+type RangeScopedPmap interface {
+	Pmap
+	// InUseForRange reports whether the processor can hold translations
+	// for any page in [start, end).
+	InUseForRange(cpu int, start, end ptable.VAddr) bool
+}
+
+// inUseFor resolves the per-range in-use test, honoring pool scoping.
+func inUseFor(p Pmap, cpu int, start, end ptable.VAddr) bool {
+	if rs, ok := p.(RangeScopedPmap); ok {
+		return rs.InUseForRange(cpu, start, end)
+	}
+	return p.InUse(cpu)
+}
+
+// LazyReleaser extends Pmap for ASID-tagged TLBs handled per Section 10:
+// entries outlive context switches, so a pmap stays "in use" on a
+// processor until its entries are explicitly flushed there. When a
+// responder receives an invalidation for a space it retains but is not
+// currently running, it flushes the whole space and releases it instead
+// of invalidating entry by entry ("completely flush entries for any
+// address space that requires an invalidation even though it is not
+// currently being used").
+type LazyReleaser interface {
+	Pmap
+	// RetainsTLBEntries reports whether deactivation leaves entries
+	// cached (i.e. the Section 10 mode is enabled).
+	RetainsTLBEntries() bool
+	// ReleaseFrom flushes every entry for this space from the CPU's TLB
+	// and removes the CPU from the in-use set.
+	ReleaseFrom(ex *machine.Exec, cpu int)
+}
+
+// Pages returns the number of pages the action covers.
+func (a Action) Pages() int {
+	return int((a.End - a.Start + mem.PageSize - 1) / mem.PageSize)
+}
+
+// Op carries one pmap operation's consistency context from Begin through
+// Sync to Finish. Strategies that defer work past the pmap update (the
+// postponed-interrupt and timer-flush baselines) stash what they need here.
+type Op struct {
+	prevIPL machine.IPL
+	start   sim.Time
+
+	// Pmap and the range are recorded by Sync for strategies that act in
+	// Finish, after the pmap has been updated and unlocked.
+	Pmap       Pmap
+	Start, End ptable.VAddr
+	Synced     bool
+}
+
+// Started returns the operation's start timestamp.
+func (op *Op) Started() sim.Time { return op.start }
+
+// Strategy is the pluggable consistency mechanism seam. The Mach shootdown
+// is the paper's contribution; package baseline provides the alternatives
+// discussed in Sections 3, 9, and 10 for comparison.
+//
+// A pmap operation brackets itself with Begin (before taking the pmap
+// lock) and Finish (after releasing it), and calls Sync — with the lock
+// held, before modifying the pmap — when its changes could leave stale
+// entries in remote TLBs. Sync returns the number of processors involved.
+type Strategy interface {
+	Name() string
+	Begin(ex *machine.Exec) *Op
+	Sync(ex *machine.Exec, op *Op, p Pmap, start, end ptable.VAddr) int
+	Finish(ex *machine.Exec, op *Op)
+	// GoIdle and GoActive bracket a processor's idle periods so the
+	// strategy can implement the idle-processor optimization.
+	GoIdle(ex *machine.Exec)
+	GoActive(ex *machine.Exec)
+}
+
+// Options tunes the shootdown algorithm. The zero value gives the paper's
+// configuration: idle optimization on, an update queue sized so overflow
+// only happens when a full flush is cheaper anyway, and an
+// invalidate-vs-flush threshold.
+type Options struct {
+	// QueueSize bounds each processor's consistency-action queue;
+	// overflow degrades to a full TLB flush. Default 8.
+	QueueSize int
+	// FlushThreshold is the page count beyond which a full buffer flush
+	// is faster than individual invalidates. Default 8.
+	FlushThreshold int
+	// DisableIdleOptimization makes initiators interrupt and synchronize
+	// with idle processors too (ablation).
+	DisableIdleOptimization bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueSize == 0 {
+		o.QueueSize = 8
+	}
+	if o.FlushThreshold == 0 {
+		o.FlushThreshold = 8
+	}
+	return o
+}
+
+// Stats counts protocol events.
+type Stats struct {
+	Syncs              uint64 // Sync calls (shootdowns invoked)
+	RemoteShootdowns   uint64 // Syncs that involved at least one other CPU
+	ActionsQueued      uint64
+	IPIsSent           uint64
+	IPIsCoalesced      uint64 // send skipped: interrupt already pending
+	IdleSkipped        uint64 // queue-only for idle processors
+	Responses          uint64 // responder passes
+	QueueOverflows     uint64
+	FullFlushes        uint64
+	EntriesInvalidated uint64
+	// LazyReleases counts whole-space flushes of retained (ASID-tagged)
+	// address spaces on processors no longer running them (Section 10).
+	LazyReleases uint64
+}
+
+// Shootdown is the Mach shootdown algorithm state: the active and idle
+// processor sets, per-processor action queues with their locks, and the
+// action-needed flags (Section 4's "small collection of data structures").
+type Shootdown struct {
+	m    *machine.Machine
+	opts Options
+
+	active       []bool
+	idle         []bool
+	actionNeeded []bool
+	queues       [][]Action
+	overflow     []bool
+	actionLocks  []machine.SpinLock
+
+	kernelPmap Pmap
+	userPmapOn func(cpu int) Pmap // pmap active on a CPU, or nil
+
+	// Trace, when set, receives initiator and responder records.
+	Trace *xpr.Buffer
+
+	stats Stats
+}
+
+var _ Strategy = (*Shootdown)(nil)
+
+// New creates the shootdown state for machine m and installs the responder
+// as the machine's IPI handler. Processors start active and not idle; the
+// kernel marks them idle via GoIdle.
+func New(m *machine.Machine, opts Options) *Shootdown {
+	n := m.NumCPUs()
+	s := &Shootdown{
+		m:            m,
+		opts:         opts.withDefaults(),
+		active:       make([]bool, n),
+		idle:         make([]bool, n),
+		actionNeeded: make([]bool, n),
+		queues:       make([][]Action, n),
+		overflow:     make([]bool, n),
+		actionLocks:  make([]machine.SpinLock, n),
+	}
+	for i := range s.active {
+		s.active[i] = true
+		s.actionLocks[i] = machine.SpinLock{Name: fmt.Sprintf("action%d", i), MinIPL: machine.IPLHigh}
+	}
+	m.SetHandler(machine.VecIPI, func(ex *machine.Exec, _ machine.Vector) {
+		s.respond(ex)
+	})
+	return s
+}
+
+// Name implements Strategy.
+func (s *Shootdown) Name() string { return "mach-shootdown" }
+
+// Stats returns a snapshot of the protocol counters.
+func (s *Shootdown) Stats() Stats { return s.stats }
+
+// Options returns the effective options.
+func (s *Shootdown) Options() Options { return s.opts }
+
+// SetKernelPmap registers the kernel pmap (responders spin on its lock).
+func (s *Shootdown) SetKernelPmap(p Pmap) { s.kernelPmap = p }
+
+// SetUserPmapFn registers the resolver for the user pmap active on a CPU.
+func (s *Shootdown) SetUserPmapFn(f func(cpu int) Pmap) { s.userPmapOn = f }
+
+// Active reports whether a CPU is in the active set (tests/diagnostics).
+func (s *Shootdown) Active(cpu int) bool { return s.active[cpu] }
+
+// Idle reports whether a CPU is in the idle set.
+func (s *Shootdown) Idle(cpu int) bool { return s.idle[cpu] }
+
+// ActionNeeded reports whether a CPU has unprocessed consistency actions.
+func (s *Shootdown) ActionNeeded(cpu int) bool { return s.actionNeeded[cpu] }
+
+// Begin starts an initiator-side critical section: disable all interrupts
+// and leave the active set, so a concurrent initiator shooting at us does
+// not wait for us (the crossed-shootdown deadlock avoidance). Call before
+// taking the pmap lock.
+func (s *Shootdown) Begin(ex *machine.Exec) *Op {
+	prev := ex.DisableAll()
+	s.active[ex.CPUID()] = false
+	return &Op{prevIPL: prev, start: ex.Now()}
+}
+
+// Finish ends the initiator-side critical section after the pmap has been
+// unlocked: rejoin the active set and restore the interrupt state, which
+// delivers — and responds to — any shootdown interrupts that arrived while
+// we were initiating.
+func (s *Shootdown) Finish(ex *machine.Exec, op *Op) {
+	s.active[ex.CPUID()] = true
+	ex.RestoreIPL(op.prevIPL)
+}
+
+// Sync is the initiator algorithm (phases 1 and 3's precondition). It must
+// be called between Begin and Finish with the pmap lock held, before the
+// pmap is modified. On return, every processor that could hold a stale
+// entry for [start, end) is either spinning inactive, idle with the
+// invalidation queued, or no longer using the pmap — so the caller may
+// safely change the pmap. It returns the number of processors involved.
+func (s *Shootdown) Sync(ex *machine.Exec, op *Op, p Pmap, start, end ptable.VAddr) int {
+	me := ex.CPUID()
+	m := s.m
+	s.stats.Syncs++
+	op.Pmap, op.Start, op.End, op.Synced = p, start, end, true
+	t0 := ex.Now()
+
+	if inUseFor(p, me, start, end) {
+		s.invalidateLocal(ex, p.ASID(), start, end)
+	}
+
+	action := Action{Pmap: p, ASID: p.ASID(), Start: start.Page(), End: end}
+	var sendList, waitList []int
+	queued := 0
+	for cpu := 0; cpu < m.NumCPUs(); cpu++ {
+		if cpu == me || !inUseFor(p, cpu, start, end) {
+			continue
+		}
+		lprev := s.actionLocks[cpu].Lock(ex)
+		s.enqueue(ex, cpu, action)
+		s.actionNeeded[cpu] = true
+		s.actionLocks[cpu].Unlock(ex, lprev)
+		queued++
+		if !s.opts.DisableIdleOptimization && s.idle[cpu] {
+			// Idle processors get the action queued but no interrupt;
+			// they drain the queue before becoming active.
+			s.stats.IdleSkipped++
+			continue
+		}
+		waitList = append(waitList, cpu)
+		if m.CPU(cpu).Pending(machine.VecIPI) {
+			// An interrupt is already on its way; one responder pass
+			// services every shootdown in progress.
+			s.stats.IPIsCoalesced++
+			continue
+		}
+		sendList = append(sendList, cpu)
+	}
+
+	if len(sendList) > 0 {
+		ex.SendIPI(sendList)
+		s.stats.IPIsSent += uint64(len(sendList))
+	}
+	for _, cpu := range waitList {
+		cpu := cpu
+		// A responder that stops using the pmap has flushed its entries
+		// for it; no need to synchronize with it (refinement 1).
+		ex.SpinWhile(func() bool { return s.active[cpu] && inUseFor(p, cpu, start, end) })
+	}
+	if queued > 0 {
+		s.stats.RemoteShootdowns++
+	}
+
+	// The instrumented "number of processors being shot at" counts the
+	// processors that were interrupted and synchronized with — idle
+	// processors get the action queued but are not shot at (Section 4).
+	shot := len(waitList)
+	if s.Trace != nil {
+		pages := Action{Start: start.Page(), End: end}.Pages()
+		s.Trace.LogInitiator(ex.Now(), me, p.IsKernel(), pages, shot, ex.Now()-t0)
+	}
+	return shot
+}
+
+// enqueue adds an action to a CPU's queue; the caller holds the action
+// lock. Overflow degrades to a full flush (detail 2 in Section 4).
+func (s *Shootdown) enqueue(ex *machine.Exec, cpu int, a Action) {
+	ex.ChargeInstr()
+	s.stats.ActionsQueued++
+	if s.overflow[cpu] {
+		return // already flushing everything
+	}
+	if len(s.queues[cpu]) >= s.opts.QueueSize {
+		s.overflow[cpu] = true
+		s.queues[cpu] = s.queues[cpu][:0]
+		s.stats.QueueOverflows++
+		return
+	}
+	s.queues[cpu] = append(s.queues[cpu], a)
+}
+
+// respond is the responder algorithm (phases 2 and 4), run from the IPI
+// handler and from GoActive. Further shootdown interrupts are already
+// masked (the handler auto-masks; GoActive disables explicitly), so one
+// pass services all shootdowns in progress.
+func (s *Shootdown) respond(ex *machine.Exec) {
+	me := ex.CPUID()
+	t0 := ex.Now()
+	prev := ex.DisableAll()
+	for s.actionNeeded[me] {
+		s.stats.Responses++
+		// Phase 2: acknowledge, then stall until no initiator is mid-
+		// update on a pmap this processor can translate through. The
+		// paper's pseudo-code joins the two lock tests with &&, but the
+		// responder must stall while EITHER pmap is being updated —
+		// otherwise it could reload a stale entry from (or write R/M
+		// bits into) the half-updated map; we implement the OR.
+		s.active[me] = false
+		ex.SpinWhile(func() bool {
+			if s.kernelPmap != nil && s.kernelPmap.Locked() {
+				return true
+			}
+			if s.userPmapOn != nil {
+				if up := s.userPmapOn(me); up != nil && up.Locked() {
+					return true
+				}
+			}
+			return false
+		})
+		// Phase 4: the updates are done; invalidate and rejoin.
+		lprev := s.actionLocks[me].Lock(ex)
+		s.processActions(ex, me)
+		s.actionNeeded[me] = false
+		s.actionLocks[me].Unlock(ex, lprev)
+		s.active[me] = true
+	}
+	ex.RestoreIPL(prev)
+	if s.Trace != nil {
+		s.Trace.LogResponder(ex.Now(), me, ex.Now()-t0)
+	}
+}
+
+// processActions performs the queued invalidations for cpu; the caller
+// holds the action lock. Beyond the flush threshold (or on overflow) a
+// whole-buffer flush is faster than individual invalidates (detail 1).
+func (s *Shootdown) processActions(ex *machine.Exec, cpu int) {
+	defer func() {
+		s.queues[cpu] = s.queues[cpu][:0]
+		s.overflow[cpu] = false
+	}()
+	if s.overflow[cpu] {
+		s.flush(ex, tlb.ASIDNone)
+		return
+	}
+	total := 0
+	sharedASID := tlb.ASIDNone
+	uniformASID := true
+	for i, a := range s.queues[cpu] {
+		if a.FlushAll {
+			total = s.opts.FlushThreshold + 1
+		} else {
+			total += a.Pages()
+		}
+		if i == 0 {
+			sharedASID = a.ASID
+		} else if a.ASID != sharedASID {
+			uniformASID = false
+		}
+	}
+	if total > s.opts.FlushThreshold {
+		// When every queued action targets one address space, a tagged
+		// TLB can flush just that space; otherwise flush everything.
+		if uniformASID {
+			s.flush(ex, sharedASID)
+		} else {
+			s.flush(ex, tlb.ASIDNone)
+		}
+		return
+	}
+	for _, a := range s.queues[cpu] {
+		// Section 10 (tagged TLBs): a space we retain entries for but are
+		// not currently running gets flushed wholesale and released.
+		if lr, ok := a.Pmap.(LazyReleaser); ok && lr.RetainsTLBEntries() {
+			if s.userPmapOn == nil || s.userPmapOn(cpu) != a.Pmap {
+				lr.ReleaseFrom(ex, cpu)
+				s.stats.LazyReleases++
+				continue
+			}
+		}
+		ex.InvalidateTLBEntries(a.ASID, a.Start, a.End)
+		s.stats.EntriesInvalidated += uint64(a.Pages())
+	}
+}
+
+// invalidateLocal removes the initiator's own entries for the range,
+// choosing between individual invalidates and a full flush.
+func (s *Shootdown) invalidateLocal(ex *machine.Exec, asid tlb.ASID, start, end ptable.VAddr) {
+	pages := Action{Start: start.Page(), End: end}.Pages()
+	if pages > s.opts.FlushThreshold {
+		s.flush(ex, asid)
+		return
+	}
+	ex.InvalidateTLBEntries(asid, start, end)
+	s.stats.EntriesInvalidated += uint64(pages)
+}
+
+// flush empties the TLB — per address space on tagged hardware when the
+// flush is for a single space, otherwise entirely.
+func (s *Shootdown) flush(ex *machine.Exec, asid tlb.ASID) {
+	s.stats.FullFlushes++
+	if s.m.Options().TLB.Tagged && asid != tlb.ASIDNone {
+		ex.FlushTLBASID(asid)
+		return
+	}
+	ex.FlushTLB()
+}
+
+// GoIdle adds the processor to the idle set. The idle loop must keep
+// interrupts enabled so late-arriving shootdown interrupts are serviced.
+func (s *Shootdown) GoIdle(ex *machine.Exec) {
+	s.idle[ex.CPUID()] = true
+}
+
+// GoActive removes the processor from the idle set, first draining any
+// consistency actions queued while it was idle — an idle processor must
+// not start translating through stale entries.
+func (s *Shootdown) GoActive(ex *machine.Exec) {
+	me := ex.CPUID()
+	s.idle[me] = false
+	if s.actionNeeded[me] {
+		s.respond(ex)
+	}
+}

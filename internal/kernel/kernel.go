@@ -1,0 +1,303 @@
+// Package kernel is the simulated Mach kernel: tasks (address spaces) with
+// threads scheduled across the machine's processors, an idle loop per CPU
+// that participates in the shootdown algorithm's idle-processor
+// optimization, timer-driven preemption, and the thread-level syscall
+// surface (memory access with fault handling, vm operations, fork) that
+// the evaluation workloads are written against.
+package kernel
+
+import (
+	"fmt"
+
+	"shootdown/internal/core"
+	"shootdown/internal/machine"
+	"shootdown/internal/pmap"
+	"shootdown/internal/sim"
+	"shootdown/internal/vm"
+	"shootdown/internal/xpr"
+)
+
+// Config assembles a simulated machine and kernel.
+type Config struct {
+	// Machine configures the simulated multiprocessor.
+	Machine machine.Options
+	// Shootdown tunes the Mach shootdown algorithm (used when Strategy
+	// is nil).
+	Shootdown core.Options
+	// StrategyFactory overrides the consistency mechanism (package
+	// baseline provides alternatives); it receives the freshly built
+	// machine. Nil means the Mach shootdown.
+	StrategyFactory func(*machine.Machine) (core.Strategy, error)
+	// TraceSize sets the xpr buffer capacity (default 1<<20 records).
+	TraceSize int
+	// SampleResponders lists the CPUs on which responder events are
+	// recorded (the paper sampled 5 of 16). Nil records all.
+	SampleResponders []int
+	// TimerInterval is the clock-tick period; 0 disables the timer (and
+	// with it preemption), as for the basic-cost experiments.
+	TimerInterval sim.Time
+	// Quantum is the scheduling quantum enforced by the timer.
+	Quantum sim.Time
+	// IdleTick is the idle loop's poll period.
+	IdleTick sim.Time
+	// ChaosSeed randomizes equal-time scheduling order (0 = FIFO).
+	ChaosSeed int64
+	// MaxTime bounds virtual time (guards against livelock); default 10
+	// virtual minutes.
+	MaxTime sim.Time
+	// TraceOff starts with instrumentation disabled (the perturbation
+	// experiment compares instrumented and uninstrumented runs).
+	TraceOff bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.TraceSize == 0 {
+		c.TraceSize = 1 << 20
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 25_000_000 // 25 ms
+	}
+	if c.IdleTick == 0 {
+		c.IdleTick = 50_000 // 50 µs
+	}
+	if c.MaxTime == 0 {
+		c.MaxTime = 600_000_000_000 // 10 virtual minutes
+	}
+	return c
+}
+
+// Kernel owns the simulated machine and all kernel state.
+type Kernel struct {
+	Eng      *sim.Engine
+	M        *machine.Machine
+	Pmaps    *pmap.System
+	VM       *vm.System
+	Strategy core.Strategy
+	// Shoot is the Mach shootdown instance when it is the strategy
+	// (nil under baseline strategies).
+	Shoot *core.Shootdown
+	Trace *xpr.Buffer
+
+	cfg Config
+
+	schedLock machine.SpinLock
+	runq      []*Thread
+	current   []*Thread   // per CPU
+	idleProcs []*sim.Proc // per CPU
+	live      int         // live (not exited) threads
+	stopping  bool
+	started   bool
+	taskSeq   int
+}
+
+// New builds a kernel over a fresh machine.
+func New(cfg Config) (*Kernel, error) {
+	cfg = cfg.withDefaults()
+	var eng *sim.Engine
+	if cfg.ChaosSeed != 0 {
+		eng = sim.New(sim.WithMaxTime(cfg.MaxTime), sim.WithChaos(cfg.ChaosSeed))
+	} else {
+		eng = sim.New(sim.WithMaxTime(cfg.MaxTime))
+	}
+	m := machine.New(eng, cfg.Machine)
+	k := &Kernel{
+		Eng:       eng,
+		M:         m,
+		cfg:       cfg,
+		schedLock: machine.SpinLock{Name: "sched", MinIPL: machine.IPLHigh},
+		current:   make([]*Thread, m.NumCPUs()),
+		Trace:     xpr.New(cfg.TraceSize),
+	}
+	if cfg.TraceOff {
+		k.Trace.Off()
+	}
+	if cfg.SampleResponders != nil {
+		k.Trace.SampleCPUs = map[int]bool{}
+		for _, c := range cfg.SampleResponders {
+			k.Trace.SampleCPUs[c] = true
+		}
+	}
+	var strat core.Strategy
+	if cfg.StrategyFactory != nil {
+		s, err := cfg.StrategyFactory(m)
+		if err != nil {
+			return nil, err
+		}
+		strat = s
+	} else {
+		sd := core.New(m, cfg.Shootdown)
+		sd.Trace = k.Trace
+		k.Shoot = sd
+		strat = sd
+	}
+	k.Strategy = strat
+	psys, err := pmap.NewSystem(m, strat)
+	if err != nil {
+		return nil, err
+	}
+	k.Pmaps = psys
+	k.VM = vm.NewSystem(m, psys)
+	m.SetHandler(machine.VecTimer, func(ex *machine.Exec, _ machine.Vector) {
+		k.timerTick(ex)
+	})
+	return k, nil
+}
+
+// tickHook lets a consistency strategy piggyback on the clock interrupt
+// (the timer-flush baseline flushes TLBs from it).
+type tickHook interface {
+	OnTick(ex *machine.Exec)
+}
+
+// timerTick marks the running thread for rescheduling once its quantum is
+// used up. (The paper notes timer interrupts perturb runtimes by 8-10%.)
+func (k *Kernel) timerTick(ex *machine.Exec) {
+	ex.ChargeInstr()
+	if h, ok := k.Strategy.(tickHook); ok {
+		h.OnTick(ex)
+	}
+	if t := k.current[ex.CPUID()]; t != nil && ex.Now()-t.dispatched >= k.cfg.Quantum {
+		t.needResched = true
+	}
+}
+
+// Run starts the idle loops and timer and executes until every thread has
+// exited (or the engine hits its virtual-time bound).
+func (k *Kernel) Run() error {
+	if k.started {
+		panic("kernel: Run called twice")
+	}
+	k.started = true
+	k.idleProcs = make([]*sim.Proc, k.M.NumCPUs())
+	for cpu := 0; cpu < k.M.NumCPUs(); cpu++ {
+		cpu := cpu
+		k.idleProcs[cpu] = k.Eng.Spawn(fmt.Sprintf("idle%d", cpu), func(p *sim.Proc) {
+			k.idleLoop(p, cpu)
+		})
+	}
+	if k.cfg.TimerInterval > 0 {
+		k.Eng.Spawn("clock", func(p *sim.Proc) {
+			for !k.stopping {
+				p.Sleep(k.cfg.TimerInterval)
+				for cpu := 0; cpu < k.M.NumCPUs(); cpu++ {
+					k.M.Post(cpu, machine.VecTimer)
+				}
+			}
+		})
+	}
+	return k.Eng.Run()
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() sim.Time { return k.Eng.Now() }
+
+// enqueue appends t to the run queue (caller must be an attached exec).
+func (k *Kernel) enqueue(ex *machine.Exec, t *Thread) {
+	prev := k.schedLock.Lock(ex)
+	t.state = threadReady
+	k.runq = append(k.runq, t)
+	k.schedLock.Unlock(ex, prev)
+}
+
+// dequeue pops the next runnable thread, or nil.
+func (k *Kernel) dequeue(ex *machine.Exec) *Thread {
+	prev := k.schedLock.Lock(ex)
+	var t *Thread
+	if len(k.runq) > 0 {
+		t = k.runq[0]
+		copy(k.runq, k.runq[1:])
+		k.runq = k.runq[:len(k.runq)-1]
+	}
+	k.schedLock.Unlock(ex, prev)
+	return t
+}
+
+// idleLoop is one CPU's idle thread: it polls for work with interrupts
+// enabled (so it responds to shootdown IPIs), drains queued consistency
+// actions before dispatching (the idle-processor optimization's contract),
+// and hands the CPU to the chosen thread.
+func (k *Kernel) idleLoop(p *sim.Proc, cpu int) {
+	for {
+		ex := k.M.Attach(p, cpu)
+		k.Strategy.GoIdle(ex)
+		var next *Thread
+		for !k.stopping {
+			if next = k.dequeue(ex); next != nil {
+				break
+			}
+			ex.Advance(k.cfg.IdleTick)
+		}
+		if next == nil { // stopping
+			ex.Detach()
+			return
+		}
+		k.Strategy.GoActive(ex)
+		ex.ChargeTime(k.M.Costs().ContextSwitch)
+		// The thread may still be releasing its previous CPU (its proc is
+		// sleeping through the deactivation flush, not yet parked). Wait
+		// until it is parked before touching its scheduling state — the
+		// release path still reads it — and before waking it, or the
+		// wake-up would be lost.
+		for next.proc.State() != sim.StateBlocked {
+			ex.Advance(10_000)
+		}
+		next.task.Map.Pmap.Activate(ex, cpu)
+		next.cpu = cpu
+		next.state = threadRunning
+		next.dispatched = ex.Now()
+		next.needResched = false
+		k.current[cpu] = next
+		ex.Detach()
+		k.Eng.Wake(next.proc)
+		p.Block() // until the thread returns the CPU
+	}
+}
+
+// releaseCPU is called on the thread's own proc to give the CPU back to
+// the idle loop. The thread's exec must still be attached. The CPU number
+// comes from the exec, not t.cpu: once the thread is on a run queue a
+// dispatcher may already be re-targeting t.cpu.
+func (t *Thread) releaseCPU() {
+	k := t.k
+	cpu := t.ex.CPUID()
+	t.task.Map.Pmap.Deactivate(t.ex, cpu)
+	k.current[cpu] = nil
+	t.ex.Detach()
+	t.ex = nil
+	k.wakeIdle(cpu)
+}
+
+// wakeIdle resumes a CPU's idle proc after a thread gives the CPU back.
+func (k *Kernel) wakeIdle(cpu int) {
+	if !k.Eng.Wake(k.idleProcs[cpu]) {
+		panic(fmt.Sprintf("kernel: idle proc for cpu %d not blocked (state %v)",
+			cpu, k.idleProcs[cpu].State()))
+	}
+}
+
+// DebugState dumps scheduler state for diagnosing stuck simulations.
+func (k *Kernel) DebugState() string {
+	s := ""
+	for cpu := range k.current {
+		name := "<none>"
+		if t := k.current[cpu]; t != nil {
+			name = fmt.Sprintf("%s(state=%d)", t.name, t.state)
+		}
+		s += fmt.Sprintf("cpu%d: cur=%s idleProc=%v\n", cpu, name, k.idleProcs[cpu].State())
+	}
+	s += fmt.Sprintf("runq=%d:", len(k.runq))
+	for _, t := range k.runq {
+		s += " " + t.name
+	}
+	return s + "\n"
+}
+
+// threadExited accounts for a finished thread and stops the simulation
+// when the last one is gone.
+func (k *Kernel) threadExited(t *Thread) {
+	k.live--
+	if k.live == 0 {
+		k.stopping = true
+		k.Eng.Stop()
+	}
+}

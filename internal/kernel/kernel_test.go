@@ -1,0 +1,533 @@
+package kernel_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"shootdown/internal/kernel"
+	"shootdown/internal/machine"
+	"shootdown/internal/mem"
+	"shootdown/internal/pmap"
+	"shootdown/internal/ptable"
+	"shootdown/internal/sim"
+	"shootdown/internal/vm"
+)
+
+func testConfig(ncpu int) kernel.Config {
+	costs := machine.DefaultCosts()
+	costs.JitterPct = 0
+	return kernel.Config{
+		Machine: machine.Options{NumCPUs: ncpu, MemFrames: 2048, Costs: costs},
+	}
+}
+
+func TestSingleThreadRuns(t *testing.T) {
+	k, err := kernel.New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := k.NewTask("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	task.Spawn("main", func(th *kernel.Thread) {
+		th.Compute(1_000_000)
+		ran = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("thread body never ran")
+	}
+	if k.Now() < 1_000_000 {
+		t.Fatalf("virtual time %d too small", k.Now())
+	}
+}
+
+func TestThreadMemoryRoundTrip(t *testing.T) {
+	k, _ := kernel.New(testConfig(2))
+	task, _ := k.NewTask("t")
+	task.Spawn("main", func(th *kernel.Thread) {
+		va, err := th.VMAllocate(2 * mem.PageSize)
+		if err != nil {
+			t.Errorf("VMAllocate: %v", err)
+			return
+		}
+		if err := th.Write(va+4, 77); err != nil {
+			t.Errorf("Write: %v", err)
+			return
+		}
+		v, err := th.Read(va + 4)
+		if err != nil || v != 77 {
+			t.Errorf("Read = %d, %v", v, err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelThreadsOnDistinctCPUs(t *testing.T) {
+	const ncpu = 5
+	k, _ := kernel.New(testConfig(ncpu))
+	task, _ := k.NewTask("t")
+	cpus := map[int]bool{}
+	for i := 0; i < ncpu-1; i++ {
+		task.Spawn(fmt.Sprintf("w%d", i), func(th *kernel.Thread) {
+			th.Compute(2_000_000)
+			cpus[th.CPU()] = true
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cpus) != ncpu-1 {
+		t.Fatalf("threads ran on %d distinct CPUs, want %d", len(cpus), ncpu-1)
+	}
+	// Parallel execution: wall time well under the serial sum.
+	if k.Now() > 6_000_000 {
+		t.Fatalf("virtual time %d suggests serial execution", k.Now())
+	}
+}
+
+func TestMoreThreadsThanCPUsTimeSlice(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.TimerInterval = 5_000_000 // 5 ms ticks
+	cfg.Quantum = 10_000_000      // 10 ms quantum
+	k, _ := kernel.New(cfg)
+	task, _ := k.NewTask("t")
+	done := 0
+	for i := 0; i < 6; i++ {
+		task.Spawn(fmt.Sprintf("w%d", i), func(th *kernel.Thread) {
+			th.Compute(30_000_000)
+			done++
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 6 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestYieldAndJoin(t *testing.T) {
+	k, _ := kernel.New(testConfig(2))
+	task, _ := k.NewTask("t")
+	var order []string
+	var worker *kernel.Thread
+	worker = task.Spawn("worker", func(th *kernel.Thread) {
+		th.Compute(500_000)
+		order = append(order, "worker")
+	})
+	task.Spawn("waiter", func(th *kernel.Thread) {
+		th.Join(worker)
+		order = append(order, "waiter")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "worker" || order[1] != "waiter" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestJoinAlreadyDone(t *testing.T) {
+	k, _ := kernel.New(testConfig(2))
+	task, _ := k.NewTask("t")
+	var fast *kernel.Thread
+	fast = task.Spawn("fast", func(th *kernel.Thread) {})
+	task.Spawn("slow", func(th *kernel.Thread) {
+		th.Compute(5_000_000)
+		th.Join(fast) // already exited; must not block
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutex(t *testing.T) {
+	k, _ := kernel.New(testConfig(4))
+	task, _ := k.NewTask("t")
+	var mu kernel.Mutex
+	inCrit, maxInCrit, count := 0, 0, 0
+	for i := 0; i < 3; i++ {
+		task.Spawn(fmt.Sprintf("w%d", i), func(th *kernel.Thread) {
+			for j := 0; j < 5; j++ {
+				th.Lock(&mu)
+				inCrit++
+				if inCrit > maxInCrit {
+					maxInCrit = inCrit
+				}
+				th.Compute(200_000)
+				count++
+				inCrit--
+				th.Unlock(&mu)
+				th.Compute(50_000)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInCrit != 1 {
+		t.Fatalf("mutual exclusion violated: %d concurrent holders", maxInCrit)
+	}
+	if count != 15 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestTasksAreIsolated(t *testing.T) {
+	k, _ := kernel.New(testConfig(2))
+	a, _ := k.NewTask("a")
+	b, _ := k.NewTask("b")
+	var va ptable.VAddr = 0x40000
+	a.Spawn("a", func(th *kernel.Thread) {
+		if _, err := th.VMAllocateAt(va, mem.PageSize); err != nil {
+			t.Errorf("alloc: %v", err)
+			return
+		}
+		if err := th.Write(va, 1); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	b.Spawn("b", func(th *kernel.Thread) {
+		th.Compute(3_000_000) // let a's write land first
+		if _, err := th.Read(va); !errors.Is(err, kernel.ErrUnrecoverableFault) {
+			t.Errorf("cross-task read should fault unrecoverably, got %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkTaskCOW(t *testing.T) {
+	k, _ := kernel.New(testConfig(3))
+	parent, _ := k.NewTask("parent")
+	parent.Spawn("main", func(th *kernel.Thread) {
+		va, err := th.VMAllocate(mem.PageSize)
+		if err != nil {
+			t.Errorf("alloc: %v", err)
+			return
+		}
+		if err := th.Write(va, 111); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		child, err := th.ForkTask("child")
+		if err != nil {
+			t.Errorf("fork: %v", err)
+			return
+		}
+		childDone := child.Spawn("childmain", func(cth *kernel.Thread) {
+			v, err := cth.Read(va)
+			if err != nil || v != 111 {
+				t.Errorf("child read = %d, %v", v, err)
+			}
+			if err := cth.Write(va, 222); err != nil {
+				t.Errorf("child write: %v", err)
+			}
+		})
+		th.Join(childDone)
+		v, err := th.Read(va)
+		if err != nil || v != 111 {
+			t.Errorf("parent read after child write = %d, %v; COW broken", v, err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConsistencyAcrossScheduledThreads is the §5.1 tester running on the
+// full kernel: counters in shared task memory, reprotect, no increments
+// after the reprotect returns.
+func TestConsistencyAcrossScheduledThreads(t *testing.T) {
+	const ncpu = 6
+	k, _ := kernel.New(testConfig(ncpu))
+	task, _ := k.NewTask("tester")
+	var protectedAt sim.Time = -1
+	violations := 0
+	task.Spawn("main", func(th *kernel.Thread) {
+		page, err := th.VMAllocate(mem.PageSize)
+		if err != nil {
+			t.Errorf("alloc: %v", err)
+			return
+		}
+		for i := 0; i < ncpu-2; i++ {
+			i := i
+			task.Spawn(fmt.Sprintf("child%d", i), func(c *kernel.Thread) {
+				va := page + ptable.VAddr(i*8)
+				for n := uint32(0); ; n++ {
+					if err := c.Write(va, n); err != nil {
+						return // unrecoverable write fault: expected end
+					}
+					if protectedAt >= 0 && c.Now() > protectedAt {
+						violations++
+					}
+					c.Compute(5_000)
+				}
+			})
+		}
+		th.Compute(2_000_000) // let children spin up and cache entries
+		if err := th.VMProtect(page, page+mem.PageSize, pmap.ProtRead); err != nil {
+			t.Errorf("protect: %v", err)
+			return
+		}
+		protectedAt = th.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if violations != 0 {
+		t.Fatalf("%d writes landed after VMProtect returned", violations)
+	}
+	if k.Shoot.Stats().Syncs == 0 {
+		t.Fatal("no shootdowns recorded")
+	}
+}
+
+func TestKernelTaskShootdowns(t *testing.T) {
+	const ncpu = 4
+	k, _ := kernel.New(testConfig(ncpu))
+	ktask := k.KernelTask()
+	utask, _ := k.NewTask("u")
+	// A user thread keeps other CPUs busy (and their TLBs full of kernel
+	// entries is not required — kernel pmap shootdowns go machine-wide).
+	for i := 0; i < 2; i++ {
+		utask.Spawn(fmt.Sprintf("spin%d", i), func(th *kernel.Thread) {
+			va, err := th.VMAllocate(mem.PageSize)
+			if err != nil {
+				return
+			}
+			for n := uint32(0); n < 400; n++ {
+				if th.Write(va, n) != nil {
+					return
+				}
+				th.Compute(10_000)
+			}
+		})
+	}
+	ktask.Spawn("kworker", func(th *kernel.Thread) {
+		va, err := th.VMAllocate(4 * mem.PageSize)
+		if err != nil {
+			t.Errorf("kernel alloc: %v", err)
+			return
+		}
+		for i := 0; i < 4; i++ {
+			if err := th.Write(va+ptable.VAddr(i*mem.PageSize), 1); err != nil {
+				t.Errorf("kernel write: %v", err)
+				return
+			}
+		}
+		th.Compute(500_000)
+		if err := th.VMDeallocate(va, va+4*mem.PageSize); err != nil {
+			t.Errorf("kernel dealloc: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	kernelTimes, _ := k.Trace.InitiatorTimes()
+	if len(kernelTimes) == 0 {
+		t.Fatal("no kernel-pmap shootdowns recorded")
+	}
+}
+
+func TestKernelSectionDelaysShootdown(t *testing.T) {
+	// A responder sitting in a long kernel critical section (device
+	// interrupts masked) delays a kernel-pmap shootdown; the same run
+	// with the high-priority software interrupt does not.
+	run := func(highPrio bool) float64 {
+		cfg := testConfig(3)
+		cfg.Machine.HighPriorityIPI = highPrio
+		k, _ := kernel.New(cfg)
+		ktask := k.KernelTask()
+		ktask.Spawn("masker", func(th *kernel.Thread) {
+			// Long critical sections back to back.
+			for i := 0; i < 40; i++ {
+				th.KernelSection(2_000_000) // 2 ms masked
+			}
+		})
+		ktask.Spawn("initiator", func(th *kernel.Thread) {
+			va, err := th.VMAllocate(mem.PageSize)
+			if err != nil {
+				t.Errorf("alloc: %v", err)
+				return
+			}
+			if err := th.Write(va, 1); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			th.Compute(3_000_000)
+			if err := th.VMDeallocate(va, va+mem.PageSize); err != nil {
+				t.Errorf("dealloc: %v", err)
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		ks, _ := k.Trace.InitiatorTimes()
+		if len(ks) == 0 {
+			t.Fatal("no kernel shootdowns")
+		}
+		max := 0.0
+		for _, v := range ks {
+			if v > max {
+				max = v
+			}
+		}
+		return max
+	}
+	slow := run(false)
+	fast := run(true)
+	if slow < 500 { // µs: must show the masking delay
+		t.Fatalf("masked-responder shootdown only took %.0f µs; masking not modeled?", slow)
+	}
+	if fast > slow/2 {
+		t.Fatalf("high-priority IPI did not help: %.0f vs %.0f µs", fast, slow)
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	k, _ := kernel.New(testConfig(1))
+	task, _ := k.NewTask("t")
+	task.Spawn("main", func(th *kernel.Thread) {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Run should panic")
+		}
+	}()
+	_ = k.Run()
+}
+
+func TestVMProtectInheritanceSyscalls(t *testing.T) {
+	k, _ := kernel.New(testConfig(2))
+	task, _ := k.NewTask("t")
+	task.Spawn("main", func(th *kernel.Thread) {
+		va, _ := th.VMAllocate(2 * mem.PageSize)
+		if err := th.VMSetInheritance(va, va+mem.PageSize, vm.InheritShare); err != nil {
+			t.Errorf("inherit: %v", err)
+		}
+		if err := th.VMProtect(va, va+mem.PageSize, pmap.ProtRead); err != nil {
+			t.Errorf("protect: %v", err)
+		}
+		if err := th.Write(va, 1); !errors.Is(err, kernel.ErrUnrecoverableFault) {
+			t.Errorf("write to RO: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChaosSchedulesStillConsistent(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		cfg := testConfig(5)
+		cfg.ChaosSeed = seed
+		k, _ := kernel.New(cfg)
+		task, _ := k.NewTask("t")
+		var protectedAt sim.Time = -1
+		violations := 0
+		task.Spawn("main", func(th *kernel.Thread) {
+			page, err := th.VMAllocate(mem.PageSize)
+			if err != nil {
+				return
+			}
+			for i := 0; i < 3; i++ {
+				i := i
+				task.Spawn(fmt.Sprintf("c%d", i), func(c *kernel.Thread) {
+					for n := uint32(0); ; n++ {
+						if c.Write(page+ptable.VAddr(i*4), n) != nil {
+							return
+						}
+						if protectedAt >= 0 && c.Now() > protectedAt {
+							violations++
+						}
+						c.Compute(4_000)
+					}
+				})
+			}
+			th.Compute(1_500_000)
+			if err := th.VMProtect(page, page+mem.PageSize, pmap.ProtRead); err != nil {
+				return
+			}
+			protectedAt = th.Now()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if violations != 0 {
+			t.Fatalf("seed %d: %d stale writes", seed, violations)
+		}
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	k, _ := kernel.New(testConfig(3))
+	task, _ := k.NewTask("t")
+	var sem kernel.Semaphore
+	consumed := 0
+	for i := 0; i < 2; i++ {
+		task.Spawn(fmt.Sprintf("consumer%d", i), func(th *kernel.Thread) {
+			for j := 0; j < 3; j++ {
+				th.P(&sem)
+				consumed++
+			}
+		})
+	}
+	task.Spawn("producer", func(th *kernel.Thread) {
+		for j := 0; j < 6; j++ {
+			th.Compute(500_000)
+			th.V(&sem)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if consumed != 6 {
+		t.Fatalf("consumed = %d, want 6", consumed)
+	}
+}
+
+func TestSemaphoreNoBlockWhenPositive(t *testing.T) {
+	k, _ := kernel.New(testConfig(2))
+	task, _ := k.NewTask("t")
+	task.Spawn("solo", func(th *kernel.Thread) {
+		var sem kernel.Semaphore
+		th.V(&sem)
+		th.V(&sem)
+		th.P(&sem) // must not block
+		th.P(&sem)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexUnlockByNonHolderPanics(t *testing.T) {
+	k, _ := kernel.New(testConfig(2))
+	task, _ := k.NewTask("t")
+	var mu kernel.Mutex
+	panicked := false
+	task.Spawn("bad", func(th *kernel.Thread) {
+		defer func() {
+			panicked = recover() != nil
+		}()
+		th.Unlock(&mu)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !panicked {
+		t.Fatal("unlock of unheld mutex should panic")
+	}
+}

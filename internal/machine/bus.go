@@ -1,0 +1,56 @@
+package machine
+
+import "shootdown/internal/sim"
+
+// Bus models the Multimax's single shared memory bus as a FIFO-served
+// resource: each transaction occupies the bus for a fixed time, and a CPU
+// issuing a transaction stalls until its transaction completes. With
+// write-through caches every store is a bus transaction, so enough
+// processors actively writing (spinning workloads, interrupt state saves)
+// saturate the bus — the congestion the paper observes once more than 12
+// processors are involved in a shootdown (Section 7.1).
+type Bus struct {
+	nextFree  sim.Time
+	occupancy sim.Time
+
+	// Transactions counts bus transactions issued.
+	Transactions uint64
+	// StallTime accumulates total time CPUs spent queued for the bus.
+	StallTime sim.Time
+}
+
+// NewBus creates a bus with the given per-transaction occupancy.
+func NewBus(occupancy sim.Time) *Bus {
+	return &Bus{occupancy: occupancy}
+}
+
+// Reserve books n back-to-back transactions starting no earlier than now and
+// returns the total time the issuing CPU must stall (queueing + occupancy).
+// The caller is responsible for sleeping that long; reservations are made
+// immediately, which is what serializes concurrent requesters.
+func (b *Bus) Reserve(now sim.Time, n int) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	start := b.nextFree
+	if start < now {
+		start = now
+	}
+	b.nextFree = start + sim.Time(n)*b.occupancy
+	b.Transactions += uint64(n)
+	stall := b.nextFree - now
+	b.StallTime += start - now
+	return stall
+}
+
+// Utilization returns the fraction of time the bus has been busy up to now.
+func (b *Bus) Utilization(now sim.Time) float64 {
+	if now == 0 {
+		return 0
+	}
+	busy := sim.Time(b.Transactions) * b.occupancy
+	if busy > now {
+		return 1
+	}
+	return float64(busy) / float64(now)
+}

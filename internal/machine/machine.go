@@ -1,0 +1,372 @@
+// Package machine simulates the shared-memory multiprocessor the shootdown
+// algorithm runs on: N CPUs with private TLBs and interrupt controllers, a
+// single shared write-through bus, and physical memory holding the page
+// tables. Execution contexts (Exec) charge virtual time for every
+// instruction block, memory access, and interrupt through the cost model,
+// on top of the deterministic discrete-event engine in package sim.
+//
+// The hardware options the paper discusses in Section 9 are all present as
+// configuration: unicast vs multicast vs broadcast interprocessor
+// interrupts, a high-priority software interrupt that device spl levels do
+// not mask, TLBs with blind / interlocked / absent reference-modify-bit
+// writeback, ASID-tagged TLBs, and a remote TLB-invalidation port.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shootdown/internal/mem"
+	"shootdown/internal/ptable"
+	"shootdown/internal/sim"
+	"shootdown/internal/tlb"
+)
+
+// KernelBase splits the 32-bit virtual address space: addresses at or above
+// KernelBase translate through the kernel pmap on every CPU, addresses
+// below it through the CPU's currently active user pmap.
+const KernelBase ptable.VAddr = 0x8000_0000
+
+// IPL is an interrupt priority level. A pending interrupt is deliverable
+// only if its vector's priority exceeds the CPU's current IPL.
+type IPL int
+
+// Interrupt priority levels.
+const (
+	IPLLow    IPL = 0 // everything enabled
+	IPLDevice IPL = 1 // device (and, by default, shootdown) interrupts masked
+	IPLHigh   IPL = 2 // all maskable interrupts masked
+)
+
+// Vector identifies an interrupt source.
+type Vector int
+
+// Interrupt vectors.
+const (
+	VecIPI    Vector = iota // shootdown interprocessor interrupt
+	VecTimer                // scheduler timer
+	VecDevice               // generic device interrupt (used by workloads)
+	numVectors
+)
+
+func (v Vector) String() string {
+	switch v {
+	case VecIPI:
+		return "ipi"
+	case VecTimer:
+		return "timer"
+	case VecDevice:
+		return "device"
+	default:
+		return fmt.Sprintf("vector(%d)", int(v))
+	}
+}
+
+// IPIMode selects the interprocessor-interrupt delivery hardware (§9).
+type IPIMode int
+
+// IPI delivery modes.
+const (
+	// IPIUnicast sends one interrupt per target, serially (the Multimax).
+	IPIUnicast IPIMode = iota
+	// IPIMulticast loads a processor bit vector into the hardware once.
+	IPIMulticast
+	// IPIBroadcast interrupts every other processor unconditionally.
+	IPIBroadcast
+)
+
+func (m IPIMode) String() string {
+	switch m {
+	case IPIUnicast:
+		return "unicast"
+	case IPIMulticast:
+		return "multicast"
+	case IPIBroadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("ipimode(%d)", int(m))
+	}
+}
+
+// Options configures a Machine.
+type Options struct {
+	NumCPUs   int
+	MemFrames int        // physical memory size; default 4096 frames (16 MB)
+	TLB       tlb.Config // per-CPU TLB configuration
+	Costs     Costs      // zero value means DefaultCosts
+	IPIMode   IPIMode
+	// HighPriorityIPI gives the shootdown IPI a priority above device
+	// interrupts (the paper's first proposed hardware feature, §9), so
+	// kernel code at IPLDevice no longer delays shootdowns.
+	HighPriorityIPI bool
+	// RemoteInvalidate enables a TLB port that lets one CPU invalidate
+	// entries in another CPU's TLB directly (MC88200-style, §9).
+	RemoteInvalidate bool
+	// Seed drives cost jitter and the Random TLB replacement policy.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumCPUs == 0 {
+		o.NumCPUs = 16
+	}
+	if o.MemFrames == 0 {
+		o.MemFrames = 4096
+	}
+	if o.Costs == (Costs{}) {
+		o.Costs = DefaultCosts()
+	}
+	return o
+}
+
+// Handler services an interrupt vector. It runs on the execution context
+// that was interrupted, with the CPU's IPL raised to the vector's priority.
+type Handler func(ex *Exec, v Vector)
+
+// Machine is the simulated multiprocessor.
+type Machine struct {
+	Eng  *sim.Engine
+	Phys *mem.PhysMem
+	Bus  *Bus
+
+	cpus     []*CPU
+	opts     Options
+	costs    Costs
+	rng      *rand.Rand
+	handlers [numVectors]Handler
+	prio     [numVectors]IPL
+
+	kernelTable *ptable.Table
+}
+
+// CPU is one simulated processor.
+type CPU struct {
+	m   *Machine
+	id  int
+	TLB *tlb.TLB
+
+	ipl     IPL
+	pending [numVectors]bool
+
+	cur *Exec // execution context currently on this CPU, if any
+
+	userTable *ptable.Table
+	userASID  tlb.ASID
+}
+
+// New builds a machine on the given engine.
+func New(eng *sim.Engine, opts Options) *Machine {
+	opts = opts.withDefaults()
+	m := &Machine{
+		Eng:   eng,
+		Phys:  mem.New(opts.MemFrames),
+		opts:  opts,
+		costs: opts.Costs,
+		rng:   rand.New(rand.NewSource(opts.Seed + 1000)),
+	}
+	m.Bus = NewBus(m.costs.BusOccupancy)
+	// Vector priorities: device and timer sit at device level. The IPI
+	// shares that level on stock hardware; the HighPriorityIPI option
+	// lifts it above device masking.
+	m.prio[VecTimer] = IPLDevice
+	m.prio[VecDevice] = IPLDevice
+	if opts.HighPriorityIPI {
+		m.prio[VecIPI] = IPLHigh
+	} else {
+		m.prio[VecIPI] = IPLDevice
+	}
+	for i := 0; i < opts.NumCPUs; i++ {
+		cfg := opts.TLB
+		cfg.Seed = opts.Seed + int64(i)*7919
+		m.cpus = append(m.cpus, &CPU{m: m, id: i, TLB: tlb.New(cfg)})
+	}
+	return m
+}
+
+// NumCPUs returns the processor count.
+func (m *Machine) NumCPUs() int { return len(m.cpus) }
+
+// CPU returns processor i.
+func (m *Machine) CPU(i int) *CPU { return m.cpus[i] }
+
+// Options returns the machine's configuration (defaults applied).
+func (m *Machine) Options() Options { return m.opts }
+
+// Costs returns the cost model in effect.
+func (m *Machine) Costs() Costs { return m.costs }
+
+// SetHandler installs the interrupt handler for a vector.
+func (m *Machine) SetHandler(v Vector, h Handler) { m.handlers[v] = h }
+
+// SetKernelTable installs the page table used for kernel-half addresses on
+// every CPU (the kernel pmap's translation root).
+func (m *Machine) SetKernelTable(t *ptable.Table) { m.kernelTable = t }
+
+// KernelTable returns the kernel translation root.
+func (m *Machine) KernelTable() *ptable.Table { return m.kernelTable }
+
+// VectorPriority returns the IPL at which vector v is masked.
+func (m *Machine) VectorPriority(v Vector) IPL { return m.prio[v] }
+
+// Post latches an interrupt for the target CPU and nudges whatever context
+// is executing there so it notices after the interrupt latency. It returns
+// true if the vector was already pending (the initiator's "already has a
+// shootdown interrupt pending" check relies on this). Post may be called
+// from any running proc.
+func (m *Machine) Post(target int, v Vector) (wasPending bool) {
+	cpu := m.cpus[target]
+	if cpu.pending[v] {
+		return true
+	}
+	cpu.pending[v] = true
+	if cpu.cur != nil && cpu.cur.proc != nil {
+		m.Eng.Preempt(cpu.cur.proc, m.Eng.Now()+m.costs.IRQLatency)
+	}
+	return false
+}
+
+// ID returns the CPU number.
+func (c *CPU) ID() int { return c.id }
+
+// IPL returns the CPU's current interrupt priority level.
+func (c *CPU) IPL() IPL { return c.ipl }
+
+// Pending reports whether vector v is latched on this CPU.
+func (c *CPU) Pending(v Vector) bool { return c.pending[v] }
+
+// SetUserTable points the CPU's MMU at a user translation root; asid tags
+// the entries when the TLB is tagged. A nil table means no user space.
+func (c *CPU) SetUserTable(t *ptable.Table, asid tlb.ASID) {
+	c.userTable = t
+	c.userASID = asid
+}
+
+// UserTable returns the current user translation root.
+func (c *CPU) UserTable() *ptable.Table { return c.userTable }
+
+// Current returns the execution context on this CPU, or nil.
+func (c *CPU) Current() *Exec { return c.cur }
+
+// takeDeliverable dequeues the highest-priority deliverable pending vector.
+func (c *CPU) takeDeliverable() (Vector, bool) {
+	best := Vector(-1)
+	var bestPrio IPL = -1
+	for v := Vector(0); v < numVectors; v++ {
+		if c.pending[v] && c.m.prio[v] > c.ipl && c.m.prio[v] > bestPrio {
+			best, bestPrio = v, c.m.prio[v]
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	c.pending[best] = false
+	return best, true
+}
+
+// tableFor resolves the translation root and ASID for a virtual address.
+func (c *CPU) tableFor(va ptable.VAddr) (*ptable.Table, tlb.ASID) {
+	if va >= KernelBase {
+		return c.m.kernelTable, tlb.ASIDNone
+	}
+	return c.userTable, c.userASID
+}
+
+// FaultKind classifies a translation fault.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultNotPresent: no valid translation for the page.
+	FaultNotPresent FaultKind = iota
+	// FaultProtection: the mapping forbids the attempted access.
+	FaultProtection
+	// FaultNoSpace: no address space is active for the address range.
+	FaultNoSpace
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNotPresent:
+		return "not-present"
+	case FaultProtection:
+		return "protection"
+	case FaultNoSpace:
+		return "no-space"
+	default:
+		return fmt.Sprintf("faultkind(%d)", int(k))
+	}
+}
+
+// Fault describes a failed virtual-memory access. It implements error.
+type Fault struct {
+	VA    ptable.VAddr
+	Write bool
+	Kind  FaultKind
+}
+
+func (f *Fault) Error() string {
+	op := "read"
+	if f.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("machine: %s fault (%s) at %#x", f.Kind, op, f.VA)
+}
+
+// SpinLock is a test-and-set spin lock with the paper's interrupt-priority
+// discipline: the lock has an associated IPL, is acquired at that level,
+// and may only be held at that level or higher (Section 4's fix for the
+// deadlocks caused by inconsistent interrupt protection of locks).
+type SpinLock struct {
+	Name   string
+	MinIPL IPL
+
+	held  bool
+	owner int
+}
+
+// Lock raises the caller to the lock's IPL, spins until the lock is free,
+// and takes it. It returns the previous IPL for Unlock to restore.
+func (l *SpinLock) Lock(ex *Exec) IPL {
+	prev := ex.RaiseIPL(l.MinIPL)
+	ex.charge(ex.m().costs.LockAcquire)
+	for l.held {
+		ex.Advance(ex.m().costs.SpinCheck)
+	}
+	l.held = true
+	l.owner = ex.CPUID()
+	return prev
+}
+
+// TryLock takes the lock if it is free, without spinning and without
+// touching the interrupt level — the caller must already be at the lock's
+// IPL or higher (typically via DisableAll) and restores it through Unlock.
+func (l *SpinLock) TryLock(ex *Exec) bool {
+	ex.charge(ex.m().costs.LockAcquire)
+	if l.held {
+		return false
+	}
+	l.held = true
+	l.owner = ex.CPUID()
+	return true
+}
+
+// Unlock releases the lock and restores the saved IPL.
+func (l *SpinLock) Unlock(ex *Exec, prev IPL) {
+	if !l.held {
+		panic(fmt.Sprintf("machine: unlock of unheld lock %q", l.Name))
+	}
+	if l.owner != ex.CPUID() {
+		panic(fmt.Sprintf("machine: lock %q unlocked by cpu %d, held by cpu %d",
+			l.Name, ex.CPUID(), l.owner))
+	}
+	ex.charge(ex.m().costs.LockRelease)
+	l.held = false
+	ex.RestoreIPL(prev)
+}
+
+// Held reports whether the lock is currently held by anyone. The shootdown
+// responder spins on this without acquiring.
+func (l *SpinLock) Held() bool { return l.held }
+
+// HeldBy reports whether the lock is held by the given CPU.
+func (l *SpinLock) HeldBy(cpu int) bool { return l.held && l.owner == cpu }

@@ -1,0 +1,151 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFreeCycle(t *testing.T) {
+	m := New(4)
+	if m.TotalFrames() != 4 || m.FreeFrames() != 4 || m.AllocatedFrames() != 0 {
+		t.Fatalf("fresh memory counters wrong: %d/%d/%d", m.TotalFrames(), m.FreeFrames(), m.AllocatedFrames())
+	}
+	var frames []Frame
+	for i := 0; i < 4; i++ {
+		f, err := m.AllocFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	if _, err := m.AllocFrame(); err == nil {
+		t.Fatal("want out-of-memory error")
+	}
+	for _, f := range frames {
+		m.FreeFrame(f)
+	}
+	if m.FreeFrames() != 4 {
+		t.Fatalf("FreeFrames = %d after freeing all", m.FreeFrames())
+	}
+}
+
+func TestLowFramesFirst(t *testing.T) {
+	m := New(8)
+	f0, _ := m.AllocFrame()
+	f1, _ := m.AllocFrame()
+	if f0 != 0 || f1 != 1 {
+		t.Fatalf("frames = %d,%d; want 0,1 (low frames first for reproducible layouts)", f0, f1)
+	}
+}
+
+func TestReadWriteWord(t *testing.T) {
+	m := New(2)
+	f, _ := m.AllocFrame()
+	pa := f.Addr(128)
+	m.WriteWord(pa, 0xDEADBEEF)
+	if got := m.ReadWord(pa); got != 0xDEADBEEF {
+		t.Fatalf("ReadWord = %#x", got)
+	}
+	// Fresh frames are zeroed.
+	if got := m.ReadWord(f.Addr(0)); got != 0 {
+		t.Fatalf("fresh frame word = %#x, want 0", got)
+	}
+}
+
+func TestFrameReuseIsZeroed(t *testing.T) {
+	m := New(1)
+	f, _ := m.AllocFrame()
+	m.WriteWord(f.Addr(0), 42)
+	m.FreeFrame(f)
+	f2, _ := m.AllocFrame()
+	if f2 != f {
+		t.Fatalf("expected frame reuse, got %d then %d", f, f2)
+	}
+	if got := m.ReadWord(f2.Addr(0)); got != 0 {
+		t.Fatalf("reused frame not zeroed: %#x", got)
+	}
+}
+
+func TestCopyAndZeroFrame(t *testing.T) {
+	m := New(2)
+	a, _ := m.AllocFrame()
+	b, _ := m.AllocFrame()
+	for i := uint32(0); i < WordsPerPage; i++ {
+		m.WriteWord(a.Addr(i*WordSize), i*3)
+	}
+	m.CopyFrame(b, a)
+	for i := uint32(0); i < WordsPerPage; i += 97 {
+		if got := m.ReadWord(b.Addr(i * WordSize)); got != i*3 {
+			t.Fatalf("copied word %d = %d, want %d", i, got, i*3)
+		}
+	}
+	m.ZeroFrame(b)
+	if got := m.ReadWord(b.Addr(0)); got != 0 {
+		t.Fatalf("zeroed frame word = %d", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	m := New(1)
+	f, _ := m.AllocFrame()
+	cases := map[string]func(){
+		"unaligned read":  func() { m.ReadWord(f.Addr(2)) },
+		"unaligned write": func() { m.WriteWord(f.Addr(1), 0) },
+		"read unalloc":    func() { m.ReadWord(Frame(0).Addr(0) + PageSize*100) },
+		"double free": func() {
+			m.FreeFrame(f)
+			m.FreeFrame(f)
+		},
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAddrHelpers(t *testing.T) {
+	f := Frame(3)
+	if got := f.Addr(8); got != PAddr(3*PageSize+8) {
+		t.Fatalf("Addr = %#x", got)
+	}
+	if got := FrameOf(PAddr(3*PageSize + 8)); got != 3 {
+		t.Fatalf("FrameOf = %d", got)
+	}
+	// Offset is masked into the page.
+	if got := f.Addr(PageSize + 4); got != PAddr(3*PageSize+4) {
+		t.Fatalf("Addr with overflowing offset = %#x", got)
+	}
+}
+
+// Property: words written are read back exactly, independent of order.
+func TestQuickReadBack(t *testing.T) {
+	m := New(8)
+	var frames []Frame
+	for i := 0; i < 8; i++ {
+		f, _ := m.AllocFrame()
+		frames = append(frames, f)
+	}
+	model := map[PAddr]uint32{}
+	f := func(frameIdx uint8, wordIdx uint16, v uint32) bool {
+		fr := frames[int(frameIdx)%len(frames)]
+		pa := fr.Addr(uint32(wordIdx%WordsPerPage) * WordSize)
+		m.WriteWord(pa, v)
+		model[pa] = v
+		for a, want := range model {
+			if m.ReadWord(a) != want {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

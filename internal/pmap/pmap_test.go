@@ -1,0 +1,382 @@
+package pmap_test
+
+import (
+	"testing"
+
+	"shootdown/internal/core"
+	"shootdown/internal/machine"
+	"shootdown/internal/pmap"
+	"shootdown/internal/ptable"
+	"shootdown/internal/sim"
+)
+
+type fixture struct {
+	eng *sim.Engine
+	m   *machine.Machine
+	sd  *core.Shootdown
+	sys *pmap.System
+}
+
+func newFixture(t *testing.T, ncpu int) *fixture {
+	t.Helper()
+	eng := sim.New(sim.WithMaxTime(60_000_000_000))
+	costs := machine.DefaultCosts()
+	costs.JitterPct = 0
+	m := machine.New(eng, machine.Options{NumCPUs: ncpu, MemFrames: 1024, Costs: costs})
+	sd := core.New(m, core.Options{})
+	sys, err := pmap.NewSystem(m, sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{eng: eng, m: m, sd: sd, sys: sys}
+}
+
+// on runs fn as an exec on cpu 0 and completes the engine run.
+func (f *fixture) on(t *testing.T, fn func(ex *machine.Exec)) {
+	t.Helper()
+	f.eng.Spawn("test", func(p *sim.Proc) {
+		ex := f.m.Attach(p, 0)
+		defer ex.Detach()
+		fn(ex)
+	})
+	if err := f.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtString(t *testing.T) {
+	cases := map[pmap.Prot]string{
+		pmap.ProtNone:  "---",
+		pmap.ProtRead:  "r--",
+		pmap.ProtWrite: "-w-",
+		pmap.ProtRW:    "rw-",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+	if !pmap.ProtRW.CanRead() || !pmap.ProtRW.CanWrite() {
+		t.Error("ProtRW capabilities wrong")
+	}
+	if pmap.ProtRead.CanWrite() {
+		t.Error("ProtRead should not permit writes")
+	}
+	if pmap.Prot(7).String() == "" {
+		t.Error("unknown prot String empty")
+	}
+}
+
+func TestEnterAndAccess(t *testing.T) {
+	f := newFixture(t, 1)
+	f.on(t, func(ex *machine.Exec) {
+		up, err := f.sys.NewUser()
+		if err != nil {
+			t.Fatal(err)
+		}
+		up.Activate(ex, 0)
+		frame, _ := f.m.Phys.AllocFrame()
+		if err := up.Enter(ex, 0x5000, frame, pmap.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		if fault := ex.Write(0x5004, 99); fault != nil {
+			t.Fatalf("write through entered mapping: %v", fault)
+		}
+		v, fault := ex.Read(0x5004)
+		if fault != nil || v != 99 {
+			t.Fatalf("read = %d, %v", v, fault)
+		}
+		if f.sys.Stats().Enters != 1 {
+			t.Fatalf("Enters = %d", f.sys.Stats().Enters)
+		}
+	})
+}
+
+func TestEnterReplaceTriggersSync(t *testing.T) {
+	f := newFixture(t, 1)
+	f.on(t, func(ex *machine.Exec) {
+		up, _ := f.sys.NewUser()
+		up.Activate(ex, 0)
+		f1, _ := f.m.Phys.AllocFrame()
+		f2, _ := f.m.Phys.AllocFrame()
+		if err := up.Enter(ex, 0x5000, f1, pmap.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		before := f.sd.Stats().Syncs
+		// Same frame, protection upgrade path (RO->RW replaced by RW):
+		// re-entering identically must not sync.
+		if err := up.Enter(ex, 0x5000, f1, pmap.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		if f.sd.Stats().Syncs != before {
+			t.Fatal("identical re-enter should not sync")
+		}
+		// Different frame: must sync.
+		if err := up.Enter(ex, 0x5000, f2, pmap.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		if f.sd.Stats().Syncs != before+1 {
+			t.Fatal("frame replacement should sync")
+		}
+		// Protection downgrade via Enter: must sync.
+		if err := up.Enter(ex, 0x5000, f2, pmap.ProtRead); err != nil {
+			t.Fatal(err)
+		}
+		if f.sd.Stats().Syncs != before+2 {
+			t.Fatal("downgrade enter should sync")
+		}
+	})
+}
+
+func TestRemoveReturnsFramesAndModified(t *testing.T) {
+	f := newFixture(t, 1)
+	f.on(t, func(ex *machine.Exec) {
+		up, _ := f.sys.NewUser()
+		up.Activate(ex, 0)
+		fr1, _ := f.m.Phys.AllocFrame()
+		fr2, _ := f.m.Phys.AllocFrame()
+		if err := up.Enter(ex, 0x5000, fr1, pmap.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		if err := up.Enter(ex, 0x6000, fr2, pmap.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		if fault := ex.Write(0x5000, 1); fault != nil { // dirties page 1
+			t.Fatal(fault)
+		}
+		removed := up.Remove(ex, 0x5000, 0x7000)
+		if len(removed) != 2 {
+			t.Fatalf("removed %d mappings, want 2", len(removed))
+		}
+		byVA := map[ptable.VAddr]pmap.Removed{}
+		for _, r := range removed {
+			byVA[r.VA] = r
+		}
+		if !byVA[0x5000].Modified {
+			t.Error("page written through should report Modified")
+		}
+		if byVA[0x6000].Modified {
+			t.Error("untouched page should not report Modified")
+		}
+		if byVA[0x5000].Frame != fr1 || byVA[0x6000].Frame != fr2 {
+			t.Error("frames misreported")
+		}
+		// Mappings are gone.
+		if _, fault := ex.Read(0x5000); fault == nil {
+			t.Error("read should fault after Remove")
+		}
+	})
+}
+
+func TestProtectNoneRemoves(t *testing.T) {
+	f := newFixture(t, 1)
+	f.on(t, func(ex *machine.Exec) {
+		up, _ := f.sys.NewUser()
+		up.Activate(ex, 0)
+		fr, _ := f.m.Phys.AllocFrame()
+		if err := up.Enter(ex, 0x5000, fr, pmap.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		up.Protect(ex, 0x5000, 0x6000, pmap.ProtNone)
+		if _, fault := ex.Read(0x5000); fault == nil {
+			t.Error("ProtNone should remove the mapping")
+		}
+	})
+}
+
+func TestProtectDowngradeOnly(t *testing.T) {
+	f := newFixture(t, 1)
+	f.on(t, func(ex *machine.Exec) {
+		up, _ := f.sys.NewUser()
+		up.Activate(ex, 0)
+		fr, _ := f.m.Phys.AllocFrame()
+		if err := up.Enter(ex, 0x5000, fr, pmap.ProtRead); err != nil {
+			t.Fatal(err)
+		}
+		// Increasing protection via Protect is a no-op (faults upgrade
+		// lazily); the mapping stays read-only.
+		up.Protect(ex, 0x5000, 0x6000, pmap.ProtRW)
+		if fault := ex.Write(0x5000, 1); fault == nil {
+			t.Error("Protect must not upgrade mappings")
+		}
+		if _, fault := ex.Read(0x5000); fault != nil {
+			t.Errorf("read should still work: %v", fault)
+		}
+	})
+}
+
+func TestDestroy(t *testing.T) {
+	f := newFixture(t, 1)
+	f.on(t, func(ex *machine.Exec) {
+		framesBefore := f.m.Phys.AllocatedFrames()
+		up, _ := f.sys.NewUser()
+		fr, _ := f.m.Phys.AllocFrame()
+		if err := up.Enter(ex, 0x5000, fr, pmap.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		up.Destroy(ex)
+		if !up.Destroyed() {
+			t.Fatal("Destroyed() false")
+		}
+		// Table frames are released; only the data frame remains ours.
+		if got := f.m.Phys.AllocatedFrames(); got != framesBefore+1 {
+			t.Fatalf("allocated frames = %d, want %d (page-table frames leaked?)", got, framesBefore+1)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Enter after Destroy should panic")
+				}
+			}()
+			_ = up.Enter(ex, 0x5000, fr, pmap.ProtRW)
+		}()
+	})
+}
+
+func TestKernelPmapGuards(t *testing.T) {
+	f := newFixture(t, 2)
+	f.on(t, func(ex *machine.Exec) {
+		kp := f.sys.Kernel
+		if !kp.IsKernel() {
+			t.Fatal("kernel pmap should say so")
+		}
+		for cpu := 0; cpu < 2; cpu++ {
+			if !kp.InUse(cpu) {
+				t.Fatal("kernel pmap must be in use everywhere")
+			}
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("destroying the kernel pmap should panic")
+				}
+			}()
+			kp.Destroy(ex)
+		}()
+	})
+}
+
+func TestActivateDeactivateBookkeeping(t *testing.T) {
+	f := newFixture(t, 2)
+	f.on(t, func(ex *machine.Exec) {
+		up, _ := f.sys.NewUser()
+		if up.InUse(0) {
+			t.Fatal("fresh pmap should not be in use")
+		}
+		up.Activate(ex, 0)
+		if !up.InUse(0) || up.InUse(1) {
+			t.Fatal("in-use set wrong after activate")
+		}
+		if f.sys.ActiveUser(0) != up {
+			t.Fatal("ActiveUser not set")
+		}
+		if f.m.CPU(0).UserTable() != up.Table {
+			t.Fatal("MMU not pointed at the pmap's table")
+		}
+		up.Deactivate(ex, 0)
+		if up.InUse(0) {
+			t.Fatal("still in use after deactivate")
+		}
+		if f.sys.ActiveUser(0) != nil || f.m.CPU(0).UserTable() != nil {
+			t.Fatal("deactivate did not clear CPU state")
+		}
+	})
+}
+
+func TestDeactivateFlushesBeforeClearingInUse(t *testing.T) {
+	f := newFixture(t, 1)
+	f.on(t, func(ex *machine.Exec) {
+		up, _ := f.sys.NewUser()
+		up.Activate(ex, 0)
+		fr, _ := f.m.Phys.AllocFrame()
+		if err := up.Enter(ex, 0x5000, fr, pmap.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		if fault := ex.Write(0x5000, 1); fault != nil {
+			t.Fatal(fault)
+		}
+		if f.m.CPU(0).TLB.Len() == 0 {
+			t.Fatal("TLB should hold the entry")
+		}
+		up.Deactivate(ex, 0)
+		if f.m.CPU(0).TLB.Len() != 0 {
+			t.Fatal("deactivate must flush the (untagged) TLB")
+		}
+	})
+}
+
+func TestSwitchBetweenSpaces(t *testing.T) {
+	f := newFixture(t, 1)
+	f.on(t, func(ex *machine.Exec) {
+		a, _ := f.sys.NewUser()
+		b, _ := f.sys.NewUser()
+		fa, _ := f.m.Phys.AllocFrame()
+		fb, _ := f.m.Phys.AllocFrame()
+
+		a.Activate(ex, 0)
+		if err := a.Enter(ex, 0x5000, fa, pmap.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		if fault := ex.Write(0x5000, 11); fault != nil {
+			t.Fatal(fault)
+		}
+		a.Deactivate(ex, 0)
+
+		b.Activate(ex, 0)
+		if err := b.Enter(ex, 0x5000, fb, pmap.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		if fault := ex.Write(0x5000, 22); fault != nil {
+			t.Fatal(fault)
+		}
+		v, fault := ex.Read(0x5000)
+		if fault != nil || v != 22 {
+			t.Fatalf("space b sees %d, want 22", v)
+		}
+		b.Deactivate(ex, 0)
+
+		a.Activate(ex, 0)
+		v, fault = ex.Read(0x5000)
+		if fault != nil || v != 11 {
+			t.Fatalf("space a sees %d, want its own 11", v)
+		}
+	})
+}
+
+func TestNotInUseSkipsSync(t *testing.T) {
+	f := newFixture(t, 2)
+	f.on(t, func(ex *machine.Exec) {
+		up, _ := f.sys.NewUser()
+		fr, _ := f.m.Phys.AllocFrame()
+		if err := up.Enter(ex, 0x5000, fr, pmap.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		before := f.sd.Stats().Syncs
+		// Nobody has the pmap active: reprotect must not shoot.
+		up.Protect(ex, 0x5000, 0x6000, pmap.ProtRead)
+		if f.sd.Stats().Syncs != before {
+			t.Fatal("sync invoked for a pmap in use nowhere")
+		}
+		if f.sys.Stats().NotInUseSkips == 0 {
+			t.Fatal("NotInUseSkips not counted")
+		}
+	})
+}
+
+func TestASIDsAreUnique(t *testing.T) {
+	f := newFixture(t, 1)
+	a, err := f.sys.NewUser()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.sys.NewUser()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ASID() == b.ASID() {
+		t.Fatal("ASIDs must be unique")
+	}
+	if a.ASID() == f.sys.Kernel.ASID() || b.ASID() == f.sys.Kernel.ASID() {
+		t.Fatal("user ASIDs must not collide with the kernel's")
+	}
+}

@@ -1,0 +1,195 @@
+package pmap_test
+
+import (
+	"testing"
+
+	"shootdown/internal/core"
+	"shootdown/internal/machine"
+	"shootdown/internal/mem"
+	"shootdown/internal/pmap"
+	"shootdown/internal/ptable"
+	"shootdown/internal/sim"
+	"shootdown/internal/tlb"
+)
+
+// makePTE is a setup shortcut for entering mappings before procs start.
+func makePTE(f mem.Frame, writable bool) ptable.PTE { return ptable.Make(f, writable) }
+
+// Tests for the Section 10 extension: ASID-tagged TLBs whose entries
+// outlive context switches, with pmaps retained "in use" until a
+// shootdown explicitly flushes and releases them.
+
+func newTaggedFixture(t *testing.T, ncpu int) *fixture {
+	t.Helper()
+	eng := sim.New(sim.WithMaxTime(60_000_000_000))
+	costs := machine.DefaultCosts()
+	costs.JitterPct = 0
+	m := machine.New(eng, machine.Options{
+		NumCPUs: ncpu, MemFrames: 1024, Costs: costs,
+		TLB: tlb.Config{Tagged: true},
+	})
+	sd := core.New(m, core.Options{})
+	sys, err := pmap.NewSystem(m, sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.LazyASIDRelease = true
+	return &fixture{eng: eng, m: m, sd: sd, sys: sys}
+}
+
+func TestLazyDeactivateRetainsEntriesAndInUse(t *testing.T) {
+	f := newTaggedFixture(t, 1)
+	f.on(t, func(ex *machine.Exec) {
+		up, _ := f.sys.NewUser()
+		up.Activate(ex, 0)
+		fr, _ := f.m.Phys.AllocFrame()
+		if err := up.Enter(ex, 0x5000, fr, pmap.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		if fault := ex.Write(0x5000, 1); fault != nil {
+			t.Fatal(fault)
+		}
+		entriesBefore := f.m.CPU(0).TLB.Len()
+		up.Deactivate(ex, 0)
+		if f.m.CPU(0).TLB.Len() != entriesBefore {
+			t.Fatal("lazy deactivate must not flush")
+		}
+		if !up.InUse(0) {
+			t.Fatal("pmap should stay in use until explicitly flushed")
+		}
+		if !up.RetainsTLBEntries() {
+			t.Fatal("RetainsTLBEntries should report the mode")
+		}
+		// Reactivation finds the warm entries.
+		flushesBefore := f.m.CPU(0).TLB.Stats().Flushes
+		up.Activate(ex, 0)
+		if f.m.CPU(0).TLB.Stats().Flushes != flushesBefore {
+			t.Fatal("reactivation must not flush either")
+		}
+		hitsBefore := f.m.CPU(0).TLB.Stats().Hits
+		if _, fault := ex.Read(0x5000); fault != nil {
+			t.Fatal(fault)
+		}
+		if f.m.CPU(0).TLB.Stats().Hits == hitsBefore {
+			t.Fatal("read after reactivation should hit the retained entry")
+		}
+	})
+}
+
+func TestLazyDeactivateRequiresTaggedTLB(t *testing.T) {
+	f := newFixture(t, 1) // untagged
+	f.sys.LazyASIDRelease = true
+	f.on(t, func(ex *machine.Exec) {
+		up, _ := f.sys.NewUser()
+		up.Activate(ex, 0)
+		defer func() {
+			if recover() == nil {
+				t.Error("lazy release on an untagged TLB should panic")
+			}
+		}()
+		up.Deactivate(ex, 0)
+	})
+}
+
+// TestShootdownReleasesRetainedSpace: a shootdown against a pmap retained
+// (but not active) on another CPU flushes the whole space there and
+// removes the CPU from the in-use set — Section 10's responder variant.
+func TestShootdownReleasesRetainedSpace(t *testing.T) {
+	f := newTaggedFixture(t, 2)
+	upA, _ := f.sys.NewUser()
+	upB, _ := f.sys.NewUser()
+	frA, _ := f.m.Phys.AllocFrame()
+	if err := upA.Table.Enter(0x5000, makePTE(frA, true)); err != nil {
+		t.Fatal(err)
+	}
+	frB, _ := f.m.Phys.AllocFrame()
+	if err := upB.Table.Enter(0x9000, makePTE(frB, true)); err != nil {
+		t.Fatal(err)
+	}
+
+	f.eng.Spawn("retainer", func(p *sim.Proc) {
+		ex := f.m.Attach(p, 1)
+		defer ex.Detach()
+		// Run task A briefly, caching its entry, then "switch" to B
+		// without flushing (lazy deactivate).
+		upA.Activate(ex, 1)
+		if fault := ex.Write(0x5000, 1); fault != nil {
+			t.Errorf("write: %v", fault)
+		}
+		upA.Deactivate(ex, 1)
+		upB.Activate(ex, 1)
+		ex.Advance(3_000_000) // responder work happens inside here
+		// By now the initiator has shot A; our retained entries for A
+		// must be gone and A released, while B remains untouched.
+		if _, hit := f.m.CPU(1).TLB.Probe(0x5000, upA.ASID()); hit {
+			t.Error("retained entry for shot space survived")
+		}
+		if upA.InUse(1) {
+			t.Error("shot space still marked in use")
+		}
+		if !upB.InUse(1) {
+			t.Error("unrelated space was released")
+		}
+	})
+	f.eng.Spawn("initiator", func(p *sim.Proc) {
+		ex := f.m.Attach(p, 0)
+		defer ex.Detach()
+		ex.Advance(1_000_000)
+		// Reprotect A's page: cpu 1 retains A, so it must be shot.
+		upA.Protect(ex, 0x5000, 0x6000, pmap.ProtRead)
+	})
+	if err := f.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := f.sd.Stats()
+	if st.LazyReleases == 0 {
+		t.Fatalf("no lazy releases recorded: %+v", st)
+	}
+}
+
+// TestLazyReleaseConsistency: the §5.1 scenario with context switches in
+// the middle — entries retained across switches must still never be used
+// after a reprotect completes.
+func TestLazyReleaseConsistency(t *testing.T) {
+	f := newTaggedFixture(t, 3)
+	up, _ := f.sys.NewUser()
+	other, _ := f.sys.NewUser()
+	fr, _ := f.m.Phys.AllocFrame()
+	if err := up.Table.Enter(0x5000, makePTE(fr, true)); err != nil {
+		t.Fatal(err)
+	}
+	var protectDone sim.Time = -1
+	violations := 0
+	f.eng.Spawn("writer", func(p *sim.Proc) {
+		ex := f.m.Attach(p, 1)
+		defer ex.Detach()
+		for n := uint32(0); ; n++ {
+			up.Activate(ex, 1)
+			fault := ex.Write(0x5000, n)
+			if fault == nil && protectDone >= 0 && ex.Now() > protectDone {
+				violations++
+			}
+			up.Deactivate(ex, 1) // retains entries
+			other.Activate(ex, 1)
+			ex.Advance(20_000)
+			other.Deactivate(ex, 1)
+			if fault != nil {
+				return
+			}
+		}
+	})
+	f.eng.Spawn("initiator", func(p *sim.Proc) {
+		ex := f.m.Attach(p, 0)
+		defer ex.Detach()
+		up.Activate(ex, 0)
+		ex.Advance(500_000)
+		up.Protect(ex, 0x5000, 0x6000, pmap.ProtRead)
+		protectDone = ex.Now()
+	})
+	if err := f.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if violations != 0 {
+		t.Fatalf("%d stale writes with lazy ASID release", violations)
+	}
+}

@@ -1,0 +1,420 @@
+// Package sim is a deterministic discrete-event simulation engine with one
+// goroutine per simulated execution context ("proc").
+//
+// Exactly one proc runs at a time; the engine resumes whichever sleeping proc
+// has the smallest virtual clock, so execution is serialized in virtual-time
+// order and shared data structures touched only by procs need no locking.
+// Determinism: ties are broken FIFO by scheduling sequence number unless a
+// chaos seed is supplied, in which case equal-time procs run in a seeded
+// random order (used to explore protocol interleavings).
+//
+// The one non-standard primitive is Preempt, which moves a sleeping proc's
+// wake-up time earlier. The machine layer uses it to model interrupt
+// delivery: a CPU mid-"instruction block" is woken at the interrupt arrival
+// time, handles the interrupt, and then finishes the remainder of its block.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Microseconds converts a virtual timestamp to microseconds as a float,
+// the unit the paper reports in.
+func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
+
+// Duration converts t to a time.Duration from simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// ErrDeadlock is returned by Run when live procs remain but none can run.
+var ErrDeadlock = errors.New("sim: deadlock: blocked procs remain but none are runnable")
+
+// State enumerates proc lifecycle states.
+type State int
+
+// Proc lifecycle states.
+const (
+	StateNew      State = iota // spawned, not yet run
+	StateRunning               // currently executing
+	StateSleeping              // in the run heap with a wake time
+	StateBlocked               // waiting for an explicit Wake
+	StateDone                  // returned
+)
+
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateRunning:
+		return "running"
+	case StateSleeping:
+		return "sleeping"
+	case StateBlocked:
+		return "blocked"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+type yieldKind int
+
+const (
+	yieldSleep yieldKind = iota
+	yieldBlock
+	yieldDone
+	yieldPanic
+)
+
+type yieldMsg struct {
+	p    *Proc
+	kind yieldKind
+	err  error
+}
+
+// Proc is a simulated execution context backed by a goroutine.
+type Proc struct {
+	eng   *Engine
+	name  string
+	id    int
+	clock Time // private virtual clock; valid when not running behind engine now
+	wake  Time // scheduled wake time while sleeping
+	seq   uint64
+	state State
+
+	preempted bool // wake time was moved earlier while sleeping
+	heapIdx   int  // index in the run heap, -1 if not queued
+
+	resume chan struct{}
+
+	// Tag is arbitrary user data (e.g. the kernel thread running here).
+	Tag interface{}
+}
+
+// Name returns the proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the proc's unique id.
+func (p *Proc) ID() int { return p.id }
+
+// State returns the proc's lifecycle state.
+func (p *Proc) State() State { return p.state }
+
+// Clock returns the proc's private virtual clock.
+func (p *Proc) Clock() Time { return p.clock }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Engine schedules procs in virtual time.
+type Engine struct {
+	now     Time
+	procs   []*Proc
+	runq    runHeap
+	cur     *Proc
+	yield   chan yieldMsg
+	nextID  int
+	nextSeq uint64
+	stopped bool
+	maxTime Time
+	chaos   *rand.Rand
+	started bool
+	failure error
+
+	// TraceFn, if set, receives one line per scheduling event (debugging).
+	TraceFn func(format string, args ...interface{})
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithChaos makes equal-time scheduling order pseudorandom with the given
+// seed instead of FIFO, to explore different legal interleavings.
+func WithChaos(seed int64) Option {
+	return func(e *Engine) { e.chaos = rand.New(rand.NewSource(seed)) }
+}
+
+// WithMaxTime aborts Run with an error if virtual time exceeds t.
+// It guards against runaway simulations (e.g. a livelocked spin loop).
+func WithMaxTime(t Time) Option {
+	return func(e *Engine) { e.maxTime = t }
+}
+
+// New creates an engine at virtual time zero.
+func New(opts ...Option) *Engine {
+	e := &Engine{yield: make(chan yieldMsg)}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Current returns the currently running proc, or nil.
+func (e *Engine) Current() *Proc { return e.cur }
+
+// Spawn creates a proc that will first run at the current virtual time.
+// fn executes on its own goroutine; when fn returns the proc is done.
+// Spawn may be called before Run or from inside a running proc.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:     e,
+		name:    name,
+		id:      e.nextID,
+		clock:   e.now,
+		state:   StateNew,
+		heapIdx: -1,
+		resume:  make(chan struct{}),
+	}
+	e.nextID++
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				e.yield <- yieldMsg{p: p, kind: yieldPanic,
+					err: fmt.Errorf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack())}
+				return
+			}
+			e.yield <- yieldMsg{p: p, kind: yieldDone}
+		}()
+		fn(p)
+	}()
+	e.schedule(p, e.now)
+	return p
+}
+
+func (e *Engine) schedule(p *Proc, at Time) {
+	p.wake = at
+	p.seq = e.nextSeq
+	e.nextSeq++
+	if p.state != StateNew {
+		p.state = StateSleeping
+	}
+	heap.Push(&e.runq, p)
+}
+
+func (e *Engine) trace(format string, args ...interface{}) {
+	if e.TraceFn != nil {
+		e.TraceFn(format, args...)
+	}
+}
+
+// Run executes procs in virtual-time order until all are done, Stop is
+// called, or no runnable proc remains. It returns ErrDeadlock (wrapped with
+// diagnostics) if blocked procs remain, or the panic error of a proc that
+// panicked.
+func (e *Engine) Run() error { return e.RunUntil(-1) }
+
+// RunUntil is Run bounded by virtual time limit (inclusive); limit < 0 means
+// unbounded. Procs scheduled after the limit remain queued, and the engine's
+// clock advances to the limit so a later RunUntil continues seamlessly.
+func (e *Engine) RunUntil(limit Time) error {
+	if e.cur != nil {
+		panic("sim: RunUntil called re-entrantly from a proc")
+	}
+	e.stopped = false
+	for len(e.runq) > 0 && !e.stopped {
+		top := e.runq[0]
+		if limit >= 0 && top.wake > limit {
+			e.now = limit
+			return nil
+		}
+		if e.maxTime > 0 && top.wake > e.maxTime {
+			return fmt.Errorf("sim: virtual time limit %v exceeded (next wake %v, proc %q)",
+				e.maxTime, top.wake, top.name)
+		}
+		p := e.pop()
+		if p.wake > e.now {
+			e.now = p.wake
+		}
+		p.clock = e.now
+		p.state = StateRunning
+		e.cur = p
+		e.trace("[%d ns] run %q", e.now, p.name)
+		p.resume <- struct{}{}
+		msg := <-e.yield
+		e.cur = nil
+		switch msg.kind {
+		case yieldSleep:
+			// schedule() was already performed by Sleep.
+		case yieldBlock:
+			p.state = StateBlocked
+		case yieldDone:
+			p.state = StateDone
+			e.trace("[%d ns] done %q", e.now, p.name)
+		case yieldPanic:
+			p.state = StateDone
+			e.failure = msg.err
+			return msg.err
+		}
+	}
+	if e.stopped {
+		return nil
+	}
+	if blocked := e.BlockedProcs(); len(blocked) > 0 {
+		names := make([]string, len(blocked))
+		for i, p := range blocked {
+			names[i] = p.name
+		}
+		sort.Strings(names)
+		return fmt.Errorf("%w: %v", ErrDeadlock, names)
+	}
+	return nil
+}
+
+// pop removes and returns the next proc to run, honoring chaos ordering
+// among procs with identical wake times.
+func (e *Engine) pop() *Proc {
+	if e.chaos == nil || len(e.runq) < 2 {
+		return heap.Pop(&e.runq).(*Proc)
+	}
+	// Collect all procs tied at the minimum wake time and pick one at random.
+	minWake := e.runq[0].wake
+	var tied []*Proc
+	for _, p := range e.runq {
+		if p.wake == minWake {
+			tied = append(tied, p)
+		}
+	}
+	if len(tied) == 1 {
+		return heap.Pop(&e.runq).(*Proc)
+	}
+	sort.Slice(tied, func(i, j int) bool { return tied[i].seq < tied[j].seq })
+	pick := tied[e.chaos.Intn(len(tied))]
+	heap.Remove(&e.runq, pick.heapIdx)
+	return pick
+}
+
+// Stop halts Run after the current proc yields. Call from inside a proc.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called during the current Run.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// BlockedProcs returns the procs in StateBlocked.
+func (e *Engine) BlockedProcs() []*Proc {
+	var out []*Proc
+	for _, p := range e.procs {
+		if p.state == StateBlocked {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LiveProcs returns the procs that have not finished.
+func (e *Engine) LiveProcs() []*Proc {
+	var out []*Proc
+	for _, p := range e.procs {
+		if p.state != StateDone {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (p *Proc) mustBeCurrent(op string) {
+	if p.eng.cur != p {
+		panic(fmt.Sprintf("sim: %s called on proc %q which is not running (state %v)", op, p.name, p.state))
+	}
+}
+
+// Sleep advances the proc's clock by up to d and yields to the engine.
+// It returns the time actually slept, which is less than d only if another
+// proc called Preempt on this one. Sleep(0) yields without advancing time
+// (other procs at the same timestamp may run).
+func (p *Proc) Sleep(d Time) Time {
+	p.mustBeCurrent("Sleep")
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %d on proc %q", d, p.name))
+	}
+	start := p.clock
+	p.preempted = false
+	p.eng.schedule(p, start+d)
+	p.eng.yield <- yieldMsg{p: p, kind: yieldSleep}
+	<-p.resume
+	return p.clock - start
+}
+
+// Block parks the proc until another proc calls Wake on it.
+func (p *Proc) Block() {
+	p.mustBeCurrent("Block")
+	p.eng.yield <- yieldMsg{p: p, kind: yieldBlock}
+	<-p.resume
+}
+
+// Wake makes a blocked proc runnable at the engine's current time.
+// Waking a proc that is not blocked is a no-op and returns false.
+func (e *Engine) Wake(p *Proc) bool {
+	if p.state != StateBlocked {
+		return false
+	}
+	e.schedule(p, e.now)
+	return true
+}
+
+// Preempt moves a sleeping proc's wake time earlier, to max(at, now).
+// The victim's in-progress Sleep returns early with the reduced duration and
+// Preempted() reports true until its next Sleep. Preempting a proc that is
+// not sleeping, or whose wake time is already at or before the target, is a
+// no-op and returns false.
+func (e *Engine) Preempt(p *Proc, at Time) bool {
+	if p.state != StateSleeping && p.state != StateNew {
+		return false
+	}
+	if at < e.now {
+		at = e.now
+	}
+	if p.wake <= at {
+		return false
+	}
+	p.wake = at
+	p.preempted = true
+	heap.Fix(&e.runq, p.heapIdx)
+	return true
+}
+
+// Preempted reports whether the proc's last Sleep was cut short by Preempt.
+func (p *Proc) Preempted() bool { return p.preempted }
+
+// runHeap is a min-heap on (wake, seq).
+type runHeap []*Proc
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(i, j int) bool {
+	if h[i].wake != h[j].wake {
+		return h[i].wake < h[j].wake
+	}
+	return h[i].seq < h[j].seq
+}
+func (h runHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *runHeap) Push(x interface{}) {
+	p := x.(*Proc)
+	p.heapIdx = len(*h)
+	*h = append(*h, p)
+}
+func (h *runHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	p.heapIdx = -1
+	*h = old[:n-1]
+	return p
+}

@@ -1,0 +1,148 @@
+package vm
+
+import (
+	"fmt"
+
+	"shootdown/internal/mem"
+)
+
+// Object is a Mach memory object: a container of pages, optionally backed
+// by a shadow chain. Copy-on-write is implemented by pushing a new empty
+// object on top of a shared backing object; reads fall through the chain,
+// writes copy the page into the top object.
+type Object struct {
+	pages  map[uint32]mem.Frame // object page index -> frame
+	shadow *Object              // backing object, or nil
+	refs   int
+	// swapped holds pages evicted to the (simulated) backing store:
+	// their contents, preserved word for word until the next fault.
+	swapped map[uint32][]uint32
+	// ZeroFill marks the anonymous-memory object at the bottom of a
+	// chain: absent pages materialize as zeroed frames.
+	ZeroFill bool
+}
+
+// NewObject creates an anonymous zero-fill object with one reference.
+func NewObject() *Object {
+	return &Object{pages: map[uint32]mem.Frame{}, refs: 1, ZeroFill: true}
+}
+
+// NewShadow pushes a copy-on-write shadow over backing. The caller's
+// reference to backing is transferred to the shadow (no refcount change on
+// backing); the shadow itself starts with one reference.
+func NewShadow(backing *Object) *Object {
+	return &Object{pages: map[uint32]mem.Frame{}, shadow: backing, refs: 1}
+}
+
+// Ref adds a reference.
+func (o *Object) Ref() { o.refs++ }
+
+// Refs returns the current reference count.
+func (o *Object) Refs() int { return o.refs }
+
+// Shadow returns the backing object, or nil.
+func (o *Object) Shadow() *Object { return o.shadow }
+
+// Deref drops a reference; at zero the object's frames are freed and the
+// shadow is dereferenced in turn.
+func (o *Object) Deref(phys *mem.PhysMem) {
+	if o.refs <= 0 {
+		panic(fmt.Sprintf("vm: object deref below zero (refs=%d)", o.refs))
+	}
+	o.refs--
+	if o.refs > 0 {
+		return
+	}
+	for _, f := range o.pages {
+		phys.FreeFrame(f)
+	}
+	o.pages = nil
+	o.swapped = nil
+	if o.shadow != nil {
+		o.shadow.Deref(phys)
+		o.shadow = nil
+	}
+}
+
+// Lookup walks the shadow chain for the frame holding page idx. It reports
+// the frame, whether the frame lives in the top object (i.e. is private to
+// it), and whether any frame was found at all. Swapped pages do not count;
+// use Find when eviction is in play.
+func (o *Object) Lookup(idx uint32) (frame mem.Frame, inTop, ok bool) {
+	if f, ok := o.pages[idx]; ok {
+		return f, true, true
+	}
+	for cur := o.shadow; cur != nil; cur = cur.shadow {
+		if f, ok := cur.pages[idx]; ok {
+			return f, false, true
+		}
+	}
+	return 0, false, false
+}
+
+// Find walks the shadow chain for page idx, reporting the object that
+// holds it (resident or swapped). ok is false only when no level holds
+// the page at all.
+func (o *Object) Find(idx uint32) (holder *Object, frame mem.Frame, swapped, ok bool) {
+	for cur := o; cur != nil; cur = cur.shadow {
+		if f, ok := cur.pages[idx]; ok {
+			return cur, f, false, true
+		}
+		if _, ok := cur.swapped[idx]; ok {
+			return cur, 0, true, true
+		}
+	}
+	return nil, 0, false, false
+}
+
+// Evict moves a resident page to the backing store, capturing its
+// contents. The caller owns removing any hardware mappings first and
+// freeing the frame afterwards.
+func (o *Object) Evict(idx uint32, data []uint32) {
+	f, ok := o.pages[idx]
+	if !ok {
+		panic(fmt.Sprintf("vm: evict of non-resident page %d", idx))
+	}
+	_ = f
+	if o.swapped == nil {
+		o.swapped = map[uint32][]uint32{}
+	}
+	o.swapped[idx] = data
+	delete(o.pages, idx)
+}
+
+// SwapIn restores an evicted page into the given frame and re-registers it
+// as resident. It returns the preserved contents for the caller to copy.
+func (o *Object) SwapIn(idx uint32, f mem.Frame) []uint32 {
+	data, ok := o.swapped[idx]
+	if !ok {
+		panic(fmt.Sprintf("vm: swap-in of non-swapped page %d", idx))
+	}
+	delete(o.swapped, idx)
+	o.pages[idx] = f
+	return data
+}
+
+// SwappedPages returns the number of pages on the backing store.
+func (o *Object) SwappedPages() int { return len(o.swapped) }
+
+// Insert places a frame for page idx into this object. Replacing an
+// existing page is a bug: the caller leaked a frame.
+func (o *Object) Insert(idx uint32, f mem.Frame) {
+	if _, exists := o.pages[idx]; exists {
+		panic(fmt.Sprintf("vm: object already holds page %d", idx))
+	}
+	o.pages[idx] = f
+}
+
+// ResidentPages returns the number of frames held directly by this object.
+func (o *Object) ResidentPages() int { return len(o.pages) }
+
+// ChainDepth returns the shadow-chain length including this object.
+func (o *Object) ChainDepth() int {
+	n := 0
+	for cur := o; cur != nil; cur = cur.shadow {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,607 @@
+// Package vm is the machine-independent Mach virtual-memory system
+// (Section 2 of the paper): large sparse address spaces built from entries
+// over memory objects, with copy-on-write sharing via shadow objects,
+// inheritance-driven fork, lazily populated pmaps, and a fault handler
+// that reconstructs hardware mappings on demand.
+//
+// All memory-management state lives here; the pmap module is consulted
+// only to validate, invalidate, and reprotect hardware mappings — so pmaps
+// "usually do not present a complete view of valid memory" and operations
+// on never-touched ranges need no TLB consistency actions at all, which is
+// what makes the pmap module's lazy evaluation (Section 7.2) effective.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"shootdown/internal/machine"
+	"shootdown/internal/mem"
+	"shootdown/internal/pmap"
+	"shootdown/internal/ptable"
+)
+
+// Inheritance controls what a child address space receives at fork.
+type Inheritance int
+
+// Inheritance modes.
+const (
+	// InheritCopy gives the child a copy-on-write snapshot (the default,
+	// used by the Unix fork implementation).
+	InheritCopy Inheritance = iota
+	// InheritShare maps the same object read-write in parent and child.
+	InheritShare
+	// InheritNone leaves the range unmapped in the child.
+	InheritNone
+)
+
+func (i Inheritance) String() string {
+	switch i {
+	case InheritCopy:
+		return "copy"
+	case InheritShare:
+		return "share"
+	case InheritNone:
+		return "none"
+	default:
+		return fmt.Sprintf("inherit(%d)", int(i))
+	}
+}
+
+// Address-space layout for user maps.
+const (
+	UserMin ptable.VAddr = 0x0001_0000
+	UserMax ptable.VAddr = machine.KernelBase
+	// KernelMin leaves the bottom of the kernel half for the kernel text
+	// and static data, which the simulation does not model.
+	KernelMin ptable.VAddr = machine.KernelBase + 0x0100_0000
+	KernelMax ptable.VAddr = 0xF000_0000
+)
+
+// Errors returned by VM operations.
+var (
+	ErrNoSpace     = errors.New("vm: no address space available")
+	ErrBadAddress  = errors.New("vm: address not mapped by any entry")
+	ErrProtection  = errors.New("vm: access forbidden by entry protection")
+	ErrBadRange    = errors.New("vm: invalid address range")
+	ErrOutOfMemory = errors.New("vm: out of physical memory")
+)
+
+// Stats counts VM events.
+type Stats struct {
+	Faults      uint64
+	ZeroFills   uint64
+	CowCopies   uint64
+	ShadowPush  uint64
+	Allocates   uint64
+	Deallocates uint64
+	Protects    uint64
+	Forks       uint64
+	PageOuts    uint64
+	PageIns     uint64
+}
+
+// System is the VM system: the pmap module plus the kernel map.
+type System struct {
+	M     *machine.Machine
+	Pmaps *pmap.System
+
+	// Kernel is the kernel address space, spanning the kernel half.
+	Kernel *Map
+
+	stats Stats
+}
+
+// NewSystem builds the VM system over an existing pmap module.
+func NewSystem(m *machine.Machine, psys *pmap.System) *System {
+	sys := &System{M: m, Pmaps: psys}
+	sys.Kernel = &Map{
+		sys:   sys,
+		Pmap:  psys.Kernel,
+		base:  KernelMin,
+		limit: KernelMax,
+		next:  KernelMin,
+		lock:  machine.SpinLock{Name: "vmmap:kernel"},
+	}
+	return sys
+}
+
+// Stats returns a snapshot of the counters.
+func (sys *System) Stats() Stats { return sys.stats }
+
+// Entry maps a contiguous address range onto a window of an object.
+type Entry struct {
+	Start, End ptable.VAddr
+	Object     *Object
+	// Offset is the object page index corresponding to Start.
+	Offset  uint32
+	Prot    pmap.Prot
+	MaxProt pmap.Prot
+	Inherit Inheritance
+	// NeedsCopy marks the object as shared copy-on-write: the first
+	// write through this entry must push a private shadow object.
+	NeedsCopy bool
+}
+
+func (e *Entry) pages() uint32 { return uint32((e.End - e.Start) / mem.PageSize) }
+
+// pageIndex maps va to the object page index.
+func (e *Entry) pageIndex(va ptable.VAddr) uint32 {
+	return e.Offset + uint32((va.Page()-e.Start)/mem.PageSize)
+}
+
+// Map is one address space.
+type Map struct {
+	sys     *System
+	Pmap    *pmap.Pmap
+	entries []*Entry // sorted by Start, non-overlapping
+	base    ptable.VAddr
+	limit   ptable.VAddr
+	next    ptable.VAddr // allocation hint
+	lock    machine.SpinLock
+
+	destroyed bool
+}
+
+// NewUserMap creates an empty user address space with a fresh pmap.
+func (sys *System) NewUserMap() (*Map, error) {
+	pm, err := sys.Pmaps.NewUser()
+	if err != nil {
+		return nil, err
+	}
+	return &Map{
+		sys:   sys,
+		Pmap:  pm,
+		base:  UserMin,
+		limit: UserMax,
+		next:  UserMin,
+		lock:  machine.SpinLock{Name: fmt.Sprintf("vmmap:%d", pm.ASID())},
+	}, nil
+}
+
+// Entries returns the map's entries (read-only snapshot).
+func (m *Map) Entries() []*Entry {
+	out := make([]*Entry, len(m.entries))
+	copy(out, m.entries)
+	return out
+}
+
+// Size returns the total mapped bytes.
+func (m *Map) Size() uint64 {
+	var n uint64
+	for _, e := range m.entries {
+		n += uint64(e.End - e.Start)
+	}
+	return n
+}
+
+func (m *Map) findEntry(va ptable.VAddr) *Entry {
+	i := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].End > va })
+	if i < len(m.entries) && m.entries[i].Start <= va {
+		return m.entries[i]
+	}
+	return nil
+}
+
+func (m *Map) insertEntry(e *Entry) {
+	i := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].Start >= e.Start })
+	m.entries = append(m.entries, nil)
+	copy(m.entries[i+1:], m.entries[i:])
+	m.entries[i] = e
+}
+
+// checkRange validates and page-aligns [start, end).
+func (m *Map) checkRange(start, end ptable.VAddr) (ptable.VAddr, ptable.VAddr, error) {
+	if end <= start {
+		return 0, 0, fmt.Errorf("%w: [%#x, %#x)", ErrBadRange, start, end)
+	}
+	s := start.Page()
+	e := end
+	if off := e & mem.PageMask; off != 0 {
+		e = e.Page() + mem.PageSize
+	}
+	if s < m.base || e > m.limit {
+		return 0, 0, fmt.Errorf("%w: [%#x, %#x) outside [%#x, %#x)", ErrBadRange, s, e, m.base, m.limit)
+	}
+	return s, e, nil
+}
+
+// Allocate reserves size bytes of zero-fill memory. With anywhere true the
+// map chooses the address (from the hint); otherwise at is used, which
+// must not overlap existing entries.
+func (m *Map) Allocate(ex *machine.Exec, at ptable.VAddr, size uint32, anywhere bool) (ptable.VAddr, error) {
+	if m.destroyed {
+		panic("vm: Allocate on destroyed map")
+	}
+	ex.ChargeInstr()
+	m.sys.stats.Allocates++
+	pages := (size + mem.PageSize - 1) / mem.PageSize
+	if pages == 0 {
+		return 0, fmt.Errorf("%w: zero size", ErrBadRange)
+	}
+	length := ptable.VAddr(pages * mem.PageSize)
+	prev := m.lock.Lock(ex)
+	defer m.lock.Unlock(ex, prev)
+
+	start := at.Page()
+	if anywhere {
+		var ok bool
+		start, ok = m.findSpace(m.next, length)
+		if !ok {
+			// Wrap the hint and retry from the bottom.
+			if start, ok = m.findSpace(m.base, length); !ok {
+				return 0, ErrNoSpace
+			}
+		}
+	} else {
+		if start < m.base || start+length > m.limit {
+			return 0, fmt.Errorf("%w: [%#x, +%#x)", ErrBadRange, start, length)
+		}
+		for _, e := range m.entries {
+			if e.Start < start+length && start < e.End {
+				return 0, fmt.Errorf("%w: [%#x, +%#x) overlaps [%#x, %#x)", ErrBadRange, start, length, e.Start, e.End)
+			}
+		}
+	}
+	m.insertEntry(&Entry{
+		Start:   start,
+		End:     start + length,
+		Object:  NewObject(),
+		Prot:    pmap.ProtRW,
+		MaxProt: pmap.ProtRW,
+		Inherit: InheritCopy,
+	})
+	m.next = start + length
+	return start, nil
+}
+
+// findSpace locates a gap of the given length at or after from.
+func (m *Map) findSpace(from ptable.VAddr, length ptable.VAddr) (ptable.VAddr, bool) {
+	cur := from
+	if cur < m.base {
+		cur = m.base
+	}
+	for _, e := range m.entries {
+		if e.End <= cur {
+			continue
+		}
+		if e.Start >= cur && e.Start-cur >= length {
+			return cur, true
+		}
+		if e.End > cur {
+			cur = e.End
+		}
+	}
+	if m.limit > cur && m.limit-cur >= length {
+		return cur, true
+	}
+	return 0, false
+}
+
+// clip splits entries so that no entry straddles start or end.
+func (m *Map) clip(start, end ptable.VAddr) {
+	split := func(at ptable.VAddr) {
+		for _, e := range m.entries {
+			if e.Start < at && at < e.End {
+				tail := &Entry{
+					Start:     at,
+					End:       e.End,
+					Object:    e.Object,
+					Offset:    e.pageIndex(at),
+					Prot:      e.Prot,
+					MaxProt:   e.MaxProt,
+					Inherit:   e.Inherit,
+					NeedsCopy: e.NeedsCopy,
+				}
+				e.Object.Ref()
+				e.End = at
+				m.insertEntry(tail)
+				return
+			}
+		}
+	}
+	split(start)
+	split(end)
+}
+
+// Deallocate unmaps [start, end): hardware mappings are shot down and
+// removed, entries are deleted, and object references dropped.
+func (m *Map) Deallocate(ex *machine.Exec, start, end ptable.VAddr) error {
+	if m.destroyed {
+		panic("vm: Deallocate on destroyed map")
+	}
+	s, e, err := m.checkRange(start, end)
+	if err != nil {
+		return err
+	}
+	ex.ChargeInstr()
+	m.sys.stats.Deallocates++
+	prev := m.lock.Lock(ex)
+	defer m.lock.Unlock(ex, prev)
+
+	m.clip(s, e)
+	m.Pmap.Remove(ex, s, e)
+	kept := m.entries[:0]
+	for _, en := range m.entries {
+		if en.Start >= s && en.End <= e {
+			en.Object.Deref(m.sys.M.Phys)
+			continue
+		}
+		kept = append(kept, en)
+	}
+	m.entries = kept
+	return nil
+}
+
+// Protect changes the protection of [start, end). Reductions take effect
+// immediately (with TLB consistency actions); increases are clamped to
+// MaxProt and take effect lazily via faults.
+func (m *Map) Protect(ex *machine.Exec, start, end ptable.VAddr, prot pmap.Prot) error {
+	if m.destroyed {
+		panic("vm: Protect on destroyed map")
+	}
+	s, e, err := m.checkRange(start, end)
+	if err != nil {
+		return err
+	}
+	ex.ChargeInstr()
+	m.sys.stats.Protects++
+	prev := m.lock.Lock(ex)
+	defer m.lock.Unlock(ex, prev)
+
+	m.clip(s, e)
+	for _, en := range m.entries {
+		if en.Start < s || en.End > e {
+			continue
+		}
+		en.Prot = prot & en.MaxProt
+	}
+	// One pmap-level pass over the whole range covers every clipped piece.
+	m.Pmap.Protect(ex, s, e, prot)
+	return nil
+}
+
+// SetInheritance sets the fork behaviour for [start, end).
+func (m *Map) SetInheritance(ex *machine.Exec, start, end ptable.VAddr, inh Inheritance) error {
+	s, e, err := m.checkRange(start, end)
+	if err != nil {
+		return err
+	}
+	ex.ChargeInstr()
+	prev := m.lock.Lock(ex)
+	defer m.lock.Unlock(ex, prev)
+	m.clip(s, e)
+	for _, en := range m.entries {
+		if en.Start >= s && en.End <= e {
+			en.Inherit = inh
+		}
+	}
+	return nil
+}
+
+// Fork builds a child address space according to each entry's inheritance.
+// InheritCopy entries become copy-on-write in both parent and child: the
+// parent's hardware mappings are downgraded to read-only, which is one of
+// the permission reductions that require shootdowns when the parent runs
+// threads on other processors.
+func (m *Map) Fork(ex *machine.Exec) (*Map, error) {
+	if m.destroyed {
+		panic("vm: Fork on destroyed map")
+	}
+	ex.ChargeInstr()
+	m.sys.stats.Forks++
+	child, err := m.sys.NewUserMap()
+	if err != nil {
+		return nil, err
+	}
+	prev := m.lock.Lock(ex)
+	defer m.lock.Unlock(ex, prev)
+
+	for _, e := range m.entries {
+		switch e.Inherit {
+		case InheritNone:
+			continue
+		case InheritShare:
+			e.Object.Ref()
+			child.insertEntry(&Entry{
+				Start: e.Start, End: e.End, Object: e.Object, Offset: e.Offset,
+				Prot: e.Prot, MaxProt: e.MaxProt, Inherit: e.Inherit,
+			})
+		case InheritCopy:
+			e.Object.Ref()
+			child.insertEntry(&Entry{
+				Start: e.Start, End: e.End, Object: e.Object, Offset: e.Offset,
+				Prot: e.Prot, MaxProt: e.MaxProt, Inherit: e.Inherit,
+				NeedsCopy: true,
+			})
+			if !e.NeedsCopy {
+				e.NeedsCopy = true
+				// Write-protect the parent's live mappings so its next
+				// write faults and pushes a private shadow.
+				if e.Prot.CanWrite() {
+					m.Pmap.Protect(ex, e.Start, e.End, pmap.ProtRead)
+				}
+			}
+		}
+	}
+	child.next = m.next
+	return child, nil
+}
+
+// Fault resolves a page fault at va. It charges the fault overhead,
+// materializes the page (zero-fill, copy-on-write push/copy), validates
+// the hardware mapping, and returns nil if the faulting access can be
+// retried. ErrBadAddress and ErrProtection are the unrecoverable cases
+// (the §5.1 tester's threads die on the latter).
+func (m *Map) Fault(ex *machine.Exec, va ptable.VAddr, write bool) error {
+	if m.destroyed {
+		panic("vm: Fault on destroyed map")
+	}
+	ex.ChargeTime(m.sys.M.Costs().FaultOverhead)
+	m.sys.stats.Faults++
+	prev := m.lock.Lock(ex)
+	defer m.lock.Unlock(ex, prev)
+
+	e := m.findEntry(va)
+	if e == nil {
+		return fmt.Errorf("%w: %#x", ErrBadAddress, va)
+	}
+	if write && !e.Prot.CanWrite() {
+		return fmt.Errorf("%w: write to %s range at %#x", ErrProtection, e.Prot, va)
+	}
+	if !write && !e.Prot.CanRead() {
+		return fmt.Errorf("%w: read of %s range at %#x", ErrProtection, e.Prot, va)
+	}
+
+	if write && e.NeedsCopy {
+		// First write through a COW entry: push a private shadow.
+		e.Object = NewShadow(e.Object)
+		e.NeedsCopy = false
+		m.sys.stats.ShadowPush++
+	}
+
+	idx := e.pageIndex(va)
+	costs := m.sys.M.Costs()
+	holder, frame, swapped, found := e.Object.Find(idx)
+	if found && swapped {
+		// Page-in from the backing store.
+		f, err := m.sys.M.Phys.AllocFrame()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrOutOfMemory, err)
+		}
+		ex.ChargeTime(costs.SwapIO)
+		data := holder.SwapIn(idx, f)
+		for i, word := range data {
+			m.sys.M.Phys.WriteWord(f.Addr(uint32(i)*mem.WordSize), word)
+		}
+		frame = f
+		m.sys.stats.PageIns++
+	}
+	inTop := found && holder == e.Object
+	switch {
+	case !found:
+		f, err := m.sys.M.Phys.AllocFrame()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrOutOfMemory, err)
+		}
+		ex.ChargeTime(costs.PageZero)
+		ex.ChargeBusWrites(costs.PageZeroBusWrites)
+		e.Object.Insert(idx, f)
+		frame = f
+		m.sys.stats.ZeroFills++
+	case write && !inTop:
+		// Copy-on-write: copy the backing page into the private object.
+		f, err := m.sys.M.Phys.AllocFrame()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrOutOfMemory, err)
+		}
+		ex.ChargeTime(costs.PageCopy)
+		ex.ChargeBusWrites(costs.PageCopyBusWrites)
+		m.sys.M.Phys.CopyFrame(f, frame)
+		e.Object.Insert(idx, f)
+		frame = f
+		m.sys.stats.CowCopies++
+	}
+
+	prot := e.Prot
+	if e.NeedsCopy {
+		// Still sharing the object: keep the mapping read-only so the
+		// first write faults.
+		prot &^= pmap.ProtWrite
+	}
+	return m.Pmap.Enter(ex, va.Page(), frame, prot)
+}
+
+// PageOut evicts up to want resident pages from the address space to the
+// backing store using a second-chance (reference-bit) scan: pages whose
+// hardware reference bit is set get it cleared and survive this pass;
+// unreferenced pages are written out, their mappings shot down, and their
+// frames freed. It returns the number of pages evicted.
+//
+// Only privately held anonymous pages are eligible (objects shared between
+// maps or pending copy-on-write keep their residency). Pageout is the
+// canonical source of shootdowns the paper sets aside in §5 because "the
+// overhead of actually performing the pageout is much greater than the
+// overhead of the associated shootdown" — which Map.PageOut lets you
+// measure (compare Costs.SwapIO to the shootdown cost).
+func (m *Map) PageOut(ex *machine.Exec, want int) int {
+	if m.destroyed {
+		panic("vm: PageOut on destroyed map")
+	}
+	prev := m.lock.Lock(ex)
+	defer m.lock.Unlock(ex, prev)
+
+	costs := m.sys.M.Costs()
+	evicted := 0
+	for _, e := range m.entries {
+		if evicted >= want {
+			break
+		}
+		if e.Object.Refs() != 1 || e.NeedsCopy || e.Object.Shadow() != nil {
+			continue
+		}
+		// Deterministic scan order over the resident pages.
+		idxs := make([]uint32, 0, e.Object.ResidentPages())
+		for idx := e.Offset; idx < e.Offset+e.pages(); idx++ {
+			if _, _, ok := e.Object.Lookup(idx); ok {
+				idxs = append(idxs, idx)
+			}
+		}
+		for _, idx := range idxs {
+			if evicted >= want {
+				break
+			}
+			va := e.Start + ptable.VAddr(idx-e.Offset)*mem.PageSize
+			ex.ChargeInstr()
+			if m.Pmap.ReferenceAndClear(ex, va) {
+				continue // second chance: referenced since the last scan
+			}
+			frame, _, _ := e.Object.Lookup(idx)
+			// Capture contents, shoot down the mapping, write to the
+			// backing store, and free the frame.
+			data := make([]uint32, mem.WordsPerPage)
+			for i := range data {
+				data[i] = m.sys.M.Phys.ReadWord(frame.Addr(uint32(i) * mem.WordSize))
+			}
+			m.Pmap.Remove(ex, va, va+mem.PageSize)
+			ex.ChargeTime(costs.SwapIO)
+			e.Object.Evict(idx, data)
+			m.sys.M.Phys.FreeFrame(frame)
+			m.sys.stats.PageOuts++
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// ResidentPages counts frames currently held by the map's own objects.
+func (m *Map) ResidentPages() int {
+	n := 0
+	for _, e := range m.entries {
+		n += e.Object.ResidentPages()
+	}
+	return n
+}
+
+// Destroy tears down the address space: every entry is dereferenced and
+// the pmap destroyed (with the TLB consistency actions that implies).
+func (m *Map) Destroy(ex *machine.Exec) {
+	if m.destroyed {
+		panic("vm: double destroy")
+	}
+	if m.Pmap.IsKernel() {
+		panic("vm: cannot destroy the kernel map")
+	}
+	prev := m.lock.Lock(ex)
+	for _, e := range m.entries {
+		e.Object.Deref(m.sys.M.Phys)
+	}
+	m.entries = nil
+	m.destroyed = true
+	m.lock.Unlock(ex, prev)
+	m.Pmap.Destroy(ex)
+}
+
+// Destroyed reports whether Destroy has run.
+func (m *Map) Destroyed() bool { return m.destroyed }

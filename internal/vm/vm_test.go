@@ -1,0 +1,532 @@
+package vm_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"shootdown/internal/core"
+	"shootdown/internal/machine"
+	"shootdown/internal/mem"
+	"shootdown/internal/pmap"
+	"shootdown/internal/ptable"
+	"shootdown/internal/sim"
+	"shootdown/internal/vm"
+)
+
+type fixture struct {
+	eng *sim.Engine
+	m   *machine.Machine
+	sys *vm.System
+}
+
+func newFixture(t *testing.T, ncpu, frames int) *fixture {
+	t.Helper()
+	eng := sim.New(sim.WithMaxTime(120_000_000_000))
+	costs := machine.DefaultCosts()
+	costs.JitterPct = 0
+	m := machine.New(eng, machine.Options{NumCPUs: ncpu, MemFrames: frames, Costs: costs})
+	sd := core.New(m, core.Options{})
+	psys, err := pmap.NewSystem(m, sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{eng: eng, m: m, sys: vm.NewSystem(m, psys)}
+}
+
+func (f *fixture) on(t *testing.T, fn func(ex *machine.Exec)) {
+	t.Helper()
+	f.eng.Spawn("test", func(p *sim.Proc) {
+		ex := f.m.Attach(p, 0)
+		defer ex.Detach()
+		fn(ex)
+	})
+	if err := f.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// write performs a store with fault resolution, as a thread would.
+func write(ex *machine.Exec, m *vm.Map, va ptable.VAddr, v uint32) error {
+	for try := 0; try < 5; try++ {
+		fault := ex.Write(va, v)
+		if fault == nil {
+			return nil
+		}
+		if err := m.Fault(ex, fault.VA, fault.Write); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("write %#x: fault loop did not converge", va)
+}
+
+// read performs a load with fault resolution.
+func read(ex *machine.Exec, m *vm.Map, va ptable.VAddr) (uint32, error) {
+	for try := 0; try < 5; try++ {
+		v, fault := ex.Read(va)
+		if fault == nil {
+			return v, nil
+		}
+		if err := m.Fault(ex, fault.VA, fault.Write); err != nil {
+			return 0, err
+		}
+	}
+	return 0, fmt.Errorf("read %#x: fault loop did not converge", va)
+}
+
+func TestAllocateAndZeroFill(t *testing.T) {
+	f := newFixture(t, 1, 512)
+	f.on(t, func(ex *machine.Exec) {
+		um, err := f.sys.NewUserMap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		um.Pmap.Activate(ex, 0)
+		va, err := um.Allocate(ex, 0, 3*mem.PageSize, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fresh memory reads as zero.
+		v, err := read(ex, um, va+8)
+		if err != nil || v != 0 {
+			t.Fatalf("read = %d, %v", v, err)
+		}
+		if err := write(ex, um, va+8, 42); err != nil {
+			t.Fatal(err)
+		}
+		v, err = read(ex, um, va+8)
+		if err != nil || v != 42 {
+			t.Fatalf("read-back = %d, %v", v, err)
+		}
+		st := f.sys.Stats()
+		if st.ZeroFills == 0 || st.Faults == 0 {
+			t.Fatalf("stats = %+v", st)
+		}
+		if um.Size() != 3*mem.PageSize {
+			t.Fatalf("Size = %d", um.Size())
+		}
+	})
+}
+
+func TestAllocateAtFixedAndOverlap(t *testing.T) {
+	f := newFixture(t, 1, 512)
+	f.on(t, func(ex *machine.Exec) {
+		um, _ := f.sys.NewUserMap()
+		um.Pmap.Activate(ex, 0)
+		va, err := um.Allocate(ex, 0x100000, 2*mem.PageSize, false)
+		if err != nil || va != 0x100000 {
+			t.Fatalf("Allocate at = %#x, %v", va, err)
+		}
+		if _, err := um.Allocate(ex, 0x100000+mem.PageSize, mem.PageSize, false); err == nil {
+			t.Fatal("overlapping fixed allocation should fail")
+		}
+		// Anywhere allocation steers around it.
+		va2, err := um.Allocate(ex, 0, mem.PageSize, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if va2 >= 0x100000 && va2 < 0x100000+2*mem.PageSize {
+			t.Fatalf("anywhere allocation landed inside existing entry: %#x", va2)
+		}
+		// Bad ranges.
+		if _, err := um.Allocate(ex, 0, 0, true); err == nil {
+			t.Fatal("zero-size allocation should fail")
+		}
+		if _, err := um.Allocate(ex, vm.UserMax, mem.PageSize, false); err == nil {
+			t.Fatal("allocation outside user range should fail")
+		}
+	})
+}
+
+func TestDeallocate(t *testing.T) {
+	f := newFixture(t, 1, 512)
+	f.on(t, func(ex *machine.Exec) {
+		framesBefore := f.m.Phys.AllocatedFrames()
+		um, _ := f.sys.NewUserMap()
+		um.Pmap.Activate(ex, 0)
+		va, _ := um.Allocate(ex, 0, 4*mem.PageSize, true)
+		for i := 0; i < 4; i++ {
+			if err := write(ex, um, va+ptable.VAddr(i*mem.PageSize), uint32(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Deallocate the middle two pages.
+		if err := um.Deallocate(ex, va+mem.PageSize, va+3*mem.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := read(ex, um, va+mem.PageSize); !errors.Is(err, vm.ErrBadAddress) {
+			t.Fatalf("read of deallocated page: %v", err)
+		}
+		// Outer pages still live.
+		if v, err := read(ex, um, va); err != nil || v != 0 {
+			t.Fatalf("outer page = %d, %v", v, err)
+		}
+		// Full teardown returns all frames (incl. page tables).
+		if err := um.Deallocate(ex, va, va+mem.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		if err := um.Deallocate(ex, va+3*mem.PageSize, va+4*mem.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		um.Destroy(ex)
+		if got := f.m.Phys.AllocatedFrames(); got != framesBefore {
+			t.Fatalf("frame leak: %d vs %d", got, framesBefore)
+		}
+	})
+}
+
+func TestProtectReduceAndLazyUpgrade(t *testing.T) {
+	f := newFixture(t, 1, 512)
+	f.on(t, func(ex *machine.Exec) {
+		um, _ := f.sys.NewUserMap()
+		um.Pmap.Activate(ex, 0)
+		va, _ := um.Allocate(ex, 0, mem.PageSize, true)
+		if err := write(ex, um, va, 1); err != nil {
+			t.Fatal(err)
+		}
+		// Reduce to read-only: writes now refuse at the VM level.
+		if err := um.Protect(ex, va, va+mem.PageSize, pmap.ProtRead); err != nil {
+			t.Fatal(err)
+		}
+		if err := write(ex, um, va, 2); !errors.Is(err, vm.ErrProtection) {
+			t.Fatalf("write after reduce: %v", err)
+		}
+		if v, err := read(ex, um, va); err != nil || v != 1 {
+			t.Fatalf("read = %d, %v", v, err)
+		}
+		// Increase back to RW: takes effect lazily through a fault.
+		if err := um.Protect(ex, va, va+mem.PageSize, pmap.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		if err := write(ex, um, va, 3); err != nil {
+			t.Fatalf("write after upgrade: %v", err)
+		}
+		if v, _ := read(ex, um, va); v != 3 {
+			t.Fatalf("v = %d", v)
+		}
+	})
+}
+
+func TestForkCopyOnWriteIsolation(t *testing.T) {
+	f := newFixture(t, 1, 512)
+	f.on(t, func(ex *machine.Exec) {
+		parent, _ := f.sys.NewUserMap()
+		parent.Pmap.Activate(ex, 0)
+		va, _ := parent.Allocate(ex, 0, 2*mem.PageSize, true)
+		if err := write(ex, um0(parent), va, 100); err != nil {
+			t.Fatal(err)
+		}
+		child, err := parent.Fork(ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Child sees the parent's data.
+		parent.Pmap.Deactivate(ex, 0)
+		child.Pmap.Activate(ex, 0)
+		if v, err := read(ex, child, va); err != nil || v != 100 {
+			t.Fatalf("child read = %d, %v", v, err)
+		}
+		// Child writes privately.
+		if err := write(ex, child, va, 200); err != nil {
+			t.Fatal(err)
+		}
+		// Parent is unaffected.
+		child.Pmap.Deactivate(ex, 0)
+		parent.Pmap.Activate(ex, 0)
+		if v, err := read(ex, parent, va); err != nil || v != 100 {
+			t.Fatalf("parent read after child write = %d, %v", v, err)
+		}
+		// Parent writes privately too (its mapping was downgraded at fork).
+		if err := write(ex, parent, va, 300); err != nil {
+			t.Fatal(err)
+		}
+		parent.Pmap.Deactivate(ex, 0)
+		child.Pmap.Activate(ex, 0)
+		if v, _ := read(ex, child, va); v != 200 {
+			t.Fatalf("child sees %d after parent write, want its own 200", v)
+		}
+		st := f.sys.Stats()
+		if st.CowCopies < 2 || st.ShadowPush < 2 {
+			t.Fatalf("COW stats = %+v", st)
+		}
+	})
+}
+
+// um0 is an identity helper to keep line lengths sane above.
+func um0(m *vm.Map) *vm.Map { return m }
+
+func TestForkShareInheritance(t *testing.T) {
+	f := newFixture(t, 1, 512)
+	f.on(t, func(ex *machine.Exec) {
+		parent, _ := f.sys.NewUserMap()
+		parent.Pmap.Activate(ex, 0)
+		va, _ := parent.Allocate(ex, 0, mem.PageSize, true)
+		if err := parent.SetInheritance(ex, va, va+mem.PageSize, vm.InheritShare); err != nil {
+			t.Fatal(err)
+		}
+		if err := write(ex, parent, va, 7); err != nil {
+			t.Fatal(err)
+		}
+		child, err := parent.Fork(ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Writes are visible both ways.
+		parent.Pmap.Deactivate(ex, 0)
+		child.Pmap.Activate(ex, 0)
+		if err := write(ex, child, va, 8); err != nil {
+			t.Fatal(err)
+		}
+		child.Pmap.Deactivate(ex, 0)
+		parent.Pmap.Activate(ex, 0)
+		if v, _ := read(ex, parent, va); v != 8 {
+			t.Fatalf("parent sees %d, want shared 8", v)
+		}
+	})
+}
+
+func TestForkNoneInheritance(t *testing.T) {
+	f := newFixture(t, 1, 512)
+	f.on(t, func(ex *machine.Exec) {
+		parent, _ := f.sys.NewUserMap()
+		parent.Pmap.Activate(ex, 0)
+		va, _ := parent.Allocate(ex, 0, mem.PageSize, true)
+		if err := parent.SetInheritance(ex, va, va+mem.PageSize, vm.InheritNone); err != nil {
+			t.Fatal(err)
+		}
+		child, err := parent.Fork(ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parent.Pmap.Deactivate(ex, 0)
+		child.Pmap.Activate(ex, 0)
+		if _, err := read(ex, child, va); !errors.Is(err, vm.ErrBadAddress) {
+			t.Fatalf("child read of non-inherited range: %v", err)
+		}
+	})
+}
+
+func TestGrandchildFork(t *testing.T) {
+	f := newFixture(t, 1, 512)
+	f.on(t, func(ex *machine.Exec) {
+		gen0, _ := f.sys.NewUserMap()
+		gen0.Pmap.Activate(ex, 0)
+		va, _ := gen0.Allocate(ex, 0, mem.PageSize, true)
+		if err := write(ex, gen0, va, 1); err != nil {
+			t.Fatal(err)
+		}
+		gen1, err := gen0.Fork(ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen0.Pmap.Deactivate(ex, 0)
+		gen1.Pmap.Activate(ex, 0)
+		if err := write(ex, gen1, va, 2); err != nil {
+			t.Fatal(err)
+		}
+		gen2, err := gen1.Fork(ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen1.Pmap.Deactivate(ex, 0)
+		gen2.Pmap.Activate(ex, 0)
+		if v, err := read(ex, gen2, va); err != nil || v != 2 {
+			t.Fatalf("grandchild read = %d, %v; want 2 through the shadow chain", v, err)
+		}
+		if err := write(ex, gen2, va, 3); err != nil {
+			t.Fatal(err)
+		}
+		gen2.Pmap.Deactivate(ex, 0)
+		gen1.Pmap.Activate(ex, 0)
+		if v, _ := read(ex, gen1, va); v != 2 {
+			t.Fatalf("gen1 sees %d, want its own 2", v)
+		}
+	})
+}
+
+func TestFaultErrors(t *testing.T) {
+	f := newFixture(t, 1, 512)
+	f.on(t, func(ex *machine.Exec) {
+		um, _ := f.sys.NewUserMap()
+		um.Pmap.Activate(ex, 0)
+		if err := um.Fault(ex, 0x500000, false); !errors.Is(err, vm.ErrBadAddress) {
+			t.Fatalf("fault on unmapped: %v", err)
+		}
+		va, _ := um.Allocate(ex, 0, mem.PageSize, true)
+		if err := um.Protect(ex, va, va+mem.PageSize, pmap.ProtRead); err != nil {
+			t.Fatal(err)
+		}
+		if err := um.Fault(ex, va, true); !errors.Is(err, vm.ErrProtection) {
+			t.Fatalf("write fault on RO: %v", err)
+		}
+	})
+}
+
+func TestOutOfMemoryFault(t *testing.T) {
+	// Tiny physical memory: the kernel table + user tables eat most of it.
+	f := newFixture(t, 1, 8)
+	f.on(t, func(ex *machine.Exec) {
+		um, err := f.sys.NewUserMap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		um.Pmap.Activate(ex, 0)
+		va, err := um.Allocate(ex, 0, 64*mem.PageSize, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lastErr error
+		for i := 0; i < 64; i++ {
+			lastErr = write(ex, um, va+ptable.VAddr(i*mem.PageSize), 1)
+			if lastErr != nil {
+				break
+			}
+		}
+		if !errors.Is(lastErr, vm.ErrOutOfMemory) {
+			t.Fatalf("expected out-of-memory, got %v", lastErr)
+		}
+	})
+}
+
+func TestRangeValidation(t *testing.T) {
+	f := newFixture(t, 1, 512)
+	f.on(t, func(ex *machine.Exec) {
+		um, _ := f.sys.NewUserMap()
+		if err := um.Deallocate(ex, 0x2000, 0x1000); !errors.Is(err, vm.ErrBadRange) {
+			t.Fatalf("inverted range: %v", err)
+		}
+		if err := um.Protect(ex, vm.UserMax, vm.UserMax+0x1000, pmap.ProtRead); !errors.Is(err, vm.ErrBadRange) {
+			t.Fatalf("kernel-half range on user map: %v", err)
+		}
+	})
+}
+
+func TestKernelMapAllocations(t *testing.T) {
+	f := newFixture(t, 1, 512)
+	f.on(t, func(ex *machine.Exec) {
+		km := f.sys.Kernel
+		va, err := km.Allocate(ex, 0, 2*mem.PageSize, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if va < vm.KernelMin {
+			t.Fatalf("kernel allocation at %#x below KernelMin", va)
+		}
+		if err := write(ex, km, va, 9); err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := read(ex, km, va); v != 9 {
+			t.Fatalf("v = %d", v)
+		}
+		if err := km.Deallocate(ex, va, va+2*mem.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestObjectChainDepthAndRefs(t *testing.T) {
+	o := vm.NewObject()
+	if o.ChainDepth() != 1 || o.Refs() != 1 {
+		t.Fatalf("fresh object: depth %d refs %d", o.ChainDepth(), o.Refs())
+	}
+	s := vm.NewShadow(o)
+	if s.ChainDepth() != 2 {
+		t.Fatalf("shadow depth = %d", s.ChainDepth())
+	}
+	if s.Shadow() != o {
+		t.Fatal("Shadow() wrong")
+	}
+	phys := mem.New(4)
+	fr, _ := phys.AllocFrame()
+	o.Insert(0, fr)
+	if o.ResidentPages() != 1 {
+		t.Fatal("ResidentPages wrong")
+	}
+	frame, inTop, ok := s.Lookup(0)
+	if !ok || inTop || frame != fr {
+		t.Fatalf("Lookup through shadow = %v %v %v", frame, inTop, ok)
+	}
+	s.Deref(phys) // frees shadow AND backing, including the frame
+	if phys.AllocatedFrames() != 0 {
+		t.Fatal("deref chain leaked frames")
+	}
+}
+
+func TestObjectMisuse(t *testing.T) {
+	o := vm.NewObject()
+	phys := mem.New(4)
+	fr, _ := phys.AllocFrame()
+	o.Insert(0, fr)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double insert should panic")
+			}
+		}()
+		o.Insert(0, fr)
+	}()
+	o.Deref(phys)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("deref below zero should panic")
+			}
+		}()
+		o.Deref(phys)
+	}()
+}
+
+func TestInheritanceString(t *testing.T) {
+	for _, i := range []vm.Inheritance{vm.InheritCopy, vm.InheritShare, vm.InheritNone, vm.Inheritance(9)} {
+		if i.String() == "" {
+			t.Fatal("empty Inheritance string")
+		}
+	}
+}
+
+func TestObjectSwapEdges(t *testing.T) {
+	o := vm.NewObject()
+	phys := mem.New(4)
+	fr, _ := phys.AllocFrame()
+	o.Insert(0, fr)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("evict of non-resident page should panic")
+			}
+		}()
+		o.Evict(5, nil)
+	}()
+	o.Evict(0, []uint32{1, 2, 3})
+	if o.SwappedPages() != 1 || o.ResidentPages() != 0 {
+		t.Fatalf("swapped/resident = %d/%d", o.SwappedPages(), o.ResidentPages())
+	}
+	holder, _, swapped, ok := o.Find(0)
+	if !ok || !swapped || holder != o {
+		t.Fatalf("Find = %v %v %v", holder, swapped, ok)
+	}
+	fr2, _ := phys.AllocFrame()
+	data := o.SwapIn(0, fr2)
+	if len(data) != 3 || data[1] != 2 {
+		t.Fatalf("SwapIn data = %v", data)
+	}
+	if o.SwappedPages() != 0 || o.ResidentPages() != 1 {
+		t.Fatal("swap-in bookkeeping wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double swap-in should panic")
+			}
+		}()
+		o.SwapIn(0, fr2)
+	}()
+	// Find through a shadow chain reaches swapped backing pages.
+	sh := vm.NewShadow(o)
+	o.Evict(0, []uint32{9})
+	holder, _, swapped, ok = sh.Find(0)
+	if !ok || !swapped || holder != o {
+		t.Fatal("Find through shadow missed the swapped page")
+	}
+	phys.FreeFrame(fr2)
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"shootdown/internal/stats"
+)
+
+// The application tests validate the *shape* of the paper's Tables 1-4 on
+// full-size runs; they are the slowest tests in the repository.
+
+func TestMachBuildShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full application run")
+	}
+	lazy, err := RunMachBuild(AppConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noLazy, err := RunMachBuild(AppConfig{Seed: 42, LazyDisabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 1: lazy evaluation roughly halves kernel shootdowns
+	// (paper: 8091 -> 3827, a factor of 2.1).
+	ratio := float64(noLazy.KernelEvents()) / float64(lazy.KernelEvents())
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Errorf("lazy-evaluation ratio = %.2f (events %d vs %d), want ~2.1",
+			ratio, noLazy.KernelEvents(), lazy.KernelEvents())
+	}
+	// Table 3: the build shares no user memory — zero user shootdowns.
+	if lazy.UserEvents() != 0 {
+		t.Errorf("Mach build caused %d user shootdowns, want 0", lazy.UserEvents())
+	}
+	// Table 2: kernel initiator times ~1.1-1.6 ms, right-skewed.
+	ks := lazy.KernelSummary()
+	if ks.Mean < 800 || ks.Mean > 2500 {
+		t.Errorf("kernel initiator mean = %.0f µs, want ~1.1-1.6 ms", ks.Mean)
+	}
+	if !ks.NM && ks.Median >= ks.Mean {
+		t.Errorf("kernel times not right-skewed: median %.0f >= mean %.0f", ks.Median, ks.Mean)
+	}
+	// §8: overhead in the neighborhood of 1%.
+	ov := lazy.OverheadPct(16, true)
+	if ov < 0.2 || ov > 3.0 {
+		t.Errorf("kernel shootdown overhead = %.2f%%, want ~1%%", ov)
+	}
+	// Table 4 / §8: responders cost less than initiators.
+	if rm := stats.Mean(lazy.ResponderUS); rm >= ks.Mean {
+		t.Errorf("responder mean %.0f >= initiator mean %.0f", rm, ks.Mean)
+	}
+}
+
+func TestParthenonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full application run")
+	}
+	lazy, err := RunParthenon(AppConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noLazy, err := RunParthenon(AppConfig{Seed: 42, LazyDisabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 1: lazy evaluation eliminates ALL user shootdowns (the
+	// cthread guard-page reprotects; paper: 70 -> 0)...
+	if lazy.UserEvents() != 0 {
+		t.Errorf("user shootdowns with lazy evaluation = %d, want 0", lazy.UserEvents())
+	}
+	if noLazy.UserEvents() < 20 {
+		t.Errorf("user shootdowns without lazy = %d, want ~70", noLazy.UserEvents())
+	}
+	// ...and >90%% of kernel ones (paper: 107 -> 4).
+	if lazy.KernelEvents() > noLazy.KernelEvents()/5 {
+		t.Errorf("kernel shootdowns %d (lazy) vs %d (no lazy): reduction too weak",
+			lazy.KernelEvents(), noLazy.KernelEvents())
+	}
+	// §8: essentially no impact on this conventional parallel program.
+	if ov := lazy.OverheadPct(16, true); ov > 0.5 {
+		t.Errorf("Parthenon overhead = %.2f%%, want ~0", ov)
+	}
+}
+
+func TestAgoraShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full application run")
+	}
+	res, err := RunAgora(AppConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UserEvents() != 0 {
+		t.Errorf("Agora user shootdowns = %d, want 0", res.UserEvents())
+	}
+	if res.KernelEvents() < 20 {
+		t.Fatalf("Agora kernel shootdowns = %d, too few to see the bimodal split", res.KernelEvents())
+	}
+	// Table 2: bimodal — setup events hit 11-15 processors, steady-state
+	// events 1-4; medians are "not meaningful".
+	var big, small int
+	for _, p := range res.KernelProcs {
+		switch {
+		case p >= 11:
+			big++
+		case p <= 4:
+			small++
+		}
+	}
+	if big < 5 {
+		t.Errorf("only %d setup-phase events with >=11 processors", big)
+	}
+	if small < 5 {
+		t.Errorf("only %d steady-state events with <=4 processors", small)
+	}
+	if !res.KernelSummary().NM {
+		t.Errorf("Agora kernel summary should be flagged bimodal/NM: %+v", res.KernelSummary())
+	}
+}
+
+func TestCamelotShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full application run")
+	}
+	res, err := RunCamelot(AppConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 3: Camelot is the only application with user shootdowns.
+	if res.UserEvents() < 20 {
+		t.Fatalf("Camelot user shootdowns = %d, too few", res.UserEvents())
+	}
+	us := res.UserSummary()
+	// Paper: mean 588±591 µs.
+	if us.Mean < 300 || us.Mean > 1200 {
+		t.Errorf("user initiator mean = %.0f µs, want ~588", us.Mean)
+	}
+	// Pages span 1 (COW breaks) up to the whole segment (snapshots).
+	minP, maxP := math.Inf(1), 0.0
+	for _, p := range res.UserPages {
+		minP = math.Min(minP, p)
+		maxP = math.Max(maxP, p)
+	}
+	if minP != 1 || maxP != 360 {
+		t.Errorf("user shootdown pages span [%v, %v], want [1, 360]", minP, maxP)
+	}
+	// §8: user-pmap overhead below ~0.2%.
+	if ov := res.OverheadPct(16, false); ov > 0.4 {
+		t.Errorf("user shootdown overhead = %.2f%%, want < 0.2%%", ov)
+	}
+	// Kernel trickle too (paper: 68 events).
+	if res.KernelEvents() < 20 {
+		t.Errorf("Camelot kernel shootdowns = %d, want ~68", res.KernelEvents())
+	}
+}
+
+// TestDeterministicRuns: the same seed reproduces the same measurements.
+func TestDeterministicRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full application run")
+	}
+	a, err := RunAgora(AppConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAgora(AppConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Runtime != b.Runtime || a.KernelEvents() != b.KernelEvents() {
+		t.Fatalf("same seed diverged: %v/%d vs %v/%d", a.Runtime, a.KernelEvents(), b.Runtime, b.KernelEvents())
+	}
+	for i := range a.KernelInitUS {
+		if a.KernelInitUS[i] != b.KernelInitUS[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a.KernelInitUS[i], b.KernelInitUS[i])
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package xpr
+
+import (
+	"testing"
+
+	"shootdown/internal/sim"
+)
+
+func TestLogAndReadBack(t *testing.T) {
+	b := New(8)
+	b.LogInitiator(100, 2, true, 3, 5, 430000)
+	b.LogResponder(200, 4, 55000)
+	evs := b.Events()
+	if len(evs) != 2 {
+		t.Fatalf("Len = %d", len(evs))
+	}
+	kernel, pages, procs, elapsed := evs[0].Initiator()
+	if !kernel || pages != 3 || procs != 5 || elapsed != 430000 {
+		t.Fatalf("initiator decode = %v %d %d %d", kernel, pages, procs, elapsed)
+	}
+	if got := evs[1].Responder(); got != 55000 {
+		t.Fatalf("responder decode = %d", got)
+	}
+	if evs[0].CPU != 2 || evs[1].CPU != 4 {
+		t.Fatal("CPU fields wrong")
+	}
+}
+
+func TestOnOff(t *testing.T) {
+	b := New(4)
+	if !b.Enabled() {
+		t.Fatal("new buffer should be enabled")
+	}
+	b.Off()
+	b.LogResponder(1, 0, 10)
+	if b.Len() != 0 {
+		t.Fatal("recorded while off")
+	}
+	b.On()
+	b.LogResponder(2, 0, 10)
+	if b.Len() != 1 {
+		t.Fatal("did not record while on")
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	b := New(3)
+	for i := 0; i < 5; i++ {
+		b.LogResponder(sim.Time(i), 0, sim.Time(i*1000))
+	}
+	if !b.Wrapped() {
+		t.Fatal("should have wrapped")
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	evs := b.Events()
+	// Oldest two lost; remaining are 2,3,4 in order.
+	for i, want := range []sim.Time{2, 3, 4} {
+		if evs[i].Time != want {
+			t.Fatalf("evs[%d].Time = %d, want %d", i, evs[i].Time, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(2)
+	b.LogResponder(1, 0, 10)
+	b.LogResponder(2, 0, 10)
+	b.LogResponder(3, 0, 10)
+	b.Reset()
+	if b.Len() != 0 || b.Wrapped() {
+		t.Fatal("Reset did not clear state")
+	}
+	b.LogResponder(4, 0, 10)
+	if b.Len() != 1 {
+		t.Fatal("cannot log after reset")
+	}
+}
+
+func TestResponderSampling(t *testing.T) {
+	b := New(16)
+	b.SampleCPUs = map[int]bool{0: true, 3: true}
+	for cpu := 0; cpu < 8; cpu++ {
+		b.LogResponder(sim.Time(cpu), cpu, 100)
+	}
+	evs := b.Select(EvResponder)
+	if len(evs) != 2 {
+		t.Fatalf("sampled %d responder events, want 2", len(evs))
+	}
+	// Initiator events are never sampled away.
+	b.LogInitiator(99, 7, false, 1, 1, 100)
+	if len(b.Select(EvInitiator)) != 1 {
+		t.Fatal("initiator event dropped by sampling")
+	}
+}
+
+func TestSelectAndExtractors(t *testing.T) {
+	b := New(16)
+	b.LogInitiator(1, 0, true, 1, 2, 1000)  // kernel, 1µs
+	b.LogInitiator(2, 0, false, 1, 2, 2000) // user, 2µs
+	b.LogResponder(3, 1, 3000)
+	kus, uus := b.InitiatorTimes()
+	if len(kus) != 1 || kus[0] != 1.0 {
+		t.Fatalf("kernel times = %v", kus)
+	}
+	if len(uus) != 1 || uus[0] != 2.0 {
+		t.Fatalf("user times = %v", uus)
+	}
+	rs := b.ResponderTimes()
+	if len(rs) != 1 || rs[0] != 3.0 {
+		t.Fatalf("responder times = %v", rs)
+	}
+}
+
+func TestInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(0)
+}
+
+func TestEventIDString(t *testing.T) {
+	for _, id := range []EventID{EvInitiator, EvResponder, EvUser, EventID(42)} {
+		if id.String() == "" {
+			t.Fatal("empty EventID string")
+		}
+	}
+}
