@@ -1,0 +1,29 @@
+# Local CI for the shootdown reproduction. `make check` is what a PR must
+# pass: build + vet + race-detector tests + an end-to-end smoke run of the
+# observability layer (Chrome trace, metrics snapshot, JSON results).
+
+GO ?= go
+
+.PHONY: check build vet test race bench smoke
+
+check: ## build + vet + race tests + observability smoke test
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+smoke: build
+	$(GO) run ./cmd/shootdownsim -runs 1 -trace /tmp/shootdown-trace.json fig2
+	$(GO) run ./scripts/validatetrace /tmp/shootdown-trace.json

@@ -8,6 +8,11 @@
 //
 // Experiments: fig2, table1, table2, table3, table4, overhead, perturb,
 // scale, strategies, ipimodes, highprio, idleopt, threshold, queue, all.
+//
+// -trace captures a Chrome trace-event (Perfetto) session timeline of every
+// kernel the experiments build; -metrics writes a Prometheus-style counter
+// and histogram snapshot; -format selects human-readable tables or
+// machine-readable JSON/CSV.
 package main
 
 import (
@@ -17,11 +22,17 @@ import (
 	"time"
 
 	"shootdown/internal/experiments"
+	"shootdown/internal/kernel"
+	"shootdown/internal/trace"
 )
 
 var (
-	seed = flag.Int64("seed", 42, "simulation seed (jitter, scheduling, workload randomness)")
-	runs = flag.Int("runs", 10, "runs per data point for the fig2/scale sweeps")
+	seed     = flag.Int64("seed", 42, "simulation seed (jitter, scheduling, workload randomness)")
+	runs     = flag.Int("runs", 10, "runs per data point for the fig2/scale sweeps")
+	traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (load in chrome://tracing or Perfetto)")
+	traceBuf = flag.Int("tracebuf", 1<<21, "span-tracer ring capacity in events")
+	metrics  = flag.String("metrics", "", "write a Prometheus-style metrics snapshot of the last kernel run")
+	format   = flag.String("format", "table", "result output format: table, json, or csv")
 )
 
 func usage() {
@@ -65,11 +76,32 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	switch *format {
+	case "table", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "shootdownsim: unknown format %q (want table, json, or csv)\n", *format)
+		os.Exit(2)
+	}
 	want := map[string]bool{}
 	for _, a := range args {
 		want[a] = true
 	}
 	all := want["all"]
+
+	// Observability hooks: one session tracer shared by every kernel the
+	// experiments build, and a metrics snapshot of the last completed run.
+	var in experiments.Instrument
+	if *traceOut != "" {
+		in.Tracer = trace.New(*traceBuf)
+	}
+	var lastMetrics *trace.MetricSet
+	kernelRuns := 0
+	if *metrics != "" {
+		in.Observe = func(k *kernel.Kernel) {
+			lastMetrics = k.Metrics()
+			kernelRuns++
+		}
+	}
 
 	// Tables 2-4 and the overhead analysis share one set of application
 	// runs; compute them lazily and only once.
@@ -78,7 +110,7 @@ func main() {
 		if tables != nil {
 			return tables, nil
 		}
-		r, err := experiments.Tables234(*seed)
+		r, err := experiments.Tables234(*seed, in)
 		if err != nil {
 			return nil, err
 		}
@@ -88,88 +120,88 @@ func main() {
 
 	type job struct {
 		name string
-		run  func() (string, error)
+		run  func() (any, string, error)
 	}
 	jobs := []job{
-		{"fig2", func() (string, error) {
-			r, err := experiments.Fig2(*seed, *runs)
-			return r.Render(), err
+		{"fig2", func() (any, string, error) {
+			r, err := experiments.Fig2(*seed, *runs, in)
+			return r, r.Render(), err
 		}},
-		{"table1", func() (string, error) {
-			r, err := experiments.Table1(*seed)
-			return r.Render(), err
+		{"table1", func() (any, string, error) {
+			r, err := experiments.Table1(*seed, in)
+			return r, r.Render(), err
 		}},
-		{"table2", func() (string, error) {
+		{"table2", func() (any, string, error) {
 			r, err := getTables()
 			if err != nil {
-				return "", err
+				return nil, "", err
 			}
-			return r.RenderTable2(), nil
+			return r, r.RenderTable2(), nil
 		}},
-		{"table3", func() (string, error) {
+		{"table3", func() (any, string, error) {
 			r, err := getTables()
 			if err != nil {
-				return "", err
+				return nil, "", err
 			}
-			return r.RenderTable3(), nil
+			return r, r.RenderTable3(), nil
 		}},
-		{"table4", func() (string, error) {
+		{"table4", func() (any, string, error) {
 			r, err := getTables()
 			if err != nil {
-				return "", err
+				return nil, "", err
 			}
-			return r.RenderTable4(), nil
+			return r, r.RenderTable4(), nil
 		}},
-		{"overhead", func() (string, error) {
+		{"overhead", func() (any, string, error) {
 			r, err := getTables()
 			if err != nil {
-				return "", err
+				return nil, "", err
 			}
-			return r.RenderOverhead(), nil
+			return r, r.RenderOverhead(), nil
 		}},
-		{"perturb", func() (string, error) {
-			r, err := experiments.Perturbation(*seed)
-			return r.Render(), err
+		{"perturb", func() (any, string, error) {
+			r, err := experiments.Perturbation(*seed, in)
+			return r, r.Render(), err
 		}},
-		{"scale", func() (string, error) {
-			r, err := experiments.Scale(*seed, *runs)
-			return r.Render(), err
+		{"scale", func() (any, string, error) {
+			r, err := experiments.Scale(*seed, *runs, in)
+			return r, r.Render(), err
 		}},
-		{"strategies", func() (string, error) {
-			r, err := experiments.StrategyCompare(*seed, nil)
-			return r.Render(), err
+		{"strategies", func() (any, string, error) {
+			r, err := experiments.StrategyCompare(*seed, nil, in)
+			return r, r.Render(), err
 		}},
-		{"ipimodes", func() (string, error) {
-			r, err := experiments.IPIModes(*seed, nil)
-			return r.Render(), err
+		{"ipimodes", func() (any, string, error) {
+			r, err := experiments.IPIModes(*seed, nil, in)
+			return r, r.Render(), err
 		}},
-		{"highprio", func() (string, error) {
-			r, err := experiments.HighPriorityIPI(*seed)
-			return r.Render(), err
+		{"highprio", func() (any, string, error) {
+			r, err := experiments.HighPriorityIPI(*seed, in)
+			return r, r.Render(), err
 		}},
-		{"idleopt", func() (string, error) {
-			r, err := experiments.IdleOpt(*seed)
-			return r.Render(), err
+		{"idleopt", func() (any, string, error) {
+			r, err := experiments.IdleOpt(*seed, in)
+			return r, r.Render(), err
 		}},
-		{"threshold", func() (string, error) {
-			r, err := experiments.FlushThreshold(*seed, 16)
-			return r.Render(), err
+		{"threshold", func() (any, string, error) {
+			r, err := experiments.FlushThreshold(*seed, 16, in)
+			return r, r.Render(), err
 		}},
-		{"queue", func() (string, error) {
-			r, err := experiments.QueueSize(*seed)
-			return r.Render(), err
+		{"queue", func() (any, string, error) {
+			r, err := experiments.QueueSize(*seed, in)
+			return r, r.Render(), err
 		}},
-		{"taggedtlb", func() (string, error) {
-			r, err := experiments.TaggedTLB(*seed)
-			return r.Render(), err
+		{"taggedtlb", func() (any, string, error) {
+			r, err := experiments.TaggedTLB(*seed, in)
+			return r, r.Render(), err
 		}},
-		{"pools", func() (string, error) {
-			r, err := experiments.Pools(*seed, 8)
-			return r.Render(), err
+		{"pools", func() (any, string, error) {
+			r, err := experiments.Pools(*seed, 8, in)
+			return r, r.Render(), err
 		}},
-		{"pageout", func() (string, error) {
-			r, err := experiments.Pageout(*seed)
-			return r.Render(), err
+		{"pageout", func() (any, string, error) {
+			r, err := experiments.Pageout(*seed, in)
+			return r, r.Render(), err
 		}},
 	}
 
@@ -185,17 +217,83 @@ func main() {
 		}
 	}
 
+	var results []experiments.Named
 	for _, j := range jobs {
 		if !all && !want[j.name] {
 			continue
 		}
 		start := time.Now()
-		out, err := j.run()
+		res, text, err := j.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shootdownsim: %s: %v\n", j.name, err)
 			os.Exit(1)
 		}
-		fmt.Println(out)
-		fmt.Printf("[%s completed in %.1fs wall clock]\n\n", j.name, time.Since(start).Seconds())
+		results = append(results, experiments.Named{Name: j.name, Result: res})
+		if *format == "table" {
+			fmt.Println(text)
+			fmt.Printf("[%s completed in %.1fs wall clock]\n\n", j.name, time.Since(start).Seconds())
+		}
 	}
+
+	switch *format {
+	case "json":
+		if err := experiments.WriteJSON(os.Stdout, experiments.Envelope{
+			Seed: *seed, Runs: *runs, Experiments: results,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "shootdownsim: json: %v\n", err)
+			os.Exit(1)
+		}
+	case "csv":
+		if err := experiments.WriteCSV(os.Stdout, results); err != nil {
+			fmt.Fprintf(os.Stderr, "shootdownsim: csv: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *traceOut != "" {
+		if err := writeTrace(in.Tracer, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "shootdownsim: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "shootdownsim: wrote %d trace events to %s (%d dropped)\n",
+			in.Tracer.Len(), *traceOut, in.Tracer.Dropped())
+	}
+	if *metrics != "" {
+		if lastMetrics == nil {
+			fmt.Fprintf(os.Stderr, "shootdownsim: -metrics: no kernel runs observed (pools builds bare machines)\n")
+			os.Exit(1)
+		}
+		lastMetrics.Counter("experiment_kernel_runs_total",
+			"Kernels run by this invocation (metrics snapshot is from the last one).",
+			float64(kernelRuns), nil)
+		if err := writeMetrics(lastMetrics, *metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "shootdownsim: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "shootdownsim: wrote metrics snapshot to %s\n", *metrics)
+	}
+}
+
+func writeTrace(t *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeMetrics(ms *trace.MetricSet, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ms.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

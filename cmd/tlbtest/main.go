@@ -8,17 +8,23 @@
 // With -strategy none the tool demonstrates the failure; with the default
 // Mach shootdown it demonstrates the fix, and reports the basic cost of
 // the single k-processor shootdown the run causes.
+//
+// -trace writes a Chrome trace-event timeline of the run, -metrics a
+// Prometheus-style snapshot, and -format json a machine-readable result.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"shootdown/internal/baseline"
 	"shootdown/internal/core"
+	"shootdown/internal/kernel"
 	"shootdown/internal/machine"
 	"shootdown/internal/tlb"
+	"shootdown/internal/trace"
 	"shootdown/internal/workload"
 )
 
@@ -28,7 +34,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	strategy := flag.String("strategy", "shootdown",
 		"consistency mechanism: shootdown, none, hardware-remote, postponed-ipi, timer-flush")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (load in chrome://tracing or Perfetto)")
+	traceBuf := flag.Int("tracebuf", 1<<20, "span-tracer ring capacity in events")
+	metrics := flag.String("metrics", "", "write a Prometheus-style metrics snapshot of the run")
+	format := flag.String("format", "table", "result output format: table or json")
 	flag.Parse()
+
+	switch *format {
+	case "table", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "tlbtest: unknown format %q (want table or json)\n", *format)
+		os.Exit(2)
+	}
 
 	cfg := workload.TesterConfig{
 		NCPUs:    *cpus,
@@ -64,10 +81,58 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *traceOut != "" {
+		cfg.App.Tracer = trace.New(*traceBuf)
+	}
+	var lastMetrics *trace.MetricSet
+	if *metrics != "" {
+		cfg.App.Observe = func(k *kernel.Kernel) { lastMetrics = k.Metrics() }
+	}
+
 	res, err := workload.RunTester(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tlbtest: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *traceOut != "" {
+		if err := writeTrace(cfg.App.Tracer, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "tlbtest: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tlbtest: wrote %d trace events to %s (%d dropped)\n",
+			cfg.App.Tracer.Len(), *traceOut, cfg.App.Tracer.Dropped())
+	}
+	if *metrics != "" {
+		if lastMetrics == nil {
+			fmt.Fprintf(os.Stderr, "tlbtest: -metrics: no kernel run observed\n")
+			os.Exit(1)
+		}
+		if err := writeMetrics(lastMetrics, *metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "tlbtest: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tlbtest: wrote metrics snapshot to %s\n", *metrics)
+	}
+
+	if *format == "json" {
+		doc := struct {
+			CPUs     int                   `json:"cpus"`
+			Children int                   `json:"children"`
+			Seed     int64                 `json:"seed"`
+			Strategy string                `json:"strategy"`
+			Result   workload.TesterResult `json:"result"`
+		}{*cpus, *children, *seed, *strategy, res}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "tlbtest: json: %v\n", err)
+			os.Exit(1)
+		}
+		if res.Inconsistent {
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("TLB consistency tester: %d CPUs, %d children, strategy %s\n",
@@ -85,4 +150,28 @@ func main() {
 		fmt.Printf("shootdown: %d processors shot at, initiator elapsed %.0f µs\n",
 			res.ProcsShot, res.ShootUS)
 	}
+}
+
+func writeTrace(t *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeMetrics(ms *trace.MetricSet, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ms.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

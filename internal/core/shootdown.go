@@ -33,6 +33,7 @@ import (
 	"shootdown/internal/ptable"
 	"shootdown/internal/sim"
 	"shootdown/internal/tlb"
+	"shootdown/internal/trace"
 	"shootdown/internal/xpr"
 )
 
@@ -204,6 +205,10 @@ type Shootdown struct {
 	// Trace, when set, receives initiator and responder records.
 	Trace *xpr.Buffer
 
+	// Span, when set, receives per-phase shootdown spans and instants on
+	// the session tracer (nil-safe; recording charges no virtual time).
+	Span *trace.Tracer
+
 	stats Stats
 }
 
@@ -289,6 +294,12 @@ func (s *Shootdown) Sync(ex *machine.Exec, op *Op, p Pmap, start, end ptable.VAd
 	s.stats.Syncs++
 	op.Pmap, op.Start, op.End, op.Synced = p, start, end, true
 	t0 := ex.Now()
+	kernel := int64(0)
+	if p.IsKernel() {
+		kernel = 1
+	}
+	s.Span.Begin(int64(t0), me, trace.CatShootdown, "shootdown-sync",
+		int64(Action{Start: start.Page(), End: end}.Pages()), kernel)
 
 	if inUseFor(p, me, start, end) {
 		s.invalidateLocal(ex, p.ASID(), start, end)
@@ -326,11 +337,17 @@ func (s *Shootdown) Sync(ex *machine.Exec, op *Op, p Pmap, start, end ptable.VAd
 		ex.SendIPI(sendList)
 		s.stats.IPIsSent += uint64(len(sendList))
 	}
+	if len(waitList) > 0 {
+		s.Span.Begin(int64(ex.Now()), me, trace.CatShootdown, "shootdown-wait", int64(len(waitList)), 0)
+	}
 	for _, cpu := range waitList {
 		cpu := cpu
 		// A responder that stops using the pmap has flushed its entries
 		// for it; no need to synchronize with it (refinement 1).
 		ex.SpinWhile(func() bool { return s.active[cpu] && inUseFor(p, cpu, start, end) })
+	}
+	if len(waitList) > 0 {
+		s.Span.End(int64(ex.Now()), me, trace.CatShootdown, "shootdown-wait")
 	}
 	if queued > 0 {
 		s.stats.RemoteShootdowns++
@@ -344,6 +361,7 @@ func (s *Shootdown) Sync(ex *machine.Exec, op *Op, p Pmap, start, end ptable.VAd
 		pages := Action{Start: start.Page(), End: end}.Pages()
 		s.Trace.LogInitiator(ex.Now(), me, p.IsKernel(), pages, shot, ex.Now()-t0)
 	}
+	s.Span.End(int64(ex.Now()), me, trace.CatShootdown, "shootdown-sync")
 	return shot
 }
 
@@ -371,6 +389,7 @@ func (s *Shootdown) enqueue(ex *machine.Exec, cpu int, a Action) {
 func (s *Shootdown) respond(ex *machine.Exec) {
 	me := ex.CPUID()
 	t0 := ex.Now()
+	s.Span.Begin(int64(t0), me, trace.CatShootdown, "shootdown-respond", 0, 0)
 	prev := ex.DisableAll()
 	for s.actionNeeded[me] {
 		s.stats.Responses++
@@ -381,6 +400,7 @@ func (s *Shootdown) respond(ex *machine.Exec) {
 		// otherwise it could reload a stale entry from (or write R/M
 		// bits into) the half-updated map; we implement the OR.
 		s.active[me] = false
+		s.Span.Begin(int64(ex.Now()), me, trace.CatShootdown, "shootdown-stall", 0, 0)
 		ex.SpinWhile(func() bool {
 			if s.kernelPmap != nil && s.kernelPmap.Locked() {
 				return true
@@ -392,6 +412,7 @@ func (s *Shootdown) respond(ex *machine.Exec) {
 			}
 			return false
 		})
+		s.Span.End(int64(ex.Now()), me, trace.CatShootdown, "shootdown-stall")
 		// Phase 4: the updates are done; invalidate and rejoin.
 		lprev := s.actionLocks[me].Lock(ex)
 		s.processActions(ex, me)
@@ -403,6 +424,7 @@ func (s *Shootdown) respond(ex *machine.Exec) {
 	if s.Trace != nil {
 		s.Trace.LogResponder(ex.Now(), me, ex.Now()-t0)
 	}
+	s.Span.End(int64(ex.Now()), me, trace.CatShootdown, "shootdown-respond")
 }
 
 // processActions performs the queued invalidations for cpu; the caller

@@ -67,7 +67,8 @@ func strategyCases() []struct {
 }
 
 // StrategyCompare measures the vm_protect latency of each mechanism.
-func StrategyCompare(seed int64, ks []int) (StrategyCompareResult, error) {
+func StrategyCompare(seed int64, ks []int, ins ...Instrument) (StrategyCompareResult, error) {
+	in := pick(ins)
 	if len(ks) == 0 {
 		ks = []int{2, 6, 12}
 	}
@@ -76,7 +77,7 @@ func StrategyCompare(seed int64, ks []int) (StrategyCompareResult, error) {
 		for _, k := range ks {
 			res, err := workload.RunTester(workload.TesterConfig{
 				NCPUs: 16, Children: k, Seed: seed + int64(k),
-				KeepTimer: c.keepTimer, App: c.app,
+				KeepTimer: c.keepTimer, App: in.app(c.app),
 			})
 			if err != nil {
 				return out, fmt.Errorf("%s k=%d: %w", c.name, k, err)
@@ -114,7 +115,8 @@ type IPIModeResult struct {
 }
 
 // IPIModes sweeps the shootdown cost across delivery hardware.
-func IPIModes(seed int64, ks []int) (IPIModeResult, error) {
+func IPIModes(seed int64, ks []int, ins ...Instrument) (IPIModeResult, error) {
+	in := pick(ins)
 	if len(ks) == 0 {
 		ks = []int{1, 3, 6, 9, 12, 15}
 	}
@@ -123,7 +125,7 @@ func IPIModes(seed int64, ks []int) (IPIModeResult, error) {
 		for _, k := range ks {
 			res, err := workload.RunTester(workload.TesterConfig{
 				NCPUs: 16, Children: k, Seed: seed + int64(k),
-				App: workload.AppConfig{IPIMode: mode},
+				App: in.app(workload.AppConfig{IPIMode: mode}),
 			})
 			if err != nil {
 				return out, err
@@ -172,12 +174,13 @@ type HighPriorityIPIResult struct {
 // in long device-masked critical sections while another processor shoots
 // the kernel pmap — on stock hardware and with the high-priority software
 // interrupt, comparing kernel-shootdown latency distributions.
-func HighPriorityIPI(seed int64) (HighPriorityIPIResult, error) {
+func HighPriorityIPI(seed int64, ins ...Instrument) (HighPriorityIPIResult, error) {
+	in := pick(ins)
 	var out HighPriorityIPIResult
 	run := func(hp bool) ([]float64, error) {
-		k, err := kernel.New(kernel.Config{
+		k, err := kernel.New(in.config(kernel.Config{
 			Machine: machine.Options{NumCPUs: 4, MemFrames: 2048, Seed: seed, HighPriorityIPI: hp},
-		})
+		}))
 		if err != nil {
 			return nil, err
 		}
@@ -214,6 +217,7 @@ func HighPriorityIPI(seed int64) (HighPriorityIPIResult, error) {
 		if err := k.Run(); err != nil {
 			return nil, err
 		}
+		in.ran(k)
 		ks, _ := k.Trace.InitiatorTimes()
 		return ks, nil
 	}
@@ -258,13 +262,14 @@ type IdleOptResult struct {
 
 // IdleOpt measures kernel-pmap shootdown cost on a machine where all other
 // processors are idle, with and without the optimization.
-func IdleOpt(seed int64) (IdleOptResult, error) {
+func IdleOpt(seed int64, ins ...Instrument) (IdleOptResult, error) {
+	in := pick(ins)
 	var out IdleOptResult
 	run := func(disable bool) (float64, uint64, error) {
-		k, err := kernel.New(kernel.Config{
+		k, err := kernel.New(in.config(kernel.Config{
 			Machine:   machine.Options{NumCPUs: 16, MemFrames: 2048, Seed: seed},
 			Shootdown: core.Options{DisableIdleOptimization: disable},
-		})
+		}))
 		if err != nil {
 			return 0, 0, err
 		}
@@ -290,6 +295,7 @@ func IdleOpt(seed int64) (IdleOptResult, error) {
 		if err := k.Run(); err != nil {
 			return 0, 0, err
 		}
+		in.ran(k)
 		ks, _ := k.Trace.InitiatorTimes()
 		return stats.Mean(ks), k.Shoot.Stats().IPIsSent, nil
 	}
@@ -330,13 +336,13 @@ type ThresholdRow struct {
 
 // FlushThreshold reprotects a Pages-page range cached by 4 CPUs under
 // various thresholds.
-func FlushThreshold(seed int64, pages int) (ThresholdResult, error) {
+func FlushThreshold(seed int64, pages int, ins ...Instrument) (ThresholdResult, error) {
 	if pages == 0 {
 		pages = 16
 	}
 	out := ThresholdResult{Pages: pages}
 	for _, thr := range []int{1, 4, 8, 16, 64} {
-		res, err := runRangeProtect(seed, pages, core.Options{FlushThreshold: thr})
+		res, err := runRangeProtect(seed, pages, core.Options{FlushThreshold: thr}, pick(ins))
 		if err != nil {
 			return out, err
 		}
@@ -355,12 +361,12 @@ type rangeProtectResult struct {
 
 // runRangeProtect builds a 6-CPU machine, lets 4 threads cache a multi-page
 // writable range, and reprotects the whole range.
-func runRangeProtect(seed int64, pages int, opts core.Options) (rangeProtectResult, error) {
+func runRangeProtect(seed int64, pages int, opts core.Options, in Instrument) (rangeProtectResult, error) {
 	var out rangeProtectResult
-	k, err := kernel.New(kernel.Config{
+	k, err := kernel.New(in.config(kernel.Config{
 		Machine:   machine.Options{NumCPUs: 6, MemFrames: 2048, Seed: seed},
 		Shootdown: opts,
-	})
+	}))
 	if err != nil {
 		return out, err
 	}
@@ -400,6 +406,7 @@ func runRangeProtect(seed int64, pages int, opts core.Options) (rangeProtectResu
 	if err := k.Run(); err != nil {
 		return out, err
 	}
+	in.ran(k)
 	out.stats = k.Shoot.Stats()
 	return out, nil
 }
@@ -433,13 +440,14 @@ type QueueRow struct {
 
 // QueueSize issues many small kernel shootdowns at a machine whose other
 // processors are idle, so their action queues accumulate until drained.
-func QueueSize(seed int64) (QueueResult, error) {
+func QueueSize(seed int64, ins ...Instrument) (QueueResult, error) {
+	in := pick(ins)
 	var out QueueResult
 	for _, q := range []int{1, 2, 4, 8, 32} {
-		k, err := kernel.New(kernel.Config{
+		k, err := kernel.New(in.config(kernel.Config{
 			Machine:   machine.Options{NumCPUs: 4, MemFrames: 2048, Seed: seed},
 			Shootdown: core.Options{QueueSize: q},
-		})
+		}))
 		if err != nil {
 			return out, err
 		}
@@ -481,6 +489,7 @@ func QueueSize(seed int64) (QueueResult, error) {
 		if err := k.Run(); err != nil {
 			return out, err
 		}
+		in.ran(k)
 		st := k.Shoot.Stats()
 		out.Rows = append(out.Rows, QueueRow{QueueSize: q, Overflows: st.QueueOverflows, FullFlushes: st.FullFlushes})
 	}

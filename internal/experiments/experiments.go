@@ -21,12 +21,13 @@ type Fig2Result struct {
 
 // Fig2 runs the consistency tester with 1..15 child threads on a 16-CPU
 // machine, runs times each, and fits the paper's trend line on 1..12.
-func Fig2(seed int64, runs int) (Fig2Result, error) {
+func Fig2(seed int64, runs int, ins ...Instrument) (Fig2Result, error) {
 	res, err := workload.RunBasicCost(workload.BasicCostConfig{
 		NCPUs:    16,
 		MaxK:     15,
 		Runs:     runs,
 		BaseSeed: seed,
+		App:      pick(ins).app(workload.AppConfig{}),
 	})
 	return Fig2Result{res}, err
 }
@@ -46,6 +47,9 @@ func (r Fig2Result) Render() string {
 	fmt.Fprintf(&b, "\nleast-squares fit (1..%d): %.0f + %.1f*n µs  (R² = %.4f)\n",
 		r.FitMaxK, r.Fit.Intercept, r.Fit.Slope, r.Fit.R2)
 	fmt.Fprintf(&b, "extrapolation to 100 processors (§11): %.1f ms (paper: ~6 ms)\n", r.At100US/1000)
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, "WARNING: %d trace records lost to buffer wraparound — means above are incomplete\n", r.Dropped)
+	}
 	return b.String()
 }
 
@@ -57,15 +61,16 @@ type Table1Result struct {
 }
 
 // Table1 runs the Mach build and Parthenon with lazy evaluation on and off.
-func Table1(seed int64) (Table1Result, error) {
+func Table1(seed int64, ins ...Instrument) (Table1Result, error) {
+	in := pick(ins)
 	var out Table1Result
 	for i, lazyOff := range []bool{false, true} {
-		m, err := workload.RunMachBuild(workload.AppConfig{Seed: seed, LazyDisabled: lazyOff})
+		m, err := workload.RunMachBuild(in.app(workload.AppConfig{Seed: seed, LazyDisabled: lazyOff}))
 		if err != nil {
 			return out, fmt.Errorf("mach build (lazyOff=%v): %w", lazyOff, err)
 		}
 		out.Mach[i] = m
-		p, err := workload.RunParthenon(workload.AppConfig{Seed: seed, LazyDisabled: lazyOff})
+		p, err := workload.RunParthenon(in.app(workload.AppConfig{Seed: seed, LazyDisabled: lazyOff}))
 		if err != nil {
 			return out, fmt.Errorf("parthenon (lazyOff=%v): %w", lazyOff, err)
 		}
@@ -122,12 +127,13 @@ type TablesResult struct {
 }
 
 // Tables234 runs the four applications with the instrumented kernel.
-func Tables234(seed int64) (TablesResult, error) {
+func Tables234(seed int64, ins ...Instrument) (TablesResult, error) {
+	in := pick(ins)
 	var out TablesResult
 	for _, run := range []func(workload.AppConfig) (workload.AppResult, error){
 		workload.RunMachBuild, workload.RunParthenon, workload.RunAgora, workload.RunCamelot,
 	} {
-		r, err := run(workload.AppConfig{Seed: seed})
+		r, err := run(in.app(workload.AppConfig{Seed: seed}))
 		if err != nil {
 			return out, err
 		}
@@ -237,13 +243,14 @@ type PerturbationResult struct {
 // Perturbation runs Parthenon (lazy disabled, as the paper did to maximize
 // sensitivity) with and without instrumentation, and measures run-to-run
 // spread across seeds for comparison.
-func Perturbation(seed int64) (PerturbationResult, error) {
+func Perturbation(seed int64, ins ...Instrument) (PerturbationResult, error) {
+	in := pick(ins)
 	var out PerturbationResult
-	on, err := workload.RunParthenon(workload.AppConfig{Seed: seed, LazyDisabled: true})
+	on, err := workload.RunParthenon(in.app(workload.AppConfig{Seed: seed, LazyDisabled: true}))
 	if err != nil {
 		return out, err
 	}
-	off, err := workload.RunParthenon(workload.AppConfig{Seed: seed, LazyDisabled: true, TraceOff: true})
+	off, err := workload.RunParthenon(in.app(workload.AppConfig{Seed: seed, LazyDisabled: true, TraceOff: true}))
 	if err != nil {
 		return out, err
 	}
@@ -254,7 +261,7 @@ func Perturbation(seed int64) (PerturbationResult, error) {
 	}
 	var sample stats.Sample
 	for s := int64(0); s < 5; s++ {
-		r, err := workload.RunParthenon(workload.AppConfig{Seed: seed + 100 + s, LazyDisabled: true, TraceOff: true})
+		r, err := workload.RunParthenon(in.app(workload.AppConfig{Seed: seed + 100 + s, LazyDisabled: true, TraceOff: true}))
 		if err != nil {
 			return out, err
 		}
@@ -298,9 +305,10 @@ type ScalePoint struct {
 // Scale fits the trend line on the 16-CPU machine and then actually builds
 // larger simulated machines to compare measurement against extrapolation
 // (the paper could only extrapolate; the simulator can measure).
-func Scale(seed int64, runs int) (ScaleResult, error) {
+func Scale(seed int64, runs int, ins ...Instrument) (ScaleResult, error) {
+	in := pick(ins)
 	var out ScaleResult
-	fit, err := Fig2(seed, runs)
+	fit, err := Fig2(seed, runs, ins...)
 	if err != nil {
 		return out, err
 	}
@@ -312,6 +320,7 @@ func Scale(seed int64, runs int) (ScaleResult, error) {
 		for r := 0; r < runs; r++ {
 			res, err := workload.RunTester(workload.TesterConfig{
 				NCPUs: n, Children: n - 1, Seed: seed + int64(n*100+r),
+				App: in.app(workload.AppConfig{}),
 			})
 			if err != nil {
 				return out, err

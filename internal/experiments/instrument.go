@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"shootdown/internal/kernel"
+	"shootdown/internal/trace"
+	"shootdown/internal/workload"
+)
+
+// Instrument carries optional observability hooks through an experiment's
+// kernel runs. Every experiment function accepts a trailing variadic
+// Instrument; passing none runs uninstrumented, exactly as before.
+//
+// Tracer is shared by every kernel the experiment builds (each build
+// rebases it, so sequential runs occupy disjoint stretches of one session
+// timeline). Observe is called with each kernel after its run completes —
+// metrics harvesting hangs off it. Neither hook charges virtual time or
+// consumes simulation randomness, so instrumented results are bit-identical
+// to uninstrumented ones. Experiments that assemble a bare machine with no
+// kernel (Pools) attach the tracer but never call Observe.
+type Instrument struct {
+	Tracer  *trace.Tracer
+	Observe func(*kernel.Kernel)
+}
+
+// pick flattens the optional variadic instrument parameter.
+func pick(ins []Instrument) Instrument {
+	if len(ins) == 0 {
+		return Instrument{}
+	}
+	return ins[0]
+}
+
+// app applies the instrument to a workload configuration.
+func (in Instrument) app(c workload.AppConfig) workload.AppConfig {
+	c.Tracer = in.Tracer
+	c.Observe = in.Observe
+	return c
+}
+
+// config applies the instrument to a raw kernel configuration (experiments
+// that assemble kernels directly rather than via package workload).
+func (in Instrument) config(c kernel.Config) kernel.Config {
+	c.Tracer = in.Tracer
+	return c
+}
+
+// ran invokes the observe hook after a directly-assembled kernel finishes.
+func (in Instrument) ran(k *kernel.Kernel) {
+	if in.Observe != nil {
+		in.Observe(k)
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Named pairs an experiment name with its structured result for
+// machine-readable output.
+type Named struct {
+	Name   string `json:"name"`
+	Result any    `json:"result"`
+}
+
+// Envelope is the document `shootdownsim -format json` emits: the inputs
+// that determine the run plus every requested experiment's full result.
+type Envelope struct {
+	Seed        int64   `json:"seed"`
+	Runs        int     `json:"runs"`
+	Experiments []Named `json:"experiments"`
+}
+
+// WriteJSON emits the envelope as indented JSON.
+func WriteJSON(w io.Writer, env Envelope) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
+}
+
+// WriteCSV flattens every result into (experiment, key, value) rows, keys
+// being dotted field paths with list indices. The shape-agnostic flattening
+// means any result type — present or future — is consumable by spreadsheets
+// and scripts without bespoke encoders.
+func WriteCSV(w io.Writer, results []Named) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"experiment", "key", "value"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		// Round-trip through JSON for a uniform map/slice/scalar tree.
+		raw, err := json.Marshal(r.Result)
+		if err != nil {
+			return err
+		}
+		var tree any
+		if err := json.Unmarshal(raw, &tree); err != nil {
+			return err
+		}
+		if err := flattenCSV(cw, r.Name, "", tree); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func flattenCSV(cw *csv.Writer, exp, key string, v any) error {
+	join := func(k string) string {
+		if key == "" {
+			return k
+		}
+		return key + "." + k
+	}
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := flattenCSV(cw, exp, join(k), t[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case []any:
+		for i, e := range t {
+			if err := flattenCSV(cw, exp, join(strconv.Itoa(i)), e); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return cw.Write([]string{exp, key, fmt.Sprint(v)})
+	}
+}

@@ -26,11 +26,12 @@ type PageoutResult struct {
 // Pageout runs a memory-pressure scenario: worker threads loop over a
 // working set while a pageout daemon evicts cold pages; the workers fault
 // them back in. Every byte must survive the round trips.
-func Pageout(seed int64) (PageoutResult, error) {
+func Pageout(seed int64, ins ...Instrument) (PageoutResult, error) {
+	in := pick(ins)
 	var out PageoutResult
-	k, err := kernel.New(kernel.Config{
+	k, err := kernel.New(in.config(kernel.Config{
 		Machine: machine.Options{NumCPUs: 4, MemFrames: 4096, Seed: seed},
-	})
+	}))
 	if err != nil {
 		return out, err
 	}
@@ -94,6 +95,7 @@ func Pageout(seed int64) (PageoutResult, error) {
 	if err := k.Run(); err != nil {
 		return out, err
 	}
+	in.ran(k)
 	out.DataIntact = intact
 	out.PageIns = int(k.VM.Stats().PageIns)
 	_, userUS := k.Trace.InitiatorTimes()

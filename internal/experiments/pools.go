@@ -32,13 +32,13 @@ type PoolsRow struct {
 
 // Pools measures pooled vs global kernel shootdowns on busy machines of
 // increasing size.
-func Pools(seed int64, poolSize int) (PoolsResult, error) {
+func Pools(seed int64, poolSize int, ins ...Instrument) (PoolsResult, error) {
 	if poolSize == 0 {
 		poolSize = 8
 	}
 	out := PoolsResult{PoolSize: poolSize}
 	for _, n := range []int{16, 32, 64} {
-		g, p, err := runPoolCase(seed, n, poolSize)
+		g, p, err := runPoolCase(seed, n, poolSize, pick(ins))
 		if err != nil {
 			return out, err
 		}
@@ -50,12 +50,21 @@ func Pools(seed int64, poolSize int) (PoolsResult, error) {
 // runPoolCase builds an n-CPU machine with every processor busy, maps one
 // kernel page in a pool-0-confined region and one in the global region,
 // and measures the initiator time of reprotecting each.
-func runPoolCase(seed int64, ncpu, poolSize int) (globalUS, pooledUS float64, err error) {
-	eng := sim.New(sim.WithMaxTime(120_000_000_000))
+func runPoolCase(seed int64, ncpu, poolSize int, in Instrument) (globalUS, pooledUS float64, err error) {
+	engOpts := []sim.Option{sim.WithMaxTime(120_000_000_000)}
+	if in.Tracer != nil {
+		in.Tracer.Rebase("pools")
+		engOpts = append(engOpts, sim.WithTracer(in.Tracer))
+	}
+	eng := sim.New(engOpts...)
 	m := machine.New(eng, machine.Options{NumCPUs: ncpu, MemFrames: 4096, Seed: seed})
+	if in.Tracer != nil {
+		m.SetTracer(in.Tracer)
+	}
 	sd := core.New(m, core.Options{})
-	trace := xpr.New(4096)
-	sd.Trace = trace
+	sd.Span = in.Tracer
+	buf := xpr.New(4096)
+	sd.Trace = buf
 	sys, err := pmap.NewSystem(m, sd)
 	if err != nil {
 		return 0, 0, err
@@ -118,7 +127,7 @@ func runPoolCase(seed int64, ncpu, poolSize int) (globalUS, pooledUS float64, er
 	if err := eng.Run(); err != nil {
 		return 0, 0, err
 	}
-	ks, _ := trace.InitiatorTimes()
+	ks, _ := buf.InitiatorTimes()
 	if len(ks) != 2 {
 		return 0, 0, fmt.Errorf("experiments: pools: %d kernel shootdowns, want 2", len(ks))
 	}

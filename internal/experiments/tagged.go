@@ -31,16 +31,17 @@ type TaggedTLBRow struct {
 // TaggedTLB runs a context-switch-heavy workload — two tasks alternating
 // on one processor, each touching a working set every slice — on both
 // TLB designs.
-func TaggedTLB(seed int64) (TaggedTLBResult, error) {
+func TaggedTLB(seed int64, ins ...Instrument) (TaggedTLBResult, error) {
+	in := pick(ins)
 	var out TaggedTLBResult
 	run := func(tagged bool) (TaggedTLBRow, error) {
 		var row TaggedTLBRow
-		k, err := kernel.New(kernel.Config{
+		k, err := kernel.New(in.config(kernel.Config{
 			Machine: machine.Options{
 				NumCPUs: 1, MemFrames: 2048, Seed: seed,
 				TLB: tlb.Config{Tagged: tagged},
 			},
-		})
+		}))
 		if err != nil {
 			return row, err
 		}
@@ -72,6 +73,7 @@ func TaggedTLB(seed int64) (TaggedTLBResult, error) {
 		if err := k.Run(); err != nil {
 			return row, err
 		}
+		in.ran(k)
 		st := k.M.CPU(0).TLB.Stats()
 		row.RuntimeMS = float64(k.Now()) / 1e6
 		row.TLBMisses = st.Misses

@@ -13,6 +13,7 @@ import (
 	"shootdown/internal/machine"
 	"shootdown/internal/pmap"
 	"shootdown/internal/sim"
+	"shootdown/internal/trace"
 	"shootdown/internal/vm"
 	"shootdown/internal/xpr"
 )
@@ -48,6 +49,11 @@ type Config struct {
 	// TraceOff starts with instrumentation disabled (the perturbation
 	// experiment compares instrumented and uninstrumented runs).
 	TraceOff bool
+	// Tracer, when set, receives typed span/instant events from every
+	// layer (sim, machine, tlb, shootdown, kernel). Recording charges no
+	// virtual time and consumes no simulation randomness, so results are
+	// bit-identical with and without it.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -93,13 +99,21 @@ type Kernel struct {
 // New builds a kernel over a fresh machine.
 func New(cfg Config) (*Kernel, error) {
 	cfg = cfg.withDefaults()
-	var eng *sim.Engine
+	engOpts := []sim.Option{sim.WithMaxTime(cfg.MaxTime)}
 	if cfg.ChaosSeed != 0 {
-		eng = sim.New(sim.WithMaxTime(cfg.MaxTime), sim.WithChaos(cfg.ChaosSeed))
-	} else {
-		eng = sim.New(sim.WithMaxTime(cfg.MaxTime))
+		engOpts = append(engOpts, sim.WithChaos(cfg.ChaosSeed))
 	}
+	if cfg.Tracer != nil {
+		engOpts = append(engOpts, sim.WithTracer(cfg.Tracer))
+		// Each kernel's engine restarts virtual time at zero; rebasing
+		// keeps sequential runs from overlapping on a shared session trace.
+		cfg.Tracer.Rebase("kernel")
+	}
+	eng := sim.New(engOpts...)
 	m := machine.New(eng, cfg.Machine)
+	if cfg.Tracer != nil {
+		m.SetTracer(cfg.Tracer)
+	}
 	k := &Kernel{
 		Eng:       eng,
 		M:         m,
@@ -127,6 +141,7 @@ func New(cfg Config) (*Kernel, error) {
 	} else {
 		sd := core.New(m, cfg.Shootdown)
 		sd.Trace = k.Trace
+		sd.Span = cfg.Tracer
 		k.Shoot = sd
 		strat = sd
 	}
@@ -185,7 +200,28 @@ func (k *Kernel) Run() error {
 			}
 		})
 	}
-	return k.Eng.Run()
+	err := k.Eng.Run()
+	k.closeOpenSpans()
+	return err
+}
+
+// closeOpenSpans balances the per-CPU trace timelines after the engine
+// stops: Eng.Stop halts everything the instant the last thread exits, so
+// idle loops (and, on a time-bounded run, dispatched threads) never emit
+// their closing events. Chrome-trace consumers require balanced spans.
+func (k *Kernel) closeOpenSpans() {
+	tr := k.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	now := int64(k.Eng.Now())
+	for cpu := 0; cpu < k.M.NumCPUs(); cpu++ {
+		if k.current[cpu] != nil {
+			tr.End(now, cpu, trace.CatKernel, "thread-run")
+		} else {
+			tr.End(now, cpu, trace.CatKernel, "idle")
+		}
+	}
 }
 
 // Now returns the current virtual time.
@@ -217,9 +253,11 @@ func (k *Kernel) dequeue(ex *machine.Exec) *Thread {
 // actions before dispatching (the idle-processor optimization's contract),
 // and hands the CPU to the chosen thread.
 func (k *Kernel) idleLoop(p *sim.Proc, cpu int) {
+	tr := k.cfg.Tracer
 	for {
 		ex := k.M.Attach(p, cpu)
 		k.Strategy.GoIdle(ex)
+		tr.Begin(int64(ex.Now()), cpu, trace.CatKernel, "idle", 0, 0)
 		var next *Thread
 		for !k.stopping {
 			if next = k.dequeue(ex); next != nil {
@@ -228,10 +266,12 @@ func (k *Kernel) idleLoop(p *sim.Proc, cpu int) {
 			ex.Advance(k.cfg.IdleTick)
 		}
 		if next == nil { // stopping
+			tr.End(int64(ex.Now()), cpu, trace.CatKernel, "idle")
 			ex.Detach()
 			return
 		}
 		k.Strategy.GoActive(ex)
+		tr.End(int64(ex.Now()), cpu, trace.CatKernel, "idle")
 		ex.ChargeTime(k.M.Costs().ContextSwitch)
 		// The thread may still be releasing its previous CPU (its proc is
 		// sleeping through the deactivation flush, not yet parked). Wait
@@ -246,6 +286,7 @@ func (k *Kernel) idleLoop(p *sim.Proc, cpu int) {
 		next.state = threadRunning
 		next.dispatched = ex.Now()
 		next.needResched = false
+		tr.Begin(int64(ex.Now()), cpu, trace.CatKernel, "thread-run", int64(next.task.id), 0)
 		k.current[cpu] = next
 		ex.Detach()
 		k.Eng.Wake(next.proc)
@@ -262,6 +303,7 @@ func (t *Thread) releaseCPU() {
 	cpu := t.ex.CPUID()
 	t.task.Map.Pmap.Deactivate(t.ex, cpu)
 	k.current[cpu] = nil
+	k.cfg.Tracer.End(int64(t.ex.Now()), cpu, trace.CatKernel, "thread-run")
 	t.ex.Detach()
 	t.ex = nil
 	k.wakeIdle(cpu)

@@ -43,6 +43,9 @@ func (b *Bus) Reserve(now sim.Time, n int) sim.Time {
 	return stall
 }
 
+// Occupancy returns the per-transaction bus occupancy time.
+func (b *Bus) Occupancy() sim.Time { return b.occupancy }
+
 // Utilization returns the fraction of time the bus has been busy up to now.
 func (b *Bus) Utilization(now sim.Time) float64 {
 	if now == 0 {

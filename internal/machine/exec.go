@@ -7,6 +7,7 @@ import (
 	"shootdown/internal/ptable"
 	"shootdown/internal/sim"
 	"shootdown/internal/tlb"
+	"shootdown/internal/trace"
 )
 
 // Exec is an execution context: a sim proc bound to a CPU. All virtual-time
@@ -116,6 +117,7 @@ func (ex *Exec) runHandler(v Vector) {
 	if m.prio[v] > c.ipl {
 		c.ipl = m.prio[v]
 	}
+	m.tracer.Begin(int64(ex.Now()), c.id, trace.CatMachine, irqName(v), int64(prev), 0)
 	ex.busStall(m.costs.IRQDispatchBusWrites)
 	ex.charge(m.costs.IRQDispatch)
 	if h := m.handlers[v]; h != nil {
@@ -123,6 +125,7 @@ func (ex *Exec) runHandler(v Vector) {
 	}
 	ex.charge(m.costs.IRQReturn)
 	c.ipl = prev
+	m.tracer.End(int64(ex.Now()), c.id, trace.CatMachine, irqName(v))
 }
 
 // RaiseIPL lifts the CPU's IPL to at least l and returns the previous
@@ -131,6 +134,7 @@ func (ex *Exec) RaiseIPL(l IPL) IPL {
 	prev := ex.cpu.ipl
 	if l > ex.cpu.ipl {
 		ex.cpu.ipl = l
+		ex.machine.tracer.Instant(int64(ex.Now()), ex.cpu.id, trace.CatMachine, "ipl-raise", int64(l), int64(prev))
 	}
 	return prev
 }
@@ -139,6 +143,9 @@ func (ex *Exec) RaiseIPL(l IPL) IPL {
 // interrupts the lowering unmasked.
 func (ex *Exec) RestoreIPL(l IPL) {
 	lowering := l < ex.cpu.ipl
+	if lowering {
+		ex.machine.tracer.Instant(int64(ex.Now()), ex.cpu.id, trace.CatMachine, "ipl-lower", int64(l), int64(ex.cpu.ipl))
+	}
 	ex.cpu.ipl = l
 	if lowering {
 		ex.deliver()
@@ -170,7 +177,14 @@ func (ex *Exec) SpinWhile(cond func() bool) {
 // saturates — the Section 7.1 congestion effect.
 func (ex *Exec) busStall(n int) {
 	for i := 0; i < n; i++ {
-		w := ex.machine.Bus.Reserve(ex.Now(), 1)
+		now := ex.Now()
+		w := ex.machine.Bus.Reserve(now, 1)
+		// Bus transactions are far too frequent to trace individually; the
+		// signal is contention, so record only transactions that queued
+		// behind another CPU's traffic (arg1 = queueing delay in ns).
+		if q := w - ex.machine.Bus.Occupancy(); q > 0 {
+			ex.machine.tracer.Instant(int64(now), ex.cpu.id, trace.CatMachine, "bus-wait", int64(q), 0)
+		}
 		ex.advanceNoIRQ(w)
 	}
 }
@@ -180,6 +194,7 @@ func (ex *Exec) busStall(n int) {
 // It skips targets whose IPI is already pending (coalescing).
 func (ex *Exec) SendIPI(targets []int) {
 	m := ex.machine
+	m.tracer.Instant(int64(ex.Now()), ex.cpu.id, trace.CatMachine, "ipi-send", int64(len(targets)), int64(m.opts.IPIMode))
 	switch m.opts.IPIMode {
 	case IPIMulticast:
 		ex.charge(m.costs.IPIMulticastBase)

@@ -20,6 +20,7 @@ import (
 	"shootdown/internal/ptable"
 	"shootdown/internal/sim"
 	"shootdown/internal/tlb"
+	"shootdown/internal/trace"
 )
 
 // KernelBase splits the 32-bit virtual address space: addresses at or above
@@ -135,6 +136,7 @@ type Machine struct {
 	rng      *rand.Rand
 	handlers [numVectors]Handler
 	prio     [numVectors]IPL
+	tracer   *trace.Tracer
 
 	kernelTable *ptable.Table
 }
@@ -183,6 +185,26 @@ func New(eng *sim.Engine, opts Options) *Machine {
 	return m
 }
 
+// SetTracer attaches the observability tracer to the machine and wires a
+// per-CPU TLB observer so hit/miss/invalidate/flush events land on the
+// owning CPU's timeline. A nil tracer detaches instrumentation.
+func (m *Machine) SetTracer(t *trace.Tracer) {
+	m.tracer = t
+	for _, c := range m.cpus {
+		if t == nil {
+			c.TLB.Observer = nil
+			continue
+		}
+		cpu := c.id
+		c.TLB.Observer = func(op tlb.Op, n int) {
+			m.tracer.Instant(int64(m.Eng.Now()), cpu, trace.CatTLB, op.String(), int64(n), 0)
+		}
+	}
+}
+
+// Tracer returns the machine's tracer (possibly nil).
+func (m *Machine) Tracer() *trace.Tracer { return m.tracer }
+
 // NumCPUs returns the processor count.
 func (m *Machine) NumCPUs() int { return len(m.cpus) }
 
@@ -219,10 +241,35 @@ func (m *Machine) Post(target int, v Vector) (wasPending bool) {
 		return true
 	}
 	cpu.pending[v] = true
+	m.tracer.Instant(int64(m.Eng.Now()), target, trace.CatMachine, postName(v), 0, 0)
 	if cpu.cur != nil && cpu.cur.proc != nil {
 		m.Eng.Preempt(cpu.cur.proc, m.Eng.Now()+m.costs.IRQLatency)
 	}
 	return false
+}
+
+// postName and irqName map vectors to constant event names (no per-event
+// string building on the hot path).
+func postName(v Vector) string {
+	switch v {
+	case VecIPI:
+		return "post-ipi"
+	case VecTimer:
+		return "post-timer"
+	default:
+		return "post-device"
+	}
+}
+
+func irqName(v Vector) string {
+	switch v {
+	case VecIPI:
+		return "irq-ipi"
+	case VecTimer:
+		return "irq-timer"
+	default:
+		return "irq-device"
+	}
 }
 
 // ID returns the CPU number.

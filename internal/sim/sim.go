@@ -22,6 +22,8 @@ import (
 	"runtime/debug"
 	"sort"
 	"time"
+
+	"shootdown/internal/trace"
 )
 
 // Time is a virtual timestamp in nanoseconds since simulation start.
@@ -132,6 +134,11 @@ type Engine struct {
 
 	// TraceFn, if set, receives one line per scheduling event (debugging).
 	TraceFn func(format string, args ...interface{})
+
+	// tracer, if set, receives typed scheduling events (proc run, sleep,
+	// block, preempt, done) on per-proc timelines. Recording charges no
+	// virtual time, so tracing cannot perturb simulation results.
+	tracer *trace.Tracer
 }
 
 // Option configures an Engine.
@@ -148,6 +155,15 @@ func WithChaos(seed int64) Option {
 func WithMaxTime(t Time) Option {
 	return func(e *Engine) { e.maxTime = t }
 }
+
+// WithTracer attaches an observability tracer to the engine. A nil tracer
+// is allowed and disables recording.
+func WithTracer(t *trace.Tracer) Option {
+	return func(e *Engine) { e.tracer = t }
+}
+
+// Tracer returns the engine's tracer (possibly nil).
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
 // New creates an engine at virtual time zero.
 func New(opts ...Option) *Engine {
@@ -179,6 +195,8 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	}
 	e.nextID++
 	e.procs = append(e.procs, p)
+	e.tracer.NameProc(p.id, name)
+	e.tracer.Instant(int64(e.now), p.id, trace.CatSim, "spawn", 0, 0)
 	go func() {
 		<-p.resume
 		defer func() {
@@ -243,6 +261,7 @@ func (e *Engine) RunUntil(limit Time) error {
 		p.state = StateRunning
 		e.cur = p
 		e.trace("[%d ns] run %q", e.now, p.name)
+		e.tracer.Instant(int64(e.now), p.id, trace.CatSim, "run", 0, 0)
 		p.resume <- struct{}{}
 		msg := <-e.yield
 		e.cur = nil
@@ -254,6 +273,7 @@ func (e *Engine) RunUntil(limit Time) error {
 		case yieldDone:
 			p.state = StateDone
 			e.trace("[%d ns] done %q", e.now, p.name)
+			e.tracer.Instant(int64(e.now), p.id, trace.CatSim, "done", 0, 0)
 		case yieldPanic:
 			p.state = StateDone
 			e.failure = msg.err
@@ -342,6 +362,7 @@ func (p *Proc) Sleep(d Time) Time {
 	}
 	start := p.clock
 	p.preempted = false
+	p.eng.tracer.Instant(int64(start), p.id, trace.CatSim, "sleep", int64(d), 0)
 	p.eng.schedule(p, start+d)
 	p.eng.yield <- yieldMsg{p: p, kind: yieldSleep}
 	<-p.resume
@@ -351,6 +372,7 @@ func (p *Proc) Sleep(d Time) Time {
 // Block parks the proc until another proc calls Wake on it.
 func (p *Proc) Block() {
 	p.mustBeCurrent("Block")
+	p.eng.tracer.Instant(int64(p.clock), p.id, trace.CatSim, "block", 0, 0)
 	p.eng.yield <- yieldMsg{p: p, kind: yieldBlock}
 	<-p.resume
 }
@@ -361,6 +383,7 @@ func (e *Engine) Wake(p *Proc) bool {
 	if p.state != StateBlocked {
 		return false
 	}
+	e.tracer.Instant(int64(e.now), p.id, trace.CatSim, "wake", 0, 0)
 	e.schedule(p, e.now)
 	return true
 }
@@ -382,6 +405,7 @@ func (e *Engine) Preempt(p *Proc, at Time) bool {
 	}
 	p.wake = at
 	p.preempted = true
+	e.tracer.Instant(int64(e.now), p.id, trace.CatSim, "preempt", int64(at), 0)
 	heap.Fix(&e.runq, p.heapIdx)
 	return true
 }

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1, 1000, 5)
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram reported observations")
+	}
+	h.ObserveAll(10, 20, 30)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Sum() != 60 || h.Mean() != 20 {
+		t.Fatalf("Sum/Mean = %g/%g", h.Sum(), h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 30 {
+		t.Fatalf("Min/Max = %g/%g", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramOutOfRangeNeverLost(t *testing.T) {
+	h := NewHistogram(10, 100, 1)
+	h.ObserveAll(0.001, 10_000_000) // far below and far above the range
+	bks := h.Buckets()
+	last := bks[len(bks)-1]
+	if !math.IsInf(last.UpperBound, 1) {
+		t.Fatal("last bucket is not +Inf")
+	}
+	if last.Cumulative != h.Count() || h.Count() != 2 {
+		t.Fatalf("+Inf cumulative = %d, Count = %d", last.Cumulative, h.Count())
+	}
+}
+
+func TestHistogramBucketsMonotonic(t *testing.T) {
+	h := NewHistogram(1, 100_000, 5)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	var prevUB float64
+	var prevCum uint64
+	for i, bk := range h.Buckets() {
+		if i > 0 && !math.IsInf(bk.UpperBound, 1) && bk.UpperBound <= prevUB {
+			t.Fatalf("bounds not ascending at bucket %d", i)
+		}
+		if bk.Cumulative < prevCum {
+			t.Fatalf("cumulative counts decreased at bucket %d", i)
+		}
+		prevUB, prevCum = bk.UpperBound, bk.Cumulative
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 100_000, 10)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	for _, tc := range []struct {
+		q        float64
+		lo, hi   float64 // acceptance interval for a bucketed estimate
+	}{
+		{0, 1, 1},
+		{0.5, 350, 700},
+		{0.9, 700, 1000},
+		{1, 1000, 1000},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.lo || got > tc.hi {
+			t.Fatalf("Quantile(%g) = %g, want in [%g, %g]", tc.q, got, tc.lo, tc.hi)
+		}
+	}
+	empty := NewHistogram(1, 10, 1)
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestHistogramInvalidRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewHistogram(0, 10, 5)
+}

@@ -121,6 +121,45 @@ type Entry struct {
 	lastUse uint64 // access order, for LRU
 }
 
+// Op identifies a TLB event for observers.
+type Op uint8
+
+// Observable TLB events.
+const (
+	OpHit Op = iota
+	OpMiss
+	OpInsert
+	OpEvict
+	OpInvalidate
+	OpFlush
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpHit:
+		return "tlb-hit"
+	case OpMiss:
+		return "tlb-miss"
+	case OpInsert:
+		return "tlb-insert"
+	case OpEvict:
+		return "tlb-evict"
+	case OpInvalidate:
+		return "tlb-invalidate"
+	case OpFlush:
+		return "tlb-flush"
+	default:
+		return "tlb-op"
+	}
+}
+
+// Observer receives TLB events as they happen; n is the number of entries
+// affected. The machine layer wires observers into the trace subsystem with
+// timestamps and CPU numbers. Observers must not mutate the TLB and must
+// not consume simulated time or randomness (tracing may not perturb
+// results).
+type Observer func(op Op, n int)
+
 // Stats counts TLB events.
 type Stats struct {
 	Hits        uint64
@@ -139,6 +178,17 @@ type TLB struct {
 	clock   uint64
 	rng     *rand.Rand
 	stats   Stats
+
+	// Observer, when non-nil, receives every TLB event (hit, miss, insert,
+	// evict, invalidate, flush).
+	Observer Observer
+}
+
+// observe reports an event to the observer, if any.
+func (t *TLB) observe(op Op, n int) {
+	if t.Observer != nil {
+		t.Observer(op, n)
+	}
 }
 
 // New creates a TLB with the given configuration.
@@ -179,11 +229,13 @@ func (t *TLB) Probe(va ptable.VAddr, asid ASID) (Entry, bool) {
 	i := t.match(va, asid)
 	if i < 0 {
 		t.stats.Misses++
+		t.observe(OpMiss, 1)
 		return Entry{}, false
 	}
 	t.clock++
 	t.entries[i].lastUse = t.clock
 	t.stats.Hits++
+	t.observe(OpHit, 1)
 	return t.entries[i], true
 }
 
@@ -192,6 +244,7 @@ func (t *TLB) Probe(va ptable.VAddr, asid ASID) (Entry, bool) {
 func (t *TLB) Insert(va ptable.VAddr, asid ASID, pte ptable.PTE) {
 	t.clock++
 	t.stats.Inserts++
+	t.observe(OpInsert, 1)
 	if i := t.match(va, asid); i >= 0 {
 		t.entries[i].PTE = pte
 		t.entries[i].lastUse = t.clock
@@ -207,6 +260,7 @@ func (t *TLB) Insert(va ptable.VAddr, asid ASID, pte ptable.PTE) {
 	if slot < 0 {
 		slot = t.victim()
 		t.stats.Evictions++
+		t.observe(OpEvict, 1)
 	}
 	t.entries[slot] = Entry{
 		Valid:   true,
@@ -254,6 +308,7 @@ func (t *TLB) InvalidatePage(va ptable.VAddr, asid ASID) bool {
 	if i := t.match(va, asid); i >= 0 {
 		t.entries[i] = Entry{}
 		t.stats.Invalidates++
+		t.observe(OpInvalidate, 1)
 		return true
 	}
 	return false
@@ -271,15 +326,23 @@ func (t *TLB) InvalidateRange(start, end ptable.VAddr, asid ASID) int {
 			n++
 		}
 	}
+	if n > 0 {
+		t.observe(OpInvalidate, n)
+	}
 	return n
 }
 
 // Flush empties the entire buffer.
 func (t *TLB) Flush() {
+	n := 0
 	for i := range t.entries {
+		if t.entries[i].Valid {
+			n++
+		}
 		t.entries[i] = Entry{}
 	}
 	t.stats.Flushes++
+	t.observe(OpFlush, n)
 }
 
 // FlushASID drops every entry tagged with asid (tagged TLBs only; on an
@@ -289,12 +352,15 @@ func (t *TLB) FlushASID(asid ASID) {
 		t.Flush()
 		return
 	}
+	n := 0
 	for i := range t.entries {
 		if t.entries[i].Valid && t.entries[i].ASID == asid {
 			t.entries[i] = Entry{}
+			n++
 		}
 	}
 	t.stats.Flushes++
+	t.observe(OpFlush, n)
 }
 
 // Len returns the number of valid entries.

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: the JSON object format consumed by
+// chrome://tracing and Perfetto (ui.perfetto.dev). Events land on two
+// process rows: pid 0 ("cpus") holds the per-CPU timelines every
+// hardware/protocol/kernel event is keyed to, and pid 1 ("procs") holds one
+// timeline per sim proc for the engine's scheduling events. Timestamps are
+// virtual microseconds.
+const (
+	chromePidCPUs  = 0
+	chromePidProcs = 1
+	// chromeTidGlobal hosts events bound to no CPU (run markers, etc.).
+	chromeTidGlobal = 9999
+)
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the retained events as Chrome trace-event JSON.
+// The output is one self-contained object: metadata naming the process and
+// thread rows, then every event in arrival order.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	enc := func(first *bool, ev chromeEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !*first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		*first = false
+		_, err = bw.Write(b)
+		return err
+	}
+
+	first := true
+	for _, ev := range t.metadataEvents() {
+		if err := enc(&first, ev); err != nil {
+			return err
+		}
+	}
+	for _, ev := range t.Events() {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat.String(),
+			Ph:   ev.Ph.String(),
+			TS:   float64(ev.TS) / 1e3, // ns -> µs
+		}
+		switch {
+		case ev.Cat == CatSim:
+			ce.Pid, ce.Tid = chromePidProcs, int(ev.CPU)
+		case ev.CPU < 0:
+			ce.Pid, ce.Tid = chromePidCPUs, chromeTidGlobal
+		default:
+			ce.Pid, ce.Tid = chromePidCPUs, int(ev.CPU)
+		}
+		if ev.Ph == PhaseInstant {
+			if ev.Cat == CatMeta {
+				ce.Scope = "g" // run markers span the whole view
+			} else {
+				ce.Scope = "t"
+			}
+		}
+		if ev.Arg1 != 0 || ev.Arg2 != 0 {
+			ce.Args = map[string]any{"a1": ev.Arg1, "a2": ev.Arg2}
+		}
+		if err := enc(&first, ce); err != nil {
+			return err
+		}
+	}
+	meta := fmt.Sprintf(`],"otherData":{"dropped":%d,"retained":%d}}`, t.Dropped(), t.Len())
+	if _, err := bw.WriteString(meta); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// metadataEvents names the process and thread rows so Perfetto shows
+// "cpus/cpu3" and "procs/thread:child2" instead of bare numbers.
+func (t *Tracer) metadataEvents() []chromeEvent {
+	if t == nil {
+		return nil
+	}
+	nameMeta := func(pid, tid int, key, name string) chromeEvent {
+		return chromeEvent{
+			Name: key, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		}
+	}
+	out := []chromeEvent{
+		nameMeta(chromePidCPUs, 0, "process_name", "cpus"),
+		nameMeta(chromePidProcs, 0, "process_name", "procs"),
+		nameMeta(chromePidCPUs, chromeTidGlobal, "thread_name", "global"),
+	}
+	cpus := map[int32]bool{}
+	for _, ev := range t.Events() {
+		if ev.Cat != CatSim && ev.CPU >= 0 {
+			cpus[ev.CPU] = true
+		}
+	}
+	cpuIDs := make([]int, 0, len(cpus))
+	for c := range cpus {
+		cpuIDs = append(cpuIDs, int(c))
+	}
+	sort.Ints(cpuIDs)
+	for _, c := range cpuIDs {
+		out = append(out, nameMeta(chromePidCPUs, c, "thread_name", fmt.Sprintf("cpu%d", c)))
+	}
+	procIDs := make([]int, 0, len(t.procNames))
+	for id := range t.procNames {
+		procIDs = append(procIDs, int(id))
+	}
+	sort.Ints(procIDs)
+	for _, id := range procIDs {
+		out = append(out, nameMeta(chromePidProcs, id, "thread_name", t.procNames[int32(id)]))
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"shootdown/internal/stats"
+)
+
+// MetricSet is an ordered collection of counters, gauges, and histograms,
+// rendered in the Prometheus text exposition format. Experiments emit one
+// snapshot per run so counter trajectories can be tracked across PRs without
+// scraping human-readable tables.
+type MetricSet struct {
+	metrics []metric
+}
+
+type metric struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	labels map[string]string
+	value  float64
+	hist   *stats.Histogram
+}
+
+// NewMetricSet creates an empty metric set.
+func NewMetricSet() *MetricSet {
+	return &MetricSet{}
+}
+
+// Counter adds a monotonic counter sample.
+func (m *MetricSet) Counter(name, help string, v float64, labels map[string]string) {
+	m.metrics = append(m.metrics, metric{name: name, help: help, typ: "counter", value: v, labels: labels})
+}
+
+// Gauge adds a point-in-time gauge sample.
+func (m *MetricSet) Gauge(name, help string, v float64, labels map[string]string) {
+	m.metrics = append(m.metrics, metric{name: name, help: help, typ: "gauge", value: v, labels: labels})
+}
+
+// Histogram adds a latency/size distribution. The histogram is rendered with
+// cumulative le buckets plus _sum and _count series.
+func (m *MetricSet) Histogram(name, help string, h *stats.Histogram, labels map[string]string) {
+	m.metrics = append(m.metrics, metric{name: name, help: help, typ: "histogram", hist: h, labels: labels})
+}
+
+// labelString renders {k="v",...} with sorted keys, merging extra pairs.
+func labelString(labels map[string]string, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+	}
+	if extraK != "" {
+		parts = append(parts, fmt.Sprintf("%s=%q", extraK, extraV))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteTo renders the set in Prometheus text format. HELP/TYPE headers are
+// emitted once per metric name, on first use.
+func (m *MetricSet) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	helped := map[string]bool{}
+	for _, mt := range m.metrics {
+		if !helped[mt.name] {
+			helped[mt.name] = true
+			fmt.Fprintf(&b, "# HELP %s %s\n", mt.name, mt.help)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", mt.name, mt.typ)
+		}
+		switch mt.typ {
+		case "histogram":
+			for _, bk := range mt.hist.Buckets() {
+				le := "+Inf"
+				if !math.IsInf(bk.UpperBound, 1) {
+					le = fmt.Sprintf("%g", bk.UpperBound)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", mt.name, labelString(mt.labels, "le", le), bk.Cumulative)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", mt.name, labelString(mt.labels, "", ""), fmtFloat(mt.hist.Sum()))
+			fmt.Fprintf(&b, "%s_count%s %d\n", mt.name, labelString(mt.labels, "", ""), mt.hist.Count())
+		default:
+			fmt.Fprintf(&b, "%s%s %s\n", mt.name, labelString(mt.labels, "", ""), fmtFloat(mt.value))
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the set as Prometheus text.
+func (m *MetricSet) String() string {
+	var b strings.Builder
+	_, _ = m.WriteTo(&b)
+	return b.String()
+}

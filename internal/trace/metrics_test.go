@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"shootdown/internal/stats"
+)
+
+func TestMetricSetText(t *testing.T) {
+	ms := NewMetricSet()
+	ms.Counter("shootdown_syncs_total", "Shootdowns initiated.", 42, nil)
+	ms.Gauge("bus_utilization_ratio", "Bus busy fraction.", 0.25, nil)
+	h := stats.NewHistogram(1, 1000, 2)
+	h.ObserveAll(2, 30, 400)
+	ms.Histogram("shootdown_initiator_microseconds", "Initiator latency.",
+		h, map[string]string{"pmap": "kernel"})
+	out := ms.String()
+
+	wants := []string{
+		"# HELP shootdown_syncs_total Shootdowns initiated.",
+		"# TYPE shootdown_syncs_total counter",
+		"shootdown_syncs_total 42",
+		"# TYPE bus_utilization_ratio gauge",
+		"bus_utilization_ratio 0.25",
+		"# TYPE shootdown_initiator_microseconds histogram",
+		`shootdown_initiator_microseconds_bucket{pmap="kernel",le="+Inf"} 3`,
+		`shootdown_initiator_microseconds_sum{pmap="kernel"} 432`,
+		`shootdown_initiator_microseconds_count{pmap="kernel"} 3`,
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricSetHelpOncePerName(t *testing.T) {
+	ms := NewMetricSet()
+	ms.Counter("x_total", "X.", 1, map[string]string{"k": "a"})
+	ms.Counter("x_total", "X.", 2, map[string]string{"k": "b"})
+	out := ms.String()
+	if got := strings.Count(out, "# HELP x_total"); got != 1 {
+		t.Fatalf("HELP emitted %d times, want 1:\n%s", got, out)
+	}
+	if !strings.Contains(out, `x_total{k="a"} 1`) || !strings.Contains(out, `x_total{k="b"} 2`) {
+		t.Fatalf("labeled samples missing:\n%s", out)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	ms := NewMetricSet()
+	h := stats.NewHistogram(10, 100, 1)
+	h.ObserveAll(5, 50, 5000) // below range, in range, above range
+	ms.Histogram("lat", "L.", h, nil)
+	out := ms.String()
+	prev := uint64(0)
+	var buckets int
+	for _, ln := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(ln, "lat_bucket") {
+			continue
+		}
+		buckets++
+		v, err := strconv.ParseUint(ln[strings.LastIndexByte(ln, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", ln, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative: %q after %d", ln, prev)
+		}
+		prev = v
+	}
+	if buckets == 0 {
+		t.Fatalf("no bucket lines:\n%s", out)
+	}
+	if prev != 3 {
+		t.Fatalf("+Inf bucket = %d, want 3 (nothing may be lost)", prev)
+	}
+}

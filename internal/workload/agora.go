@@ -84,7 +84,7 @@ func RunAgora(cfg AppConfig) (AppResult, error) {
 	if err := k.Run(); err != nil {
 		return AppResult{}, err
 	}
-	return collect("Agora", k), nil
+	return collect(cfg, "Agora", k), nil
 }
 
 // agoraSearch reads the shared write-once wavefront data and computes; it

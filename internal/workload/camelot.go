@@ -108,7 +108,7 @@ func RunCamelot(cfg AppConfig) (AppResult, error) {
 	if err := k.Run(); err != nil {
 		return AppResult{}, err
 	}
-	return collect("Camelot", k), nil
+	return collect(cfg, "Camelot", k), nil
 }
 
 // transaction updates a couple of database pages (breaking copy-on-write

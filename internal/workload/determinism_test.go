@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"shootdown/internal/kernel"
+	"shootdown/internal/trace"
+)
+
+// TestTracingIsPerturbationFree pins the §6.1 guarantee the observability
+// layer makes: span tracing charges no virtual time and consumes no
+// simulation randomness, so every measured result is bit-identical with
+// tracing on and off.
+func TestTracingIsPerturbationFree(t *testing.T) {
+	run := func(tr *trace.Tracer) TesterResult {
+		t.Helper()
+		cfg := TesterConfig{NCPUs: 8, Children: 4, Seed: 7}
+		cfg.App.Tracer = tr
+		res, err := RunTester(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	tr := trace.New(1 << 18)
+	traced := run(tr)
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("tracing perturbed the run:\n  off: %+v\n  on:  %+v", plain, traced)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("tracer recorded nothing — the guard is vacuous")
+	}
+	// The traced run must cover the instrumented layers, or the guarantee
+	// is being tested against a hollow trace.
+	for _, cat := range []trace.Category{trace.CatMachine, trace.CatShootdown, trace.CatTLB, trace.CatKernel} {
+		if len(tr.Select(cat)) == 0 {
+			t.Fatalf("no %v events in the traced run", cat)
+		}
+	}
+}
+
+// TestObserveHookSeesFinishedKernel checks the metrics hook fires after the
+// run with the kernel's final state visible.
+func TestObserveHookSeesFinishedKernel(t *testing.T) {
+	var ms *trace.MetricSet
+	cfg := TesterConfig{NCPUs: 8, Children: 4, Seed: 7}
+	cfg.App.Observe = func(k *kernel.Kernel) { ms = k.Metrics() }
+	if _, err := RunTester(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if ms == nil {
+		t.Fatal("Observe hook never ran")
+	}
+	out := ms.String()
+	for _, want := range []string{"shootdown_syncs_total", "tlb_misses_total", "sim_virtual_time_seconds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics snapshot missing %s:\n%s", want, out)
+		}
+	}
+}

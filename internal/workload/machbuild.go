@@ -100,7 +100,7 @@ func runMachBuildInner(cfg AppConfig, devices bool) (AppResult, error) {
 	if err := k.Run(); err != nil {
 		return AppResult{}, err
 	}
-	return collect("Mach", k), nil
+	return collect(cfg, "Mach", k), nil
 }
 
 // compileJob runs one "cc" in its own task: private memory only, with the

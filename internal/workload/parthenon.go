@@ -60,7 +60,7 @@ func RunParthenon(cfg AppConfig) (AppResult, error) {
 	if err := k.Run(); err != nil {
 		return AppResult{}, err
 	}
-	return collect("Parthenon", k), nil
+	return collect(cfg, "Parthenon", k), nil
 }
 
 // workpile is the prover's central queue of open search possibilities.

@@ -44,6 +44,8 @@ type TesterResult struct {
 	// ProtectUS is the wall-clock (virtual) latency of the whole
 	// vm_protect operation, measurable under any strategy.
 	ProtectUS float64
+	// TraceDropped counts xpr records lost to buffer wraparound.
+	TraceDropped uint64
 }
 
 // RunTester executes the consistency tester: k child threads increment
@@ -147,6 +149,10 @@ func RunTester(cfg TesterConfig) (TesterResult, error) {
 			res.Inconsistent = true
 		}
 	}
+	res.TraceDropped = k.Trace.Dropped()
+	if app.Observe != nil {
+		app.Observe(k)
+	}
 	_, userUS := k.Trace.InitiatorTimes()
 	res.UserEvents = len(userUS)
 	if len(userUS) > 0 {
@@ -186,6 +192,9 @@ type BasicCostResult struct {
 	Fit     stats.Fit
 	FitMaxK int
 	At100US float64
+	// Dropped sums xpr records lost to wraparound across all runs; nonzero
+	// means some shootdowns went unrecorded.
+	Dropped uint64
 }
 
 // RunBasicCost measures the basic cost of shootdown: for each k, run the
@@ -221,6 +230,7 @@ func RunBasicCost(cfg BasicCostConfig) (BasicCostResult, error) {
 				return out, fmt.Errorf("workload: k=%d run=%d caused %d user shootdowns, want 1", k, run, res.UserEvents)
 			}
 			pt.Samples = append(pt.Samples, res.ShootUS)
+			out.Dropped += res.TraceDropped
 		}
 		pt.MeanUS = stats.Mean(pt.Samples)
 		pt.StdUS = stats.StdDev(pt.Samples)

@@ -32,6 +32,7 @@ import (
 	"shootdown/internal/sim"
 	"shootdown/internal/stats"
 	"shootdown/internal/tlb"
+	"shootdown/internal/trace"
 	"shootdown/internal/xpr"
 )
 
@@ -68,6 +69,13 @@ type AppConfig struct {
 	Scale float64
 	// ShootdownOptions tunes the algorithm when Strategy is nil.
 	ShootdownOptions core.Options
+	// Tracer, when set, records typed span/instant events from every layer
+	// of the run. Recording charges no virtual time, so results are
+	// bit-identical with and without it.
+	Tracer *trace.Tracer
+	// Observe, when set, is called with the kernel after the run completes
+	// (metrics harvesting).
+	Observe func(*kernel.Kernel)
 }
 
 func (c AppConfig) withDefaults() AppConfig {
@@ -115,6 +123,7 @@ func (c AppConfig) newKernel() (*kernel.Kernel, error) {
 		ChaosSeed:        c.Seed,
 		TraceOff:         c.TraceOff,
 		MaxTime:          c.MaxVirtualTime,
+		Tracer:           c.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -139,6 +148,10 @@ type AppResult struct {
 	ResponderUS []float64
 
 	Shootdown core.Stats
+
+	// TraceDropped counts xpr records lost to buffer wraparound; nonzero
+	// means the measurement above is incomplete.
+	TraceDropped uint64
 }
 
 // KernelEvents returns the number of kernel-pmap shootdowns.
@@ -179,7 +192,7 @@ func (r AppResult) OverheadPct(ncpu int, kernel bool) float64 {
 }
 
 // collect harvests the instrumentation after a run.
-func collect(name string, k *kernel.Kernel) AppResult {
+func collect(cfg AppConfig, name string, k *kernel.Kernel) AppResult {
 	r := AppResult{Name: name, Runtime: k.Now()}
 	r.KernelInitUS, r.UserInitUS = k.Trace.InitiatorTimes()
 	r.ResponderUS = k.Trace.ResponderTimes()
@@ -193,6 +206,10 @@ func collect(name string, k *kernel.Kernel) AppResult {
 	}
 	if k.Shoot != nil {
 		r.Shootdown = k.Shoot.Stats()
+	}
+	r.TraceDropped = k.Trace.Dropped()
+	if cfg.Observe != nil {
+		cfg.Observe(k)
 	}
 	return r
 }

@@ -64,6 +64,7 @@ type Buffer struct {
 	next    int
 	count   int
 	wrapped bool
+	dropped uint64
 	enabled bool
 
 	// SampleCPUs, when non-nil, restricts EvResponder records to the
@@ -91,11 +92,16 @@ func (b *Buffer) Enabled() bool { return b.enabled }
 
 // Reset discards all records (and keeps the enabled state).
 func (b *Buffer) Reset() {
-	b.next, b.count, b.wrapped = 0, 0, false
+	b.next, b.count, b.wrapped, b.dropped = 0, 0, false, 0
 }
 
 // Wrapped reports whether records have been lost to wraparound.
 func (b *Buffer) Wrapped() bool { return b.wrapped }
+
+// Dropped returns the number of records lost to wraparound. Experiment
+// output surfaces this so a truncated measurement is never mistaken for a
+// complete one.
+func (b *Buffer) Dropped() uint64 { return b.dropped }
 
 // Len returns the number of records currently held.
 func (b *Buffer) Len() int { return b.count }
@@ -115,6 +121,7 @@ func (b *Buffer) Log(ev Event) {
 		b.count++
 	} else {
 		b.wrapped = true
+		b.dropped++
 	}
 }
 

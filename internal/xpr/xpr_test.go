@@ -122,6 +122,85 @@ func TestInvalidSizePanics(t *testing.T) {
 	New(0)
 }
 
+// TestBufferBehavior drives size/sampling/volume combinations through one
+// table: how many records survive, how many are dropped, and whether the
+// survivors come back oldest-first after a wrap.
+func TestBufferBehavior(t *testing.T) {
+	cases := []struct {
+		name        string
+		size        int
+		sample      map[int]bool // nil = no responder sampling
+		responders  int          // one per CPU 0..responders-1, times 0..n-1
+		wantLen     int
+		wantDropped uint64
+		wantFirstT  sim.Time // Time of the oldest surviving record
+	}{
+		{"fits exactly", 4, nil, 4, 4, 0, 0},
+		{"wraps by one", 4, nil, 5, 4, 1, 1},
+		{"wraps twice over", 3, nil, 9, 3, 6, 6},
+		{"sampling avoids wrap", 4, map[int]bool{0: true, 2: true}, 8, 2, 0, 0},
+		{"sampling then wrap", 2, map[int]bool{0: true, 1: true, 2: true}, 6, 2, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := New(tc.size)
+			b.SampleCPUs = tc.sample
+			for cpu := 0; cpu < tc.responders; cpu++ {
+				b.LogResponder(sim.Time(cpu), cpu, 100)
+			}
+			if b.Len() != tc.wantLen {
+				t.Errorf("Len = %d, want %d", b.Len(), tc.wantLen)
+			}
+			if b.Dropped() != tc.wantDropped {
+				t.Errorf("Dropped = %d, want %d", b.Dropped(), tc.wantDropped)
+			}
+			if b.Wrapped() != (tc.wantDropped > 0) {
+				t.Errorf("Wrapped = %v with %d dropped", b.Wrapped(), tc.wantDropped)
+			}
+			evs := b.Events()
+			if len(evs) != tc.wantLen {
+				t.Fatalf("Events len = %d, want %d", len(evs), tc.wantLen)
+			}
+			if tc.sample == nil {
+				// Arrival order must survive the wrap: timestamps ascend
+				// starting from the oldest retained record.
+				for i, ev := range evs {
+					if want := tc.wantFirstT + sim.Time(i); ev.Time != want {
+						t.Fatalf("evs[%d].Time = %d, want %d", i, ev.Time, want)
+					}
+				}
+			} else {
+				for _, ev := range evs {
+					if !tc.sample[ev.CPU] {
+						t.Fatalf("unsampled CPU %d recorded", ev.CPU)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDroppedSurvivesUntilReset pins the contract experiment output relies
+// on: the drop count accumulates across wraps and only Reset clears it.
+func TestDroppedSurvivesUntilReset(t *testing.T) {
+	b := New(2)
+	for i := 0; i < 7; i++ {
+		b.LogResponder(sim.Time(i), 0, 10)
+	}
+	if b.Dropped() != 5 {
+		t.Fatalf("Dropped = %d, want 5", b.Dropped())
+	}
+	b.Off()
+	b.LogResponder(99, 0, 10)
+	if b.Dropped() != 5 {
+		t.Fatal("disabled logging changed the drop count")
+	}
+	b.Reset()
+	if b.Dropped() != 0 || b.Wrapped() {
+		t.Fatal("Reset did not clear drop state")
+	}
+}
+
 func TestEventIDString(t *testing.T) {
 	for _, id := range []EventID{EvInitiator, EvResponder, EvUser, EventID(42)} {
 		if id.String() == "" {

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Full local CI: build, vet, race-test, then smoke-test the observability
+# layer end to end (Chrome trace + metrics + JSON results from a real run).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== smoke: shootdownsim trace/metrics/json"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/shootdownsim -runs 1 -trace "$tmp/t.json" -metrics "$tmp/m.txt" fig2 >"$tmp/fig2.txt"
+go run ./cmd/shootdownsim -runs 1 -format json fig2 >"$tmp/fig2.json"
+go run ./scripts/validatetrace -results "$tmp/fig2.json" "$tmp/t.json"
+grep -q '^shootdown_syncs_total' "$tmp/m.txt"
+grep -q '^# TYPE shootdown_initiator_microseconds histogram' "$tmp/m.txt"
+
+echo "== smoke: tlbtest trace/json"
+go run ./cmd/tlbtest -children 4 -trace "$tmp/tt.json" -format json >"$tmp/tt-result.json"
+go run ./scripts/validatetrace "$tmp/tt.json"
+
+echo "check: all green"

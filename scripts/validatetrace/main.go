@@ -1,0 +1,106 @@
+// Command validatetrace is the CI smoke check for the observability layer:
+// it verifies that a Chrome trace-event file emitted by shootdownsim/tlbtest
+// is valid JSON with span events from every instrumented layer, and
+// (with -results) that a -format json results file parses and is non-empty.
+//
+// Usage: validatetrace [-results results.json] trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	results := flag.String("results", "", "also validate a shootdownsim -format json output file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: validatetrace [-results results.json] trace.json")
+		os.Exit(2)
+	}
+	if err := checkTrace(flag.Arg(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "validatetrace: %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	if *results != "" {
+		if err := checkResults(*results); err != nil {
+			fmt.Fprintf(os.Stderr, "validatetrace: %s: %v\n", *results, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("validatetrace: ok")
+}
+
+func checkTrace(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Cat string `json:"cat"`
+			Ph  string `json:"ph"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("not valid trace JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("no trace events")
+	}
+	cats := map[string]bool{}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Cat != "" {
+			cats[ev.Cat] = true
+		}
+		phases[ev.Ph]++
+	}
+	for _, want := range []string{"sim", "machine", "shootdown", "tlb"} {
+		if !cats[want] {
+			return fmt.Errorf("no %q events (categories seen: %v)", want, keys(cats))
+		}
+	}
+	if phases["B"] == 0 || phases["B"] != phases["E"] {
+		return fmt.Errorf("unbalanced spans: %d begin vs %d end", phases["B"], phases["E"])
+	}
+	fmt.Printf("validatetrace: %d events, categories %v, %d spans\n",
+		len(doc.TraceEvents), keys(cats), phases["B"])
+	return nil
+}
+
+func checkResults(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Experiments []struct {
+			Name   string          `json:"name"`
+			Result json.RawMessage `json:"result"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("not valid results JSON: %w", err)
+	}
+	if len(doc.Experiments) == 0 {
+		return fmt.Errorf("no experiments in results file")
+	}
+	for _, e := range doc.Experiments {
+		if e.Name == "" || len(e.Result) == 0 {
+			return fmt.Errorf("experiment entry missing name or result")
+		}
+	}
+	return nil
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
