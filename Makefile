@@ -1,13 +1,22 @@
 # Local CI for the shootdown reproduction. `make check` is what a PR must
-# pass: build + vet + race-detector tests + an end-to-end smoke run of the
-# observability layer (Chrome trace, metrics snapshot, JSON results).
+# pass: tier-1 (build + test), tier-2 (vet + race-detector tests), and an
+# end-to-end smoke run of the observability layer plus a determinism check
+# of the fault-injection campaign.
 
 GO ?= go
 
-.PHONY: check build vet test race bench smoke
+.PHONY: check tier1 tier2 build vet test race bench smoke
 
-check: ## build + vet + race tests + observability smoke test
+check: ## tier-1 + tier-2 + observability and fault-campaign smoke tests
 	./scripts/check.sh
+
+tier1: ## the hard floor: build + tests
+	$(GO) build ./...
+	$(GO) test ./...
+
+tier2: ## static analysis + race detector
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

@@ -7,7 +7,14 @@
 //	shootdownsim [flags] <experiment>...
 //
 // Experiments: fig2, table1, table2, table3, table4, overhead, perturb,
-// scale, strategies, ipimodes, highprio, idleopt, threshold, queue, all.
+// scale, strategies, ipimodes, highprio, idleopt, threshold, queue,
+// taggedtlb, pools, pageout, faults, all.
+//
+// -faults injects deterministic hardware faults (dropped/delayed IPIs, slow
+// responders, bus jitter) into every kernel; -oracle attaches an independent
+// TLB-consistency checker that fails a run if any stale translation is
+// granted. The faults experiment runs a full campaign of fault scenarios
+// against the watchdog-hardened protocol.
 //
 // -trace captures a Chrome trace-event (Perfetto) session timeline of every
 // kernel the experiments build; -metrics writes a Prometheus-style counter
@@ -22,6 +29,7 @@ import (
 	"time"
 
 	"shootdown/internal/experiments"
+	"shootdown/internal/fault"
 	"shootdown/internal/kernel"
 	"shootdown/internal/trace"
 )
@@ -33,6 +41,8 @@ var (
 	traceBuf = flag.Int("tracebuf", 1<<21, "span-tracer ring capacity in events")
 	metrics  = flag.String("metrics", "", "write a Prometheus-style metrics snapshot of the last kernel run")
 	format   = flag.String("format", "table", "result output format: table, json, or csv")
+	faults   = flag.String("faults", "", `fault-injection spec applied to every kernel, e.g. "drop=0.1,delay=0.2,delaymax=2ms" (keys: drop, delay, delaymax, slow, slowmax, stuck, stuckfor, spurious, jitter, jittermax; "none" disables). The faults experiment adds this as a custom scenario.`)
+	oracleOn = flag.Bool("oracle", false, "attach the independent TLB-consistency oracle to every kernel; any stale translation granted fails the run")
 )
 
 func usage() {
@@ -61,6 +71,9 @@ experiments:
   taggedtlb   Extension: ASID-tagged TLBs with lazy release (§10)
   pools       Extension: processor pools for NUMA machines (§8)
   pageout     Extension: pageout under memory pressure (§5)
+  faults      Robustness: fault-injection campaign (dropped/delayed IPIs,
+              slow/stuck responders) with watchdog recovery and the
+              TLB-consistency oracle
   all         everything above
 
 flags:
@@ -92,8 +105,23 @@ func main() {
 	// experiments build, and a metrics snapshot of the last completed run.
 	var in experiments.Instrument
 	if *traceOut != "" {
-		in.Tracer = trace.New(*traceBuf)
+		tr, err := trace.New(*traceBuf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shootdownsim: -tracebuf: %v\n", err)
+			os.Exit(2)
+		}
+		in.Tracer = tr
 	}
+	if *faults != "" {
+		fc, err := fault.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shootdownsim: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		fc.Seed = *seed
+		in.Faults = &fc
+	}
+	in.Oracle = *oracleOn
 	var lastMetrics *trace.MetricSet
 	kernelRuns := 0
 	if *metrics != "" {
@@ -201,6 +229,10 @@ func main() {
 		}},
 		{"pageout", func() (any, string, error) {
 			r, err := experiments.Pageout(*seed, in)
+			return r, r.Render(), err
+		}},
+		{"faults", func() (any, string, error) {
+			r, err := experiments.FaultCampaign(*seed, in)
 			return r, r.Render(), err
 		}},
 	}

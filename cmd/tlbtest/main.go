@@ -82,7 +82,12 @@ func main() {
 	}
 
 	if *traceOut != "" {
-		cfg.App.Tracer = trace.New(*traceBuf)
+		tr, err := trace.New(*traceBuf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlbtest: -tracebuf: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.App.Tracer = tr
 	}
 	var lastMetrics *trace.MetricSet
 	if *metrics != "" {

@@ -156,6 +156,21 @@ type Options struct {
 	// DisableIdleOptimization makes initiators interrupt and synchronize
 	// with idle processors too (ablation).
 	DisableIdleOptimization bool
+
+	// WatchdogTimeout arms an initiator-side watchdog: if a responder has
+	// not acknowledged within this much virtual time, the initiator
+	// re-sends the IPI (it may have been dropped) and doubles the timeout
+	// up to WatchdogBackoffMax. Zero (the default) disables the watchdog —
+	// the paper's protocol, which trusts the interrupt hardware.
+	WatchdogTimeout sim.Time
+	// WatchdogMaxRetries is the number of timed-out retries before the
+	// watchdog escalates to the conservative path: the straggler's action
+	// queue is forced into the overflow state so its eventual response is
+	// a single full TLB flush. Default 4 (when the watchdog is armed).
+	WatchdogMaxRetries int
+	// WatchdogBackoffMax caps the exponential backoff between retries.
+	// Default 16× WatchdogTimeout.
+	WatchdogBackoffMax sim.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -164,6 +179,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FlushThreshold == 0 {
 		o.FlushThreshold = 8
+	}
+	if o.WatchdogTimeout > 0 {
+		if o.WatchdogMaxRetries == 0 {
+			o.WatchdogMaxRetries = 4
+		}
+		if o.WatchdogBackoffMax == 0 {
+			o.WatchdogBackoffMax = 16 * o.WatchdogTimeout
+		}
 	}
 	return o
 }
@@ -183,6 +206,12 @@ type Stats struct {
 	// LazyReleases counts whole-space flushes of retained (ASID-tagged)
 	// address spaces on processors no longer running them (Section 10).
 	LazyReleases uint64
+	// WatchdogTimeouts counts responder-ack waits that exceeded the
+	// watchdog timeout; WatchdogRetries the IPIs re-sent because of them;
+	// WatchdogEscalations the stragglers forced onto the full-flush path.
+	WatchdogTimeouts    uint64
+	WatchdogRetries     uint64
+	WatchdogEscalations uint64
 }
 
 // Shootdown is the Mach shootdown algorithm state: the active and idle
@@ -210,6 +239,9 @@ type Shootdown struct {
 	Span *trace.Tracer
 
 	stats Stats
+	// recoveryUS records, for every wait the watchdog had to rescue, the
+	// virtual microseconds from the first timeout to quiescence.
+	recoveryUS []float64
 }
 
 var _ Strategy = (*Shootdown)(nil)
@@ -244,6 +276,14 @@ func (s *Shootdown) Name() string { return "mach-shootdown" }
 
 // Stats returns a snapshot of the protocol counters.
 func (s *Shootdown) Stats() Stats { return s.stats }
+
+// WatchdogRecoveryUS returns the recovery latency, in virtual microseconds,
+// of every responder wait the watchdog rescued (first timeout → quiescence).
+func (s *Shootdown) WatchdogRecoveryUS() []float64 {
+	out := make([]float64, len(s.recoveryUS))
+	copy(out, s.recoveryUS)
+	return out
+}
 
 // Options returns the effective options.
 func (s *Shootdown) Options() Options { return s.opts }
@@ -341,10 +381,9 @@ func (s *Shootdown) Sync(ex *machine.Exec, op *Op, p Pmap, start, end ptable.VAd
 		s.Span.Begin(int64(ex.Now()), me, trace.CatShootdown, "shootdown-wait", int64(len(waitList)), 0)
 	}
 	for _, cpu := range waitList {
-		cpu := cpu
 		// A responder that stops using the pmap has flushed its entries
 		// for it; no need to synchronize with it (refinement 1).
-		ex.SpinWhile(func() bool { return s.active[cpu] && inUseFor(p, cpu, start, end) })
+		s.waitForResponder(ex, p, cpu, start, end)
 	}
 	if len(waitList) > 0 {
 		s.Span.End(int64(ex.Now()), me, trace.CatShootdown, "shootdown-wait")
@@ -363,6 +402,59 @@ func (s *Shootdown) Sync(ex *machine.Exec, op *Op, p Pmap, start, end ptable.VAd
 	}
 	s.Span.End(int64(ex.Now()), me, trace.CatShootdown, "shootdown-sync")
 	return shot
+}
+
+// waitForResponder implements the phase-1 wait on one processor: spin until
+// it acknowledges (leaves the active set) or stops using the pmap. With no
+// watchdog configured this is the paper's unbounded spin, which trusts the
+// interrupt hardware. With a watchdog armed, a timed-out spin re-sends the
+// IPI (it may have been dropped) under exponential backoff, and after
+// WatchdogMaxRetries forces the straggler's queue into the overflow state so
+// its eventual response is a single conservative full flush. The wait itself
+// is never abandoned: Sync's contract is that the pmap may be modified only
+// once the responder is quiescent, and no number of dropped interrupts makes
+// it safe to proceed without that.
+func (s *Shootdown) waitForResponder(ex *machine.Exec, p Pmap, cpu int, start, end ptable.VAddr) {
+	cond := func() bool { return s.active[cpu] && inUseFor(p, cpu, start, end) }
+	if s.opts.WatchdogTimeout <= 0 {
+		ex.SpinWhile(cond)
+		return
+	}
+	me := ex.CPUID()
+	timeout := s.opts.WatchdogTimeout
+	var firstTimeout sim.Time
+	escalated := false
+	for retry := 0; !ex.SpinWhileFor(cond, timeout); retry++ {
+		s.stats.WatchdogTimeouts++
+		if firstTimeout == 0 {
+			firstTimeout = ex.Now()
+		}
+		s.Span.Instant(int64(ex.Now()), me, trace.CatShootdown, "watchdog-timeout", int64(cpu), int64(retry))
+		if !escalated && retry >= s.opts.WatchdogMaxRetries {
+			escalated = true
+			s.stats.WatchdogEscalations++
+			s.Span.Instant(int64(ex.Now()), me, trace.CatShootdown, "watchdog-escalate", int64(cpu), 0)
+			lprev := s.actionLocks[cpu].Lock(ex)
+			s.overflow[cpu] = true
+			s.queues[cpu] = s.queues[cpu][:0]
+			s.actionLocks[cpu].Unlock(ex, lprev)
+		}
+		if !s.m.CPU(cpu).Pending(machine.VecIPI) {
+			s.stats.WatchdogRetries++
+			s.Span.Instant(int64(ex.Now()), me, trace.CatShootdown, "watchdog-retry", int64(cpu), int64(retry))
+			ex.SendIPI([]int{cpu})
+			s.stats.IPIsSent++
+		}
+		if timeout < s.opts.WatchdogBackoffMax {
+			timeout *= 2
+			if timeout > s.opts.WatchdogBackoffMax {
+				timeout = s.opts.WatchdogBackoffMax
+			}
+		}
+	}
+	if firstTimeout != 0 {
+		s.recoveryUS = append(s.recoveryUS, float64(ex.Now()-firstTimeout)/1000)
+	}
 }
 
 // enqueue adds an action to a CPU's queue; the caller holds the action
@@ -391,6 +483,14 @@ func (s *Shootdown) respond(ex *machine.Exec) {
 	t0 := ex.Now()
 	s.Span.Begin(int64(t0), me, trace.CatShootdown, "shootdown-respond", 0, 0)
 	prev := ex.DisableAll()
+	// Fault injection: a slow or briefly wedged responder stalls before
+	// doing any work, giving the initiator's watchdog something to time out
+	// against. Interrupts are already masked, matching the failure mode of
+	// a handler stuck in earlier non-preemptible work.
+	if d := s.m.Faults().ResponderDelay(); d > 0 {
+		s.Span.Instant(int64(ex.Now()), me, trace.CatShootdown, "responder-fault-stall", int64(d), 0)
+		ex.Stall(d)
+	}
 	for s.actionNeeded[me] {
 		s.stats.Responses++
 		// Phase 2: acknowledge, then stall until no initiator is mid-

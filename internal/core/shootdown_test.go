@@ -423,6 +423,99 @@ func TestQueueOverflowFlush(t *testing.T) {
 	}
 }
 
+// TestQueueOverflowDegradationTable drives the consistency-action queue
+// through every regime — comfortably fits, exactly full, one over, far
+// over — and checks detail 2 of Section 4 in each: enqueues past QueueSize
+// put the queue into the overflow state exactly when they should, overflow
+// degrades the drain to a full TLB flush, and no regime ever loses an
+// invalidation (every reprotected page faults on write after the drain).
+// FlushThreshold is pinned far above the page count so a full flush can
+// only come from overflow, not from the size heuristic.
+func TestQueueOverflowDegradationTable(t *testing.T) {
+	cases := []struct {
+		name         string
+		queueSize    int
+		pages        int
+		wantOverflow bool
+	}{
+		{"fits", 8, 4, false},
+		{"exactly-full", 4, 4, false},
+		{"one-over", 4, 5, true},
+		{"tiny-queue", 2, 6, true},
+		{"single-slot", 1, 3, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.New(sim.WithMaxTime(120_000_000_000))
+			costs := machine.DefaultCosts()
+			costs.JitterPct = 0
+			m := machine.New(eng, machine.Options{NumCPUs: 2, MemFrames: 512, Costs: costs})
+			sd := core.New(m, core.Options{QueueSize: tc.queueSize, FlushThreshold: 100})
+			sys, err := pmap.NewSystem(m, sd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := machine.KernelBase + 0x180000
+			for i := 0; i < tc.pages; i++ {
+				f, _ := m.Phys.AllocFrame()
+				if err := sys.Kernel.Table.Enter(base+ptable.VAddr(i*mem.PageSize), ptable.Make(f, true)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			eng.Spawn("idler", func(p *sim.Proc) {
+				ex := m.Attach(p, 1)
+				defer ex.Detach()
+				for i := 0; i < tc.pages; i++ {
+					if f := ex.Write(base+ptable.VAddr(i*mem.PageSize), 1); f != nil {
+						t.Errorf("prime write %d: %v", i, f)
+					}
+				}
+				sd.GoIdle(ex) // queue fills while we're idle (no IPIs)
+				ex.Advance(30_000_000)
+				sd.GoActive(ex)
+				for i := 0; i < tc.pages; i++ {
+					if f := ex.Write(base+ptable.VAddr(i*mem.PageSize), 2); f == nil {
+						t.Errorf("page %d still writable after drain", i)
+					}
+				}
+			})
+			eng.Spawn("initiator", func(p *sim.Proc) {
+				ex := m.Attach(p, 0)
+				defer ex.Detach()
+				ex.Advance(1_000_000)
+				for i := 0; i < tc.pages; i++ {
+					va := base + ptable.VAddr(i*mem.PageSize)
+					sys.Kernel.Protect(ex, va, va+mem.PageSize, pmap.ProtRead)
+				}
+			})
+			if err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+			st := sd.Stats()
+			if tc.wantOverflow {
+				if st.QueueOverflows == 0 {
+					t.Fatalf("queue never overflowed: %+v", st)
+				}
+				if st.FullFlushes == 0 {
+					t.Fatalf("overflow did not degrade to a full flush: %+v", st)
+				}
+			} else {
+				if st.QueueOverflows != 0 {
+					t.Fatalf("unexpected overflow with %d actions in a %d-slot queue: %+v",
+						tc.pages, tc.queueSize, st)
+				}
+				if st.FullFlushes != 0 {
+					t.Fatalf("full flush without overflow (threshold should not trip): %+v", st)
+				}
+				if st.EntriesInvalidated == 0 {
+					t.Fatalf("no individual invalidations recorded: %+v", st)
+				}
+			}
+		})
+	}
+}
+
 // TestLazyEvaluationSkipsUnmappedRanges: reprotecting a never-touched page
 // causes no shootdown with lazy evaluation, and does cause one without it
 // (when the second-level chunk exists) — the Parthenon guard-page case.

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"shootdown/internal/core"
+	"shootdown/internal/fault"
 	"shootdown/internal/kernel"
 	"shootdown/internal/trace"
 	"shootdown/internal/workload"
@@ -17,9 +19,16 @@ import (
 // consumes simulation randomness, so instrumented results are bit-identical
 // to uninstrumented ones. Experiments that assemble a bare machine with no
 // kernel (Pools) attach the tracer but never call Observe.
+// Instruments may also carry a fault-injection config and the oracle switch;
+// experiments propagate them to every kernel they build.
 type Instrument struct {
 	Tracer  *trace.Tracer
 	Observe func(*kernel.Kernel)
+	// Faults injects deterministic hardware faults into every kernel the
+	// experiment builds (nil = fault-free).
+	Faults *fault.Config
+	// Oracle attaches the TLB-consistency checker to every kernel.
+	Oracle bool
 }
 
 // pick flattens the optional variadic instrument parameter.
@@ -30,10 +39,26 @@ func pick(ins []Instrument) Instrument {
 	return ins[0]
 }
 
+// defaultWatchdog is armed whenever an instrument injects faults into an
+// experiment that did not configure its own watchdog: without it, a single
+// dropped IPI would hang the initiator until the virtual-time bound.
+var defaultWatchdog = core.Options{
+	WatchdogTimeout:    1_000_000,
+	WatchdogMaxRetries: 3,
+	WatchdogBackoffMax: 8_000_000,
+}
+
 // app applies the instrument to a workload configuration.
 func (in Instrument) app(c workload.AppConfig) workload.AppConfig {
 	c.Tracer = in.Tracer
 	c.Observe = in.Observe
+	c.Faults = in.Faults
+	c.Oracle = in.Oracle
+	if in.Faults != nil && in.Faults.Enabled() && c.ShootdownOptions.WatchdogTimeout == 0 {
+		c.ShootdownOptions.WatchdogTimeout = defaultWatchdog.WatchdogTimeout
+		c.ShootdownOptions.WatchdogMaxRetries = defaultWatchdog.WatchdogMaxRetries
+		c.ShootdownOptions.WatchdogBackoffMax = defaultWatchdog.WatchdogBackoffMax
+	}
 	return c
 }
 
@@ -41,6 +66,15 @@ func (in Instrument) app(c workload.AppConfig) workload.AppConfig {
 // that assemble kernels directly rather than via package workload).
 func (in Instrument) config(c kernel.Config) kernel.Config {
 	c.Tracer = in.Tracer
+	c.Oracle = in.Oracle
+	if in.Faults != nil && in.Faults.Enabled() {
+		c.Machine.Faults = fault.New(*in.Faults)
+		if c.Shootdown.WatchdogTimeout == 0 {
+			c.Shootdown.WatchdogTimeout = defaultWatchdog.WatchdogTimeout
+			c.Shootdown.WatchdogMaxRetries = defaultWatchdog.WatchdogMaxRetries
+			c.Shootdown.WatchdogBackoffMax = defaultWatchdog.WatchdogBackoffMax
+		}
+	}
 	return c
 }
 

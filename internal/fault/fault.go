@@ -1,0 +1,353 @@
+// Package fault is a deterministic, seed-driven fault injector for the
+// simulated multiprocessor. It models the failure modes the paper's
+// protocol implicitly assumes away — interprocessor interrupts that are
+// dropped or delayed by the interrupt hardware, responders that are slow
+// (or briefly stuck) servicing the shootdown interrupt, spurious shootdown
+// interrupts, and jittered bus timing — so the protocol-hardening layer
+// (watchdog retry/escalation in internal/core) and the consistency oracle
+// (internal/oracle) can be exercised under adversity.
+//
+// Every decision is drawn from a single seeded RNG that is consumed only at
+// engine-serialized points (inside running procs), so a campaign with a
+// fixed seed replays exactly: the same faults hit the same events in the
+// same order on every run.
+//
+// All Injector methods are safe on a nil receiver (they inject nothing), so
+// the machine layer needs no nil checks at call sites.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"shootdown/internal/sim"
+)
+
+// Config selects fault kinds and rates. Probabilities are in [0, 1]; a zero
+// probability disables the kind entirely (and consumes no randomness for
+// it, keeping unrelated campaigns comparable).
+type Config struct {
+	// Seed drives every injection decision. Two injectors with the same
+	// Config produce identical fault sequences.
+	Seed int64
+
+	// DropIPI is the probability that a shootdown IPI to one target is
+	// silently lost (never latched on the target's interrupt controller).
+	DropIPI float64
+	// DelayIPI is the probability that an IPI is latched but becomes
+	// deliverable only after a uniform delay in (0, DelayIPIMax].
+	DelayIPI    float64
+	DelayIPIMax sim.Time
+
+	// SlowResponder is the probability that a responder pass stalls for a
+	// uniform delay in (0, SlowResponderMax] before servicing its actions.
+	SlowResponder    float64
+	SlowResponderMax sim.Time
+	// StuckResponder is the probability of a much longer responder stall
+	// of exactly StuckResponderTime (a wedged driver, not a crash: the
+	// responder always comes back, so escalation stays sound).
+	StuckResponder     float64
+	StuckResponderTime sim.Time
+
+	// SpuriousIPI is the probability, per SendIPI call, that one extra
+	// random processor receives a shootdown interrupt it was never meant
+	// to get (the responder must tolerate an empty action queue).
+	SpuriousIPI float64
+
+	// BusJitter is the probability that a bus transaction takes a uniform
+	// extra (0, BusJitterMax] beyond its reserved slot.
+	BusJitter    float64
+	BusJitterMax sim.Time
+}
+
+// Default magnitudes applied by withDefaults when a probability is set but
+// its magnitude is zero.
+const (
+	defaultDelayIPIMax        = sim.Time(1_000_000)  // 1 ms
+	defaultSlowResponderMax   = sim.Time(500_000)    // 500 µs
+	defaultStuckResponderTime = sim.Time(10_000_000) // 10 ms
+	defaultBusJitterMax       = sim.Time(2_000)      // 2 µs
+)
+
+func (c Config) withDefaults() Config {
+	if c.DelayIPI > 0 && c.DelayIPIMax == 0 {
+		c.DelayIPIMax = defaultDelayIPIMax
+	}
+	if c.SlowResponder > 0 && c.SlowResponderMax == 0 {
+		c.SlowResponderMax = defaultSlowResponderMax
+	}
+	if c.StuckResponder > 0 && c.StuckResponderTime == 0 {
+		c.StuckResponderTime = defaultStuckResponderTime
+	}
+	if c.BusJitter > 0 && c.BusJitterMax == 0 {
+		c.BusJitterMax = defaultBusJitterMax
+	}
+	return c
+}
+
+// Validate rejects out-of-range probabilities and negative magnitudes.
+func (c Config) Validate() error {
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"drop", c.DropIPI}, {"delay", c.DelayIPI}, {"slow", c.SlowResponder},
+		{"stuck", c.StuckResponder}, {"spurious", c.SpuriousIPI}, {"jitter", c.BusJitter},
+	}
+	for _, p := range probs {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fault: probability %s=%v outside [0, 1]", p.name, p.v)
+		}
+	}
+	durs := []struct {
+		name string
+		v    sim.Time
+	}{
+		{"delaymax", c.DelayIPIMax}, {"slowmax", c.SlowResponderMax},
+		{"stuckfor", c.StuckResponderTime}, {"jittermax", c.BusJitterMax},
+	}
+	for _, d := range durs {
+		if d.v < 0 {
+			return fmt.Errorf("fault: duration %s=%v negative", d.name, d.v)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether any fault kind has a nonzero probability.
+func (c Config) Enabled() bool {
+	return c.DropIPI > 0 || c.DelayIPI > 0 || c.SlowResponder > 0 ||
+		c.StuckResponder > 0 || c.SpuriousIPI > 0 || c.BusJitter > 0
+}
+
+// Spec renders the config in ParseSpec's syntax (stable key order), for
+// labeling campaign rows.
+func (c Config) Spec() string {
+	c = c.withDefaults()
+	var parts []string
+	add := func(k string, p float64, durKey string, d sim.Time) {
+		if p <= 0 {
+			return
+		}
+		parts = append(parts, k+"="+strconv.FormatFloat(p, 'g', -1, 64))
+		if durKey != "" {
+			parts = append(parts, durKey+"="+d.Duration().String())
+		}
+	}
+	add("drop", c.DropIPI, "", 0)
+	add("delay", c.DelayIPI, "delaymax", c.DelayIPIMax)
+	add("slow", c.SlowResponder, "slowmax", c.SlowResponderMax)
+	add("stuck", c.StuckResponder, "stuckfor", c.StuckResponderTime)
+	add("spurious", c.SpuriousIPI, "", 0)
+	add("jitter", c.BusJitter, "jittermax", c.BusJitterMax)
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses a comma-separated key=value fault specification, e.g.
+//
+//	drop=0.15,delay=0.1,delaymax=2ms,slow=0.1,spurious=0.05
+//
+// Keys: drop, delay, slow, stuck, spurious, jitter (probabilities in
+// [0, 1]); delaymax, slowmax, stuckfor, jittermax (Go durations). Unset
+// magnitudes take kind-specific defaults. "none" or "" yields a zero
+// config. The Seed field is not part of the spec; callers set it.
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return c, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return c, fmt.Errorf("fault: bad spec element %q (want key=value)", kv)
+		}
+		if p, ok := probField(&c, k); ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return c, fmt.Errorf("fault: %s: %v", k, err)
+			}
+			*p = f
+			continue
+		}
+		if d, ok := durField(&c, k); ok {
+			dur, err := time.ParseDuration(v)
+			if err != nil {
+				return c, fmt.Errorf("fault: %s: %v", k, err)
+			}
+			*d = sim.Time(dur.Nanoseconds())
+			continue
+		}
+		return c, fmt.Errorf("fault: unknown spec key %q (known: %s)", k, strings.Join(specKeys(), ", "))
+	}
+	c = c.withDefaults()
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+func probField(c *Config, k string) (*float64, bool) {
+	switch k {
+	case "drop":
+		return &c.DropIPI, true
+	case "delay":
+		return &c.DelayIPI, true
+	case "slow":
+		return &c.SlowResponder, true
+	case "stuck":
+		return &c.StuckResponder, true
+	case "spurious":
+		return &c.SpuriousIPI, true
+	case "jitter":
+		return &c.BusJitter, true
+	}
+	return nil, false
+}
+
+func durField(c *Config, k string) (*sim.Time, bool) {
+	switch k {
+	case "delaymax":
+		return &c.DelayIPIMax, true
+	case "slowmax":
+		return &c.SlowResponderMax, true
+	case "stuckfor":
+		return &c.StuckResponderTime, true
+	case "jittermax":
+		return &c.BusJitterMax, true
+	}
+	return nil, false
+}
+
+func specKeys() []string {
+	ks := []string{"drop", "delay", "delaymax", "slow", "slowmax",
+		"stuck", "stuckfor", "spurious", "jitter", "jittermax"}
+	sort.Strings(ks)
+	return ks
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	DroppedIPIs    uint64
+	DelayedIPIs    uint64
+	SpuriousIPIs   uint64
+	SlowResponses  uint64
+	StuckResponses uint64
+	JitteredBusOps uint64
+}
+
+// Total sums all injected faults.
+func (s Stats) Total() uint64 {
+	return s.DroppedIPIs + s.DelayedIPIs + s.SpuriousIPIs +
+		s.SlowResponses + s.StuckResponses + s.JitteredBusOps
+}
+
+// Injector makes fault decisions from one seeded RNG. A nil *Injector
+// injects nothing.
+type Injector struct {
+	cfg   Config
+	rng   *rand.Rand
+	stats Stats
+}
+
+// New builds an injector. The config's magnitude defaults are applied.
+func New(cfg Config) *Injector {
+	cfg = cfg.withDefaults()
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Config returns the effective configuration (zero value on nil).
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// Stats returns a snapshot of the injection counters.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats
+}
+
+// uniform returns a value in (0, max], never zero so an injected fault is
+// always observable.
+func (in *Injector) uniform(max sim.Time) sim.Time {
+	if max <= 0 {
+		return 0
+	}
+	return 1 + sim.Time(in.rng.Int63n(int64(max)))
+}
+
+// OnIPI decides the fate of one IPI from CPU from to CPU to: dropped,
+// delivered after a delay, or (both zero-valued) delivered normally.
+func (in *Injector) OnIPI(from, to int) (drop bool, delay sim.Time) {
+	if in == nil {
+		return false, 0
+	}
+	if in.cfg.DropIPI > 0 && in.rng.Float64() < in.cfg.DropIPI {
+		in.stats.DroppedIPIs++
+		return true, 0
+	}
+	if in.cfg.DelayIPI > 0 && in.rng.Float64() < in.cfg.DelayIPI {
+		in.stats.DelayedIPIs++
+		return false, in.uniform(in.cfg.DelayIPIMax)
+	}
+	return false, 0
+}
+
+// SpuriousTarget decides, once per SendIPI call, whether some extra
+// processor receives a spurious shootdown interrupt, and which. The sender
+// is never chosen.
+func (in *Injector) SpuriousTarget(from, ncpu int) (int, bool) {
+	if in == nil || in.cfg.SpuriousIPI <= 0 || ncpu < 2 {
+		return 0, false
+	}
+	if in.rng.Float64() >= in.cfg.SpuriousIPI {
+		return 0, false
+	}
+	t := in.rng.Intn(ncpu - 1)
+	if t >= from {
+		t++
+	}
+	in.stats.SpuriousIPIs++
+	return t, true
+}
+
+// ResponderDelay decides how long a responder pass stalls before doing any
+// work: a long "stuck" period, a short "slow" period, or zero.
+func (in *Injector) ResponderDelay() sim.Time {
+	if in == nil {
+		return 0
+	}
+	if in.cfg.StuckResponder > 0 && in.rng.Float64() < in.cfg.StuckResponder {
+		in.stats.StuckResponses++
+		return in.cfg.StuckResponderTime
+	}
+	if in.cfg.SlowResponder > 0 && in.rng.Float64() < in.cfg.SlowResponder {
+		in.stats.SlowResponses++
+		return in.uniform(in.cfg.SlowResponderMax)
+	}
+	return 0
+}
+
+// BusJitter decides the extra stall for one bus transaction.
+func (in *Injector) BusJitter() sim.Time {
+	if in == nil || in.cfg.BusJitter <= 0 {
+		return 0
+	}
+	if in.rng.Float64() >= in.cfg.BusJitter {
+		return 0
+	}
+	in.stats.JitteredBusOps++
+	return in.uniform(in.cfg.BusJitterMax)
+}

@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"testing"
+
+	"shootdown/internal/sim"
+)
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if drop, delay := in.OnIPI(0, 1); drop || delay != 0 {
+		t.Fatalf("nil injector dropped or delayed an IPI")
+	}
+	if _, ok := in.SpuriousTarget(0, 16); ok {
+		t.Fatalf("nil injector produced a spurious target")
+	}
+	if d := in.ResponderDelay(); d != 0 {
+		t.Fatalf("nil injector delayed a responder: %v", d)
+	}
+	if d := in.BusJitter(); d != 0 {
+		t.Fatalf("nil injector jittered the bus: %v", d)
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("nil injector has stats: %+v", s)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	cfg := Config{
+		Seed: 42, DropIPI: 0.3, DelayIPI: 0.3, SlowResponder: 0.2,
+		StuckResponder: 0.05, SpuriousIPI: 0.2, BusJitter: 0.5,
+	}
+	type decision struct {
+		drop     bool
+		delay    sim.Time
+		spurious int
+		spuOK    bool
+		resp     sim.Time
+		jitter   sim.Time
+	}
+	run := func() []decision {
+		in := New(cfg)
+		var out []decision
+		for i := 0; i < 500; i++ {
+			var d decision
+			d.drop, d.delay = in.OnIPI(i%8, (i+1)%8)
+			d.spurious, d.spuOK = in.SpuriousTarget(i%8, 8)
+			d.resp = in.ResponderDelay()
+			d.jitter = in.BusJitter()
+			out = append(out, d)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged across replays: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRatesRoughlyHonored(t *testing.T) {
+	in := New(Config{Seed: 7, DropIPI: 0.25})
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		in.OnIPI(0, 1)
+	}
+	drops := in.Stats().DroppedIPIs
+	if drops < n/5 || drops > n/3 {
+		t.Fatalf("drop rate off: %d/%d for p=0.25", drops, n)
+	}
+}
+
+func TestSpuriousTargetNeverSender(t *testing.T) {
+	in := New(Config{Seed: 3, SpuriousIPI: 1})
+	for i := 0; i < 1000; i++ {
+		from := i % 4
+		tgt, ok := in.SpuriousTarget(from, 4)
+		if !ok {
+			t.Fatalf("spurious with p=1 did not fire")
+		}
+		if tgt == from || tgt < 0 || tgt >= 4 {
+			t.Fatalf("bad spurious target %d from %d", tgt, from)
+		}
+	}
+}
+
+func TestInjectedDelaysAreBoundedAndPositive(t *testing.T) {
+	in := New(Config{Seed: 9, DelayIPI: 1, DelayIPIMax: 100, SlowResponder: 1, SlowResponderMax: 50})
+	for i := 0; i < 1000; i++ {
+		if _, delay := in.OnIPI(0, 1); delay <= 0 || delay > 100 {
+			t.Fatalf("IPI delay %v outside (0, 100]", delay)
+		}
+		if d := in.ResponderDelay(); d <= 0 || d > 50 {
+			t.Fatalf("responder delay %v outside (0, 50]", d)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    Config
+		wantErr bool
+	}{
+		{spec: "", want: Config{}},
+		{spec: "none", want: Config{}},
+		{spec: "drop=0.15", want: Config{DropIPI: 0.15}},
+		{
+			spec: "drop=0.1,delay=0.2,delaymax=2ms,slow=0.3,slowmax=500us,stuck=0.01,stuckfor=5ms,spurious=0.05,jitter=0.4,jittermax=3us",
+			want: Config{
+				DropIPI: 0.1, DelayIPI: 0.2, DelayIPIMax: 2_000_000,
+				SlowResponder: 0.3, SlowResponderMax: 500_000,
+				StuckResponder: 0.01, StuckResponderTime: 5_000_000,
+				SpuriousIPI: 0.05, BusJitter: 0.4, BusJitterMax: 3_000,
+			},
+		},
+		// Magnitude defaults kick in when only the probability is given.
+		{spec: "delay=0.5", want: Config{DelayIPI: 0.5, DelayIPIMax: defaultDelayIPIMax}},
+		{spec: "drop=1.5", wantErr: true},
+		{spec: "drop", wantErr: true},
+		{spec: "bogus=1", wantErr: true},
+		{spec: "delaymax=notadur", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpec(%q): want error, got %+v", tc.spec, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	c, err := ParseSpec("drop=0.1,delay=0.25,delaymax=2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseSpec(c.Spec())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", c.Spec(), err)
+	}
+	if again != c {
+		t.Fatalf("spec round trip: %+v vs %+v", again, c)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"shootdown/internal/core"
+	"shootdown/internal/fault"
 	"shootdown/internal/kernel"
 	"shootdown/internal/mem"
 	"shootdown/internal/pmap"
@@ -30,12 +32,32 @@ func TestRandomizedConsistencyModel(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			runConsistencyModel(t, seed)
+			runConsistencyModel(t, seed, false)
 		})
 	}
 }
 
-func runConsistencyModel(t *testing.T, seed int64) {
+// TestChaosConsistencyModel is the same model check run on faulty hardware:
+// each iteration arms the fault injector (dropped and delayed IPIs, slow
+// responders, bus jitter) and the initiator watchdog, and attaches the
+// independent consistency oracle. The model's own invariants (no write
+// after a completed read-only protect, durability, termination) must hold
+// even while IPIs are being dropped — the watchdog's recovery is what makes
+// VMProtect's completion guarantee survive — and the oracle must observe no
+// stale translation granted.
+func TestChaosConsistencyModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized long-runner")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runConsistencyModel(t, seed, true)
+		})
+	}
+}
+
+func runConsistencyModel(t *testing.T, seed int64, chaos bool) {
 	const (
 		ncpu    = 6
 		pages   = 6
@@ -44,6 +66,23 @@ func runConsistencyModel(t *testing.T, seed int64) {
 	)
 	cfg := testConfig(ncpu)
 	cfg.ChaosSeed = seed
+	if chaos {
+		cfg.Machine.Faults = fault.New(fault.Config{
+			Seed:             seed * 31,
+			DropIPI:          0.12,
+			DelayIPI:         0.15,
+			DelayIPIMax:      1_000_000,
+			SlowResponder:    0.20,
+			SlowResponderMax: 200_000,
+			BusJitter:        0.15,
+		})
+		cfg.Shootdown = core.Options{
+			WatchdogTimeout:    1_000_000,
+			WatchdogMaxRetries: 3,
+			WatchdogBackoffMax: 8_000_000,
+		}
+		cfg.Oracle = true
+	}
 	k, err := kernel.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -151,7 +190,26 @@ func runConsistencyModel(t *testing.T, seed int64) {
 	if violations != 0 {
 		t.Fatalf("seed %d: %d writes succeeded on ranges whose read-only protect had completed", seed, violations)
 	}
-	if k.Shoot.Stats().Syncs == 0 {
+	st := k.Shoot.Stats()
+	if st.Syncs == 0 {
 		t.Fatalf("seed %d: the scenario never exercised the shootdown", seed)
+	}
+	if chaos {
+		fs := k.M.Faults().Stats()
+		if fs.Total() == 0 {
+			t.Fatalf("seed %d: the injector never fired; the chaos run tested nothing", seed)
+		}
+		if fs.DroppedIPIs > 0 && st.WatchdogTimeouts == 0 {
+			t.Fatalf("seed %d: %d IPIs dropped but the watchdog never timed out — a drop went unnoticed",
+				seed, fs.DroppedIPIs)
+		}
+		k.Oracle.Check()
+		ost := k.Oracle.Stats()
+		if ost.Violations != 0 {
+			t.Fatalf("seed %d: oracle observed %d violations: %v", seed, ost.Violations, k.Oracle.Err())
+		}
+		if ost.UseChecks == 0 || ost.SyncChecks == 0 {
+			t.Fatalf("seed %d: oracle never checked anything: %+v", seed, ost)
+		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"shootdown/internal/core"
 	"shootdown/internal/machine"
+	"shootdown/internal/oracle"
 	"shootdown/internal/pmap"
 	"shootdown/internal/sim"
 	"shootdown/internal/trace"
@@ -54,6 +55,11 @@ type Config struct {
 	// virtual time and consumes no simulation randomness, so results are
 	// bit-identical with and without it.
 	Tracer *trace.Tracer
+	// Oracle, when true, attaches an independent TLB-consistency checker
+	// (internal/oracle) that shadows every page table and fails Run if any
+	// TLB grants an access through a stale translation. Checking charges no
+	// virtual time and consumes no simulation randomness.
+	Oracle bool
 }
 
 func (c Config) withDefaults() Config {
@@ -82,7 +88,9 @@ type Kernel struct {
 	// Shoot is the Mach shootdown instance when it is the strategy
 	// (nil under baseline strategies).
 	Shoot *core.Shootdown
-	Trace *xpr.Buffer
+	// Oracle is the consistency checker when Config.Oracle is set.
+	Oracle *oracle.Oracle
+	Trace  *xpr.Buffer
 
 	cfg Config
 
@@ -151,6 +159,13 @@ func New(cfg Config) (*Kernel, error) {
 		return nil, err
 	}
 	k.Pmaps = psys
+	if cfg.Oracle {
+		o := oracle.New(m)
+		o.Track(psys.Kernel.Table, psys.Kernel.ASID(), true)
+		psys.TableHook = o.Track
+		m.SetMMUObserver(o)
+		k.Oracle = o
+	}
 	k.VM = vm.NewSystem(m, psys)
 	m.SetHandler(machine.VecTimer, func(ex *machine.Exec, _ machine.Vector) {
 		k.timerTick(ex)
@@ -202,6 +217,10 @@ func (k *Kernel) Run() error {
 	}
 	err := k.Eng.Run()
 	k.closeOpenSpans()
+	if err == nil {
+		k.Oracle.Check()
+		err = k.Oracle.Err()
+	}
 	return err
 }
 
@@ -290,6 +309,7 @@ func (k *Kernel) idleLoop(p *sim.Proc, cpu int) {
 		k.current[cpu] = next
 		ex.Detach()
 		k.Eng.Wake(next.proc)
+		p.SetWaiting(fmt.Sprintf("idle loop: waiting for thread %q to release cpu%d", next.name, cpu), next.proc)
 		p.Block() // until the thread returns the CPU
 	}
 }

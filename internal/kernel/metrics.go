@@ -41,6 +41,39 @@ func (k *Kernel) Metrics() *trace.MetricSet {
 		shoot("full_flushes_total", "Whole-buffer (or per-ASID) flushes.", s.FullFlushes)
 		shoot("entries_invalidated_total", "Individual TLB entries invalidated.", s.EntriesInvalidated)
 		shoot("lazy_releases_total", "Whole-space flushes of retained tagged spaces.", s.LazyReleases)
+		shoot("watchdog_timeouts_total", "Responder-ack waits that exceeded the watchdog timeout.", s.WatchdogTimeouts)
+		shoot("watchdog_retries_total", "IPIs re-sent by the watchdog.", s.WatchdogRetries)
+		shoot("watchdog_escalations_total", "Stragglers forced onto the full-flush path.", s.WatchdogEscalations)
+		ms.Histogram("shootdown_watchdog_recovery_microseconds",
+			"Watchdog recovery latency (first timeout to responder quiescence, µs).",
+			latencyHistogram(k.Shoot.WatchdogRecoveryUS()), nil)
+	}
+
+	if inj := k.M.Faults(); inj != nil {
+		f := inj.Stats()
+		fc := func(name, help string, v uint64) {
+			ms.Counter("fault_"+name, help, float64(v), nil)
+		}
+		fc("dropped_ipis_total", "IPIs silently discarded by the injector.", f.DroppedIPIs)
+		fc("delayed_ipis_total", "IPIs delivered late by the injector.", f.DelayedIPIs)
+		fc("spurious_ipis_total", "IPIs delivered that nobody sent.", f.SpuriousIPIs)
+		fc("slow_responses_total", "Responder passes stalled by the injector.", f.SlowResponses)
+		fc("stuck_responses_total", "Responder passes wedged for the stuck duration.", f.StuckResponses)
+		fc("jittered_bus_ops_total", "Bus operations given extra latency.", f.JitteredBusOps)
+	}
+
+	if k.Oracle != nil {
+		o := k.Oracle.Stats()
+		oc := func(name, help string, v uint64) {
+			ms.Counter("oracle_"+name, help, float64(v), nil)
+		}
+		oc("use_checks_total", "Translations checked at TLB-use points.", o.UseChecks)
+		oc("insert_checks_total", "Translations checked at TLB-insert points.", o.InsertChecks)
+		oc("sync_checks_total", "Full physical-vs-shadow table comparisons.", o.SyncChecks)
+		oc("violations_total", "Stale translations granted (any nonzero value is a protocol bug).", o.Violations)
+		ms.Gauge("oracle_stale_cached_entries",
+			"Stale entries parked in TLBs at the last sync check (legal; informational).",
+			float64(o.StaleCached), nil)
 	}
 
 	var agg tlb.Stats

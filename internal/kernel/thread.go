@@ -72,6 +72,11 @@ type Thread struct {
 	// Err records the error that terminated the body, if the workload
 	// stores one via Fail.
 	Err error
+
+	// waitReason and waitOn, when set before a blocking call, annotate the
+	// proc's entry in the engine's wait graph; yieldTo consumes them.
+	waitReason string
+	waitOn     []*sim.Proc
 }
 
 // Spawn creates a thread in the task and makes it runnable. It may be
@@ -81,6 +86,7 @@ func (t *Task) Spawn(name string, body func(*Thread)) *Thread {
 	th := &Thread{k: k, task: t, name: name, body: body, state: threadReady}
 	k.live++
 	th.proc = k.Eng.Spawn(fmt.Sprintf("thread:%s", name), func(p *sim.Proc) {
+		p.SetWaiting("spawned: waiting for first dispatch")
 		p.Block() // wait for first dispatch
 		th.ex = k.M.Attach(p, th.cpu)
 		th.body(th)
@@ -132,12 +138,22 @@ func (t *Thread) Fail(err error) { t.Err = err }
 // loop; it returns when the scheduler dispatches the thread again.
 func (t *Thread) yieldTo(newState threadState) {
 	k := t.k
+	reason, deps := t.waitReason, t.waitOn
+	t.waitReason, t.waitOn = "", nil
+	if reason == "" {
+		if newState == threadReady {
+			reason = "ready: waiting for redispatch"
+		} else {
+			reason = "blocked: waiting for wakeup"
+		}
+	}
 	if newState == threadReady {
 		k.enqueue(t.ex, t)
 	} else {
 		t.state = newState
 	}
 	t.releaseCPU()
+	t.proc.SetWaiting(reason, deps...)
 	t.proc.Block()
 	t.ex = k.M.Attach(t.proc, t.cpu)
 }
@@ -163,6 +179,8 @@ func (t *Thread) Join(other *Thread) {
 		return
 	}
 	other.joiners = append(other.joiners, t)
+	t.waitReason = fmt.Sprintf("join: waiting for thread %q to exit", other.name)
+	t.waitOn = []*sim.Proc{other.proc}
 	t.blockSelf()
 }
 
@@ -319,6 +337,7 @@ func (t *Thread) P(s *Semaphore) {
 	t.ex.ChargeInstr()
 	for s.count == 0 {
 		s.waiters = append(s.waiters, t)
+		t.waitReason = "semaphore: waiting for V"
 		t.blockSelf()
 	}
 	s.count--
@@ -347,6 +366,8 @@ func (t *Thread) Lock(mu *Mutex) {
 	t.ex.ChargeInstr()
 	for mu.holder != nil {
 		mu.waiters = append(mu.waiters, t)
+		t.waitReason = fmt.Sprintf("mutex: waiting for thread %q to unlock", mu.holder.name)
+		t.waitOn = []*sim.Proc{mu.holder.proc}
 		t.blockSelf()
 	}
 	mu.holder = t

@@ -170,6 +170,32 @@ func (ex *Exec) SpinWhile(cond func() bool) {
 	}
 }
 
+// SpinWhileFor is SpinWhile bounded by a virtual-time budget: it returns
+// true when cond became false, or false once at least budget has elapsed
+// with cond still true (the shootdown watchdog's timeout primitive). Its
+// per-iteration costs mirror SpinWhile exactly, so enabling a watchdog that
+// never fires does not perturb simulation results.
+func (ex *Exec) SpinWhileFor(cond func() bool, budget sim.Time) bool {
+	period := ex.machine.costs.SpinBusPeriod
+	deadline := ex.Now() + budget
+	for i := 1; cond(); i++ {
+		if ex.Now() >= deadline {
+			return false
+		}
+		ex.Advance(ex.machine.costs.SpinCheck)
+		if period > 0 && i%period == 0 {
+			ex.busStall(1)
+		}
+	}
+	return true
+}
+
+// Stall consumes exactly d of virtual time without interrupt delivery and
+// without cost jitter (no simulation randomness). The fault injector's
+// slow-responder stalls go through this so an injected delay is charged
+// as-is and fault campaigns replay exactly.
+func (ex *Exec) Stall(d sim.Time) { ex.advanceNoIRQ(d) }
+
 // busStall issues n bus transactions one at a time, stalling for each
 // queueing delay. Issuing individually matters under contention: other
 // processors' transactions interleave with ours, so a multi-word burst
@@ -185,6 +211,9 @@ func (ex *Exec) busStall(n int) {
 		if q := w - ex.machine.Bus.Occupancy(); q > 0 {
 			ex.machine.tracer.Instant(int64(now), ex.cpu.id, trace.CatMachine, "bus-wait", int64(q), 0)
 		}
+		// Injected timing faults stretch the transaction beyond its
+		// reserved slot (marginal bus arbitration, retried cycles).
+		w += ex.machine.faults.BusJitter()
 		ex.advanceNoIRQ(w)
 	}
 }
@@ -201,23 +230,47 @@ func (ex *Exec) SendIPI(targets []int) {
 		ex.busStall(1)
 		for _, t := range targets {
 			ex.charge(m.costs.IPIMulticastPerTarget)
-			m.Post(t, VecIPI)
+			ex.postIPI(t)
 		}
 	case IPIBroadcast:
 		ex.charge(m.costs.IPIMulticastBase)
 		ex.busStall(1)
 		for i := range m.cpus {
 			if i != ex.cpu.id {
-				m.Post(i, VecIPI)
+				ex.postIPI(i)
 			}
 		}
 	default: // IPIUnicast: one device-register write per target, serially
 		for _, t := range targets {
 			ex.charge(m.costs.IPISend)
 			ex.busStall(1)
-			m.Post(t, VecIPI)
+			ex.postIPI(t)
 		}
 	}
+	// Glitchy interrupt hardware occasionally raises a shootdown interrupt
+	// on a processor nobody aimed at; the responder must tolerate finding
+	// no work. The sender is charged nothing — the fault is in the wires.
+	if t, ok := m.faults.SpuriousTarget(ex.cpu.id, len(m.cpus)); ok {
+		m.tracer.Instant(int64(ex.Now()), t, trace.CatMachine, "ipi-spurious", int64(ex.cpu.id), 0)
+		m.Post(t, VecIPI)
+	}
+}
+
+// postIPI delivers one shootdown interrupt, consulting the fault injector:
+// the IPI may be silently dropped (never latched, so the target's pending
+// flag stays clear and a watchdog retry will re-send) or latched with a
+// delivery delay.
+func (ex *Exec) postIPI(t int) {
+	m := ex.machine
+	drop, delay := m.faults.OnIPI(ex.cpu.id, t)
+	if drop {
+		m.tracer.Instant(int64(ex.Now()), t, trace.CatMachine, "ipi-drop", int64(ex.cpu.id), 0)
+		return
+	}
+	if delay > 0 {
+		m.tracer.Instant(int64(ex.Now()), t, trace.CatMachine, "ipi-delay", int64(delay), 0)
+	}
+	m.PostAfter(t, VecIPI, delay)
 }
 
 // InvalidateTLBEntries drops the entries for pages in [start, end) from
@@ -319,6 +372,11 @@ func (ex *Exec) translate(va ptable.VAddr, write bool) (ptable.PTE, *Fault) {
 				return 0, f
 			}
 		}
+		if m.mmuObs != nil {
+			// The cached entry is about to grant the access — the moment a
+			// stale translation becomes an observable consistency violation.
+			m.mmuObs.OnTLBUse(c.id, va, asid, e.PTE, table, write)
+		}
 		return e.PTE.WithFlags(need), nil
 	}
 
@@ -340,6 +398,9 @@ func (ex *Exec) translate(va ptable.VAddr, write bool) (ptable.PTE, *Fault) {
 		c.TLB.CountWriteback()
 	}
 	c.TLB.Insert(va, asid, pte.WithFlags(flags))
+	if m.mmuObs != nil {
+		m.mmuObs.OnTLBInsert(c.id, va, asid, pte.WithFlags(flags), table)
+	}
 	if write && !pte.Writable() {
 		return 0, &Fault{VA: va, Write: true, Kind: FaultProtection}
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"shootdown/internal/fault"
 	"shootdown/internal/mem"
 	"shootdown/internal/ptable"
 	"shootdown/internal/sim"
@@ -105,6 +106,10 @@ type Options struct {
 	RemoteInvalidate bool
 	// Seed drives cost jitter and the Random TLB replacement policy.
 	Seed int64
+	// Faults, when set, injects hardware misbehavior (dropped/delayed
+	// IPIs, spurious interrupts, bus jitter) into the machine. Nil runs
+	// the fault-free hardware the paper assumes.
+	Faults *fault.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -134,9 +139,11 @@ type Machine struct {
 	opts     Options
 	costs    Costs
 	rng      *rand.Rand
+	faults   *fault.Injector
 	handlers [numVectors]Handler
 	prio     [numVectors]IPL
 	tracer   *trace.Tracer
+	mmuObs   MMUObserver
 
 	kernelTable *ptable.Table
 }
@@ -147,8 +154,9 @@ type CPU struct {
 	id  int
 	TLB *tlb.TLB
 
-	ipl     IPL
-	pending [numVectors]bool
+	ipl       IPL
+	pending   [numVectors]bool
+	pendingAt [numVectors]sim.Time // earliest delivery time while pending
 
 	cur *Exec // execution context currently on this CPU, if any
 
@@ -160,11 +168,12 @@ type CPU struct {
 func New(eng *sim.Engine, opts Options) *Machine {
 	opts = opts.withDefaults()
 	m := &Machine{
-		Eng:   eng,
-		Phys:  mem.New(opts.MemFrames),
-		opts:  opts,
-		costs: opts.Costs,
-		rng:   rand.New(rand.NewSource(opts.Seed + 1000)),
+		Eng:    eng,
+		Phys:   mem.New(opts.MemFrames),
+		opts:   opts,
+		costs:  opts.Costs,
+		rng:    rand.New(rand.NewSource(opts.Seed + 1000)),
+		faults: opts.Faults,
 	}
 	m.Bus = NewBus(m.costs.BusOccupancy)
 	// Vector priorities: device and timer sit at device level. The IPI
@@ -236,17 +245,52 @@ func (m *Machine) VectorPriority(v Vector) IPL { return m.prio[v] }
 // shootdown interrupt pending" check relies on this). Post may be called
 // from any running proc.
 func (m *Machine) Post(target int, v Vector) (wasPending bool) {
+	return m.PostAfter(target, v, 0)
+}
+
+// PostAfter latches an interrupt that becomes deliverable only after the
+// given extra delay — the fault injector's delayed-IPI model. The vector
+// counts as pending immediately (it is latched in the interrupt
+// controller, merely in flight), so initiator-side coalescing still sees
+// it. Re-posting an already-pending vector with a shorter delay moves the
+// delivery time earlier: a watchdog's retry IPI overtakes a delayed one.
+func (m *Machine) PostAfter(target int, v Vector, delay sim.Time) (wasPending bool) {
 	cpu := m.cpus[target]
+	now := m.Eng.Now()
+	nudge := func() {
+		if cpu.cur != nil && cpu.cur.proc != nil {
+			m.Eng.Preempt(cpu.cur.proc, now+m.costs.IRQLatency+delay)
+		}
+	}
 	if cpu.pending[v] {
+		if at := now + delay; at < cpu.pendingAt[v] {
+			cpu.pendingAt[v] = at
+			nudge()
+		}
 		return true
 	}
 	cpu.pending[v] = true
-	m.tracer.Instant(int64(m.Eng.Now()), target, trace.CatMachine, postName(v), 0, 0)
-	if cpu.cur != nil && cpu.cur.proc != nil {
-		m.Eng.Preempt(cpu.cur.proc, m.Eng.Now()+m.costs.IRQLatency)
-	}
+	cpu.pendingAt[v] = now + delay
+	m.tracer.Instant(int64(now), target, trace.CatMachine, postName(v), int64(delay), 0)
+	nudge()
 	return false
 }
+
+// Faults returns the machine's fault injector (possibly nil).
+func (m *Machine) Faults() *fault.Injector { return m.faults }
+
+// MMUObserver watches successful translations, for consistency checking
+// that is independent of the shootdown protocol (internal/oracle). OnTLBUse
+// fires when a cached entry grants an access; OnTLBInsert fires when a
+// hardware reload caches a fresh entry. Observers must charge no virtual
+// time and consume no simulation randomness.
+type MMUObserver interface {
+	OnTLBUse(cpu int, va ptable.VAddr, asid tlb.ASID, entry ptable.PTE, table *ptable.Table, write bool)
+	OnTLBInsert(cpu int, va ptable.VAddr, asid tlb.ASID, entry ptable.PTE, table *ptable.Table)
+}
+
+// SetMMUObserver installs the translation observer (nil detaches it).
+func (m *Machine) SetMMUObserver(o MMUObserver) { m.mmuObs = o }
 
 // postName and irqName map vectors to constant event names (no per-event
 // string building on the hot path).
@@ -295,11 +339,14 @@ func (c *CPU) UserTable() *ptable.Table { return c.userTable }
 func (c *CPU) Current() *Exec { return c.cur }
 
 // takeDeliverable dequeues the highest-priority deliverable pending vector.
+// A vector posted with a delay (fault injection) stays latched but is not
+// deliverable before its arrival time.
 func (c *CPU) takeDeliverable() (Vector, bool) {
 	best := Vector(-1)
 	var bestPrio IPL = -1
+	now := c.m.Eng.Now()
 	for v := Vector(0); v < numVectors; v++ {
-		if c.pending[v] && c.m.prio[v] > c.ipl && c.m.prio[v] > bestPrio {
+		if c.pending[v] && now >= c.pendingAt[v] && c.m.prio[v] > c.ipl && c.m.prio[v] > bestPrio {
 			best, bestPrio = v, c.m.prio[v]
 		}
 	}

@@ -1,0 +1,308 @@
+// Package oracle is an independent TLB-consistency checker. It shadows
+// every page-table update at the instant the PTE word is written (via
+// ptable.Table.OnWrite) and observes every TLB use and reload (via
+// machine.MMUObserver), sharing no state or code paths with the shootdown
+// protocol it is checking. If the protocol is correct, no simulated TLB
+// ever *grants an access* through a translation that disagrees with the
+// shadow — that is the invariant, checked at the only points where
+// staleness is observable:
+//
+//   - OnTLBUse: a cached entry satisfied a translation. The entry must not
+//     map a different frame than the shadow, must not be valid where the
+//     shadow is unmapped, and must not permit a write the shadow forbids.
+//   - OnTLBInsert: a hardware reload cached a PTE read from the table. The
+//     same comparison applies (a reload racing a pmap update is precisely
+//     the Section 3 hazard the protocol stalls responders to prevent).
+//
+// A TLB merely *holding* a stale entry is not a violation: the paper's
+// idle-processor optimization deliberately leaves stale entries cached on
+// idle processors with the invalidation queued, and ASID-tagged TLBs retain
+// entries for inactive spaces (Section 10). Check therefore reports such
+// entries only as an informational count, and separately asserts that the
+// physical page tables agree with the shadow — catching the other Section 3
+// hazard, a blind reference/modify writeback resurrecting an overwritten
+// PTE.
+//
+// Entries granting *less* access than the shadow are always legal: the
+// kernel clears reference bits without shootdown, and pure permission
+// upgrades heal through ordinary faults.
+package oracle
+
+import (
+	"fmt"
+
+	"shootdown/internal/machine"
+	"shootdown/internal/ptable"
+	"shootdown/internal/sim"
+	"shootdown/internal/tlb"
+)
+
+// rmMask strips the bits a TLB may legitimately cache differently from the
+// table: reference and modify are written back lazily.
+const rmMask = ptable.PTEReferenced | ptable.PTEModified
+
+// maxViolations bounds the retained violation records (all are counted).
+const maxViolations = 32
+
+// Stats counts oracle activity.
+type Stats struct {
+	TrackedTables uint64 // page tables shadowed
+	TrackedWrites uint64 // PTE writes mirrored into the shadow
+	UseChecks     uint64 // TLB-hit translations checked
+	InsertChecks  uint64 // TLB reloads checked
+	SyncChecks    uint64 // Check() calls
+	// StaleCached is the number of cached-but-stale TLB entries seen by the
+	// most recent Check — legal under the idle and ASID optimizations, so
+	// informational only.
+	StaleCached uint64
+	Violations  uint64
+}
+
+// Violation is one observed breach of the consistency invariant.
+type Violation struct {
+	Time sim.Time
+	CPU  int
+	Kind string // "stale-use", "stale-insert", "table-divergence"
+	VA   ptable.VAddr
+	ASID tlb.ASID
+	Got  ptable.PTE // what the TLB (or table) held
+	Want ptable.PTE // what the shadow holds (0 = unmapped)
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%v cpu%d %s va=%#x asid=%d got=%v want=%v",
+		v.Time.Duration(), v.CPU, v.Kind, uint32(v.VA), v.ASID, v.Got, v.Want)
+}
+
+// shadow is the oracle's private copy of one page table's valid mappings.
+type shadow struct {
+	table   *ptable.Table
+	asid    tlb.ASID
+	kernel  bool
+	entries map[ptable.VAddr]ptable.PTE // page VA -> PTE; absent = unmapped
+}
+
+// Oracle shadows tracked page tables and checks TLB observations against
+// them. All methods run at engine-serialized points, so no locking is
+// needed. A nil *Oracle is safe everywhere and checks nothing.
+type Oracle struct {
+	m          *machine.Machine
+	shadows    []*shadow
+	byTable    map[*ptable.Table]*shadow
+	byASID     map[tlb.ASID]*shadow
+	stats      Stats
+	violations []Violation
+}
+
+var _ machine.MMUObserver = (*Oracle)(nil)
+
+// New builds an oracle for machine m. Call Track for each page table and
+// machine.SetMMUObserver to start observing translations.
+func New(m *machine.Machine) *Oracle {
+	return &Oracle{
+		m:       m,
+		byTable: make(map[*ptable.Table]*shadow),
+		byASID:  make(map[tlb.ASID]*shadow),
+	}
+}
+
+// Track starts shadowing a page table, installing its OnWrite/OnDestroy
+// hooks (chaining any existing hook). Track the table before any mapping is
+// entered; pre-existing valid entries are snapshotted as a starting shadow.
+func (o *Oracle) Track(t *ptable.Table, asid tlb.ASID, kernel bool) {
+	if o == nil || t == nil {
+		return
+	}
+	if _, dup := o.byTable[t]; dup {
+		return
+	}
+	sh := &shadow{table: t, asid: asid, kernel: kernel, entries: make(map[ptable.VAddr]ptable.PTE)}
+	t.ForEach(0, ^ptable.VAddr(0), func(va ptable.VAddr, pte ptable.PTE) {
+		sh.entries[va] = pte
+	})
+	o.shadows = append(o.shadows, sh)
+	o.byTable[t] = sh
+	o.byASID[asid] = sh
+	o.stats.TrackedTables++
+	prevWrite, prevDestroy := t.OnWrite, t.OnDestroy
+	t.OnWrite = func(va ptable.VAddr, pte ptable.PTE) {
+		if prevWrite != nil {
+			prevWrite(va, pte)
+		}
+		o.stats.TrackedWrites++
+		if pte.Valid() {
+			sh.entries[va] = pte
+		} else {
+			delete(sh.entries, va)
+		}
+	}
+	t.OnDestroy = func() {
+		if prevDestroy != nil {
+			prevDestroy()
+		}
+		o.untrack(sh)
+	}
+}
+
+func (o *Oracle) untrack(sh *shadow) {
+	delete(o.byTable, sh.table)
+	if o.byASID[sh.asid] == sh {
+		delete(o.byASID, sh.asid)
+	}
+	for i, s := range o.shadows {
+		if s == sh {
+			o.shadows = append(o.shadows[:i], o.shadows[i+1:]...)
+			break
+		}
+	}
+}
+
+// staleAgainst reports whether a translation the TLB is acting on grants
+// more than the shadow allows, and what the shadow holds. write indicates
+// the access being granted actually writes.
+func staleAgainst(sh *shadow, va ptable.VAddr, entry ptable.PTE, write bool) (ptable.PTE, bool) {
+	want, mapped := sh.entries[va.Page()]
+	if !mapped {
+		return 0, true // translating through an unmapped page
+	}
+	if entry.Frame() != want.Frame() {
+		return want, true // wrong frame
+	}
+	if write && !want.Writable() {
+		return want, true // writing through a read-only mapping
+	}
+	return want, false
+}
+
+func (o *Oracle) record(v Violation) {
+	o.stats.Violations++
+	if len(o.violations) < maxViolations {
+		o.violations = append(o.violations, v)
+	}
+}
+
+// OnTLBUse implements machine.MMUObserver: a cached entry granted an access.
+func (o *Oracle) OnTLBUse(cpu int, va ptable.VAddr, asid tlb.ASID, entry ptable.PTE, table *ptable.Table, write bool) {
+	if o == nil {
+		return
+	}
+	sh, ok := o.byTable[table]
+	if !ok {
+		return
+	}
+	o.stats.UseChecks++
+	if want, stale := staleAgainst(sh, va, entry, write); stale {
+		o.record(Violation{Time: o.m.Eng.Now(), CPU: cpu, Kind: "stale-use",
+			VA: va.Page(), ASID: asid, Got: entry, Want: want})
+	}
+}
+
+// OnTLBInsert implements machine.MMUObserver: a hardware reload cached a PTE.
+func (o *Oracle) OnTLBInsert(cpu int, va ptable.VAddr, asid tlb.ASID, entry ptable.PTE, table *ptable.Table) {
+	if o == nil {
+		return
+	}
+	sh, ok := o.byTable[table]
+	if !ok {
+		return
+	}
+	o.stats.InsertChecks++
+	// A reload must agree with the shadow outright: it just read the
+	// physical table, so any disagreement means the reload raced an update
+	// (or the table itself has diverged). Writability is compared directly
+	// — caching W the shadow forbids will grant a bad write later.
+	want, mapped := sh.entries[va.Page()]
+	if !mapped || entry.Frame() != want.Frame() || (entry.Writable() && !want.Writable()) {
+		o.record(Violation{Time: o.m.Eng.Now(), CPU: cpu, Kind: "stale-insert",
+			VA: va.Page(), ASID: asid, Got: entry, Want: want})
+	}
+}
+
+// Check is the sync-point assertion: every tracked physical page table must
+// agree with its shadow (masking the hardware-written R/M bits), in both
+// directions. It also refreshes the informational stale-cached count. It
+// returns the number of new violations recorded.
+func (o *Oracle) Check() int {
+	if o == nil {
+		return 0
+	}
+	o.stats.SyncChecks++
+	before := o.stats.Violations
+	for _, sh := range o.shadows {
+		seen := make(map[ptable.VAddr]bool, len(sh.entries))
+		sh.table.ForEach(0, ^ptable.VAddr(0), func(va ptable.VAddr, pte ptable.PTE) {
+			seen[va] = true
+			want, mapped := sh.entries[va]
+			if !mapped || pte.WithoutFlags(rmMask) != want.WithoutFlags(rmMask) {
+				o.record(Violation{Time: o.m.Eng.Now(), CPU: -1, Kind: "table-divergence",
+					VA: va, ASID: sh.asid, Got: pte, Want: want})
+			}
+		})
+		for va, want := range sh.entries {
+			if !seen[va] {
+				o.record(Violation{Time: o.m.Eng.Now(), CPU: -1, Kind: "table-divergence",
+					VA: va, ASID: sh.asid, Got: 0, Want: want})
+			}
+		}
+	}
+	o.stats.StaleCached = o.countStaleCached()
+	return int(o.stats.Violations - before)
+}
+
+// countStaleCached scans every CPU's TLB for cached entries that disagree
+// with the shadow of the table they came from. These are not violations
+// (see the package comment) — the count exists so campaigns can see how
+// much staleness the optimizations leave parked in TLBs.
+func (o *Oracle) countStaleCached() uint64 {
+	var n uint64
+	for i := 0; i < o.m.NumCPUs(); i++ {
+		for _, e := range o.m.CPU(i).TLB.Entries() {
+			sh, ok := o.byASID[e.ASID]
+			if !ok {
+				continue
+			}
+			if _, stale := staleAgainst(sh, e.VA, e.PTE, false); stale {
+				n++
+			} else if e.PTE.Writable() && !sh.entries[e.VA.Page()].Writable() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of the oracle counters.
+func (o *Oracle) Stats() Stats {
+	if o == nil {
+		return Stats{}
+	}
+	return o.stats
+}
+
+// Violations returns the retained violation records (at most maxViolations;
+// Stats().Violations has the full count).
+func (o *Oracle) Violations() []Violation {
+	if o == nil {
+		return nil
+	}
+	out := make([]Violation, len(o.violations))
+	copy(out, o.violations)
+	return out
+}
+
+// Err returns nil if no violation was observed, else an error summarizing
+// the first few.
+func (o *Oracle) Err() error {
+	if o == nil || o.stats.Violations == 0 {
+		return nil
+	}
+	msg := fmt.Sprintf("oracle: %d TLB-consistency violation(s)", o.stats.Violations)
+	max := len(o.violations)
+	if max > 3 {
+		max = 3
+	}
+	for _, v := range o.violations[:max] {
+		msg += "\n  " + v.String()
+	}
+	return fmt.Errorf("%s", msg)
+}

@@ -1,0 +1,198 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"shootdown/internal/machine"
+	"shootdown/internal/mem"
+	"shootdown/internal/ptable"
+	"shootdown/internal/sim"
+	"shootdown/internal/tlb"
+)
+
+// world builds a one-CPU machine with a tracked kernel table and an oracle
+// observing it.
+func world(t *testing.T) (*sim.Engine, *machine.Machine, *ptable.Table, *Oracle) {
+	t.Helper()
+	c := machine.DefaultCosts()
+	c.JitterPct = 0
+	eng := sim.New(sim.WithMaxTime(10_000_000_000))
+	m := machine.New(eng, machine.Options{NumCPUs: 1, MemFrames: 256, Costs: c})
+	kt, err := ptable.New(m.Phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetKernelTable(kt)
+	o := New(m)
+	o.Track(kt, tlb.ASIDNone, true)
+	m.SetMMUObserver(o)
+	return eng, m, kt, o
+}
+
+func run(t *testing.T, eng *sim.Engine, m *machine.Machine, fn func(ex *machine.Exec)) {
+	t.Helper()
+	eng.Spawn("main", func(p *sim.Proc) {
+		ex := m.Attach(p, 0)
+		defer ex.Detach()
+		fn(ex)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const va = ptable.VAddr(machine.KernelBase + 0x4000)
+
+func TestNilOracleIsSafe(t *testing.T) {
+	var o *Oracle
+	o.Track(nil, 0, false)
+	o.OnTLBUse(0, 0, 0, 0, nil, false)
+	o.OnTLBInsert(0, 0, 0, 0, nil)
+	if n := o.Check(); n != 0 {
+		t.Fatalf("nil oracle found %d violations", n)
+	}
+	if err := o.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanMappingLifecyclePasses(t *testing.T) {
+	eng, m, kt, o := world(t)
+	run(t, eng, m, func(ex *machine.Exec) {
+		f, _ := m.Phys.AllocFrame()
+		if err := kt.Enter(va, ptable.Make(f, true)); err != nil {
+			t.Fatal(err)
+		}
+		ex.Write(va, 1)    // reload + use
+		ex.Read(va + 0x10) // TLB hit
+		if n := o.Check(); n != 0 {
+			t.Fatalf("clean lifecycle: %d violations: %v", n, o.Violations())
+		}
+		// Downgrade to read-only, but model the protocol correctly:
+		// invalidate the local TLB entry with the update.
+		kt.Update(va, ptable.Make(f, false))
+		ex.InvalidateTLBEntries(tlb.ASIDNone, va, va+mem.PageSize)
+		ex.Read(va)
+		kt.Remove(va)
+		ex.InvalidateTLBEntries(tlb.ASIDNone, va, va+mem.PageSize)
+	})
+	if err := o.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := o.Stats()
+	if st.UseChecks == 0 || st.InsertChecks == 0 || st.TrackedWrites < 3 {
+		t.Fatalf("oracle saw too little: %+v", st)
+	}
+}
+
+func TestStaleUseAfterSkippedInvalidationIsCaught(t *testing.T) {
+	eng, m, kt, o := world(t)
+	run(t, eng, m, func(ex *machine.Exec) {
+		f1, _ := m.Phys.AllocFrame()
+		f2, _ := m.Phys.AllocFrame()
+		if err := kt.Enter(va, ptable.Make(f1, true)); err != nil {
+			t.Fatal(err)
+		}
+		ex.Read(va) // caches f1
+		// Remap to a different frame WITHOUT invalidating the TLB — the
+		// bug class the shootdown protocol exists to prevent.
+		kt.Update(va, ptable.Make(f2, true))
+		ex.Read(va) // stale hit
+	})
+	if o.Stats().Violations == 0 {
+		t.Fatal("stale use not detected")
+	}
+	vs := o.Violations()
+	if vs[0].Kind != "stale-use" {
+		t.Fatalf("want stale-use, got %v", vs[0])
+	}
+	if err := o.Err(); err == nil || !strings.Contains(err.Error(), "stale-use") {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+func TestWriteThroughRevokedMappingIsCaught(t *testing.T) {
+	eng, m, kt, o := world(t)
+	run(t, eng, m, func(ex *machine.Exec) {
+		f, _ := m.Phys.AllocFrame()
+		if err := kt.Enter(va, ptable.Make(f, true)); err != nil {
+			t.Fatal(err)
+		}
+		ex.Write(va, 1) // caches writable entry
+		// Downgrade to read-only without invalidating.
+		kt.Update(va, ptable.Make(f, false))
+		ex.Write(va, 2) // stale write grant
+	})
+	if o.Stats().Violations == 0 {
+		t.Fatal("write through revoked mapping not detected")
+	}
+}
+
+func TestReadThroughCachedEntryAfterDowngradeIsLegal(t *testing.T) {
+	// A cached entry that grants LESS than it could is fine; and a cached
+	// writable entry used only for reads after an un-shot downgrade is
+	// still a read the shadow permits — not a violation.
+	eng, m, kt, o := world(t)
+	run(t, eng, m, func(ex *machine.Exec) {
+		f, _ := m.Phys.AllocFrame()
+		if err := kt.Enter(va, ptable.Make(f, true)); err != nil {
+			t.Fatal(err)
+		}
+		ex.Read(va)
+		kt.Update(va, ptable.Make(f, false)) // revoke W; reads stay legal
+		ex.Read(va)
+	})
+	if n := o.Stats().Violations; n != 0 {
+		t.Fatalf("legal reads flagged: %d violations: %v", n, o.Violations())
+	}
+}
+
+func TestBlindWritebackDivergenceIsCaught(t *testing.T) {
+	eng, m, kt, o := world(t)
+	run(t, eng, m, func(ex *machine.Exec) {
+		f1, _ := m.Phys.AllocFrame()
+		f2, _ := m.Phys.AllocFrame()
+		if err := kt.Enter(va, ptable.Make(f1, true)); err != nil {
+			t.Fatal(err)
+		}
+		kt.Update(va, ptable.Make(f2, true))
+		// Model a blind NS32382-style writeback resurrecting the old PTE
+		// word directly in physical memory, behind the software's back.
+		addr, ok := kt.PTEAddr(va)
+		if !ok {
+			t.Fatal("no PTE slot")
+		}
+		m.Phys.WriteWord(addr, uint32(ptable.Make(f1, true)|ptable.PTEReferenced))
+		if n := o.Check(); n == 0 {
+			t.Fatal("table divergence not detected")
+		}
+	})
+	if vs := o.Violations(); vs[0].Kind != "table-divergence" {
+		t.Fatalf("want table-divergence, got %v", vs[0])
+	}
+}
+
+func TestStaleCachedIsInformationalOnly(t *testing.T) {
+	eng, m, kt, o := world(t)
+	run(t, eng, m, func(ex *machine.Exec) {
+		f1, _ := m.Phys.AllocFrame()
+		f2, _ := m.Phys.AllocFrame()
+		if err := kt.Enter(va, ptable.Make(f1, true)); err != nil {
+			t.Fatal(err)
+		}
+		ex.Read(va) // cache f1
+		// Remap. The entry is now stale *in the cache* but never used —
+		// the idle-optimization pattern. Check must count it, not flag it.
+		kt.Update(va, ptable.Make(f2, true))
+		if n := o.Check(); n != 0 {
+			t.Fatalf("parked stale entry flagged as violation: %v", o.Violations())
+		}
+		if o.Stats().StaleCached == 0 {
+			t.Fatal("stale cached entry not counted")
+		}
+	})
+	if err := o.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

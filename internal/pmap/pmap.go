@@ -97,6 +97,12 @@ type System struct {
 	// tagged TLB.
 	LazyASIDRelease bool
 
+	// TableHook, when set, observes every page table the system creates
+	// after the hook is installed (the consistency oracle registers its
+	// shadow here; the kernel table predates the hook and is tracked
+	// directly by the installer).
+	TableHook func(t *ptable.Table, asid tlb.ASID, kernel bool)
+
 	activeUser  []*Pmap // per-CPU active user pmap
 	nextASID    tlb.ASID
 	kernelPools []KernelPool
@@ -173,6 +179,9 @@ func (sys *System) NewUser() (*Pmap, error) {
 	}
 	asid := sys.nextASID
 	sys.nextASID++
+	if sys.TableHook != nil {
+		sys.TableHook(t, asid, false)
+	}
 	return &Pmap{
 		sys:   sys,
 		Table: t,

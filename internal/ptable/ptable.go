@@ -122,6 +122,14 @@ type Table struct {
 	// Walks counts second-level PTE reads, exported for cost accounting
 	// and lazy-evaluation effectiveness metrics.
 	Walks int
+
+	// OnWrite, when set, observes every software-initiated PTE write
+	// (Enter, Update, Remove — not the MMU's reference/modify writebacks,
+	// which model hardware stores). The consistency oracle uses it to
+	// shadow the table; it must not mutate the table.
+	OnWrite func(va VAddr, pte PTE)
+	// OnDestroy, when set, observes Destroy.
+	OnDestroy func()
 }
 
 // New allocates an empty two-level table.
@@ -177,6 +185,9 @@ func (t *Table) Enter(va VAddr, pte PTE) error {
 		t.mem.WriteWord(dirAddr, uint32(dirE))
 	}
 	t.mem.WriteWord(dirE.Frame().Addr(va.TableIndex()*mem.WordSize), uint32(pte))
+	if t.OnWrite != nil {
+		t.OnWrite(va.Page(), pte)
+	}
 	return nil
 }
 
@@ -189,6 +200,9 @@ func (t *Table) Remove(va VAddr) PTE {
 	}
 	old := PTE(t.mem.ReadWord(addr))
 	t.mem.WriteWord(addr, 0)
+	if t.OnWrite != nil {
+		t.OnWrite(va.Page(), 0)
+	}
 	return old
 }
 
@@ -200,6 +214,9 @@ func (t *Table) Update(va VAddr, pte PTE) bool {
 		return false
 	}
 	t.mem.WriteWord(addr, uint32(pte))
+	if t.OnWrite != nil {
+		t.OnWrite(va.Page(), pte)
+	}
 	return true
 }
 
@@ -270,4 +287,7 @@ func (t *Table) Destroy() {
 		}
 	}
 	t.mem.FreeFrame(t.root)
+	if t.OnDestroy != nil {
+		t.OnDestroy()
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"runtime/debug"
 	"sort"
+	"strings"
 	"time"
 
 	"shootdown/internal/trace"
@@ -95,6 +96,12 @@ type Proc struct {
 
 	preempted bool // wake time was moved earlier while sleeping
 	heapIdx   int  // index in the run heap, -1 if not queued
+
+	// waitReason and waitOn annotate what a blocked proc is waiting for,
+	// feeding the engine's wait graph. Set via SetWaiting before blocking;
+	// cleared by Wake (or ClearWaiting).
+	waitReason string
+	waitOn     []*Proc
 
 	resume chan struct{}
 
@@ -250,8 +257,8 @@ func (e *Engine) RunUntil(limit Time) error {
 			return nil
 		}
 		if e.maxTime > 0 && top.wake > e.maxTime {
-			return fmt.Errorf("sim: virtual time limit %v exceeded (next wake %v, proc %q)",
-				e.maxTime, top.wake, top.name)
+			return fmt.Errorf("sim: virtual time limit %v exceeded (next wake %v, proc %q)\n%s",
+				e.maxTime, top.wake, top.name, e.WaitGraph())
 		}
 		p := e.pop()
 		if p.wake > e.now {
@@ -289,7 +296,7 @@ func (e *Engine) RunUntil(limit Time) error {
 			names[i] = p.name
 		}
 		sort.Strings(names)
-		return fmt.Errorf("%w: %v", ErrDeadlock, names)
+		return fmt.Errorf("%w: %v\n%s", ErrDeadlock, names, e.WaitGraph())
 	}
 	return nil
 }
@@ -377,15 +384,122 @@ func (p *Proc) Block() {
 	<-p.resume
 }
 
+// SetWaiting annotates the proc with a human-readable reason — and,
+// optionally, the procs it is waiting on — before it blocks, so that if the
+// simulation deadlocks or hits its time limit the engine can report a wait
+// graph instead of a bare list of stuck procs. Wake clears the annotation.
+func (p *Proc) SetWaiting(reason string, on ...*Proc) {
+	p.waitReason = reason
+	p.waitOn = on
+}
+
+// ClearWaiting removes the proc's wait annotation.
+func (p *Proc) ClearWaiting() {
+	p.waitReason = ""
+	p.waitOn = nil
+}
+
+// Waiting returns the proc's wait annotation (empty when not waiting).
+func (p *Proc) Waiting() (reason string, on []*Proc) {
+	return p.waitReason, p.waitOn
+}
+
 // Wake makes a blocked proc runnable at the engine's current time.
 // Waking a proc that is not blocked is a no-op and returns false.
 func (e *Engine) Wake(p *Proc) bool {
 	if p.state != StateBlocked {
 		return false
 	}
+	p.ClearWaiting()
 	e.tracer.Instant(int64(e.now), p.id, trace.CatSim, "wake", 0, 0)
 	e.schedule(p, e.now)
 	return true
+}
+
+// WaitGraph renders a readable report of every live proc that is blocked or
+// carries a wait annotation: one line per proc with its state, reason, and
+// dependencies, followed by any wait cycle found among the dependencies.
+// It returns "" when nothing is waiting.
+func (e *Engine) WaitGraph() string {
+	var nodes []*Proc
+	for _, p := range e.procs {
+		if p.state == StateDone {
+			continue
+		}
+		if p.state == StateBlocked || p.waitReason != "" {
+			nodes = append(nodes, p)
+		}
+	}
+	if len(nodes) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("wait graph:\n")
+	for _, p := range nodes {
+		fmt.Fprintf(&b, "  %q [%v]", p.name, p.state)
+		if p.waitReason != "" {
+			fmt.Fprintf(&b, " waiting: %s", p.waitReason)
+		}
+		if len(p.waitOn) > 0 {
+			names := make([]string, len(p.waitOn))
+			for i, d := range p.waitOn {
+				names[i] = fmt.Sprintf("%q [%v]", d.name, d.state)
+			}
+			fmt.Fprintf(&b, " -> %s", strings.Join(names, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	if cycle := findWaitCycle(nodes); len(cycle) > 0 {
+		names := make([]string, len(cycle))
+		for i, p := range cycle {
+			names[i] = fmt.Sprintf("%q", p.name)
+		}
+		fmt.Fprintf(&b, "  cycle: %s -> %q\n", strings.Join(names, " -> "), cycle[0].name)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// findWaitCycle returns the first dependency cycle among the given procs'
+// waitOn edges, or nil. Standard three-color DFS.
+func findWaitCycle(nodes []*Proc) []*Proc {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[*Proc]int, len(nodes))
+	var stack []*Proc
+	var cycle []*Proc
+	var visit func(p *Proc) bool
+	visit = func(p *Proc) bool {
+		color[p] = gray
+		stack = append(stack, p)
+		for _, d := range p.waitOn {
+			switch color[d] {
+			case gray:
+				// Found: slice the stack from d's position.
+				for i, q := range stack {
+					if q == d {
+						cycle = append(cycle, stack[i:]...)
+						return true
+					}
+				}
+			case white:
+				if visit(d) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[p] = black
+		return false
+	}
+	for _, p := range nodes {
+		if color[p] == white && visit(p) {
+			return cycle
+		}
+	}
+	return nil
 }
 
 // Preempt moves a sleeping proc's wake time earlier, to max(at, now).

@@ -436,3 +436,49 @@ func TestQuickChaosPreservesClocks(t *testing.T) {
 		}
 	}
 }
+
+func TestWaitGraphInDeadlockError(t *testing.T) {
+	e := New()
+	var a, b *Proc
+	a = e.Spawn("a", func(p *Proc) {
+		p.SetWaiting("lock held by b", b)
+		p.Block()
+	})
+	b = e.Spawn("b", func(p *Proc) {
+		p.Sleep(10) // let a block first so the dependency pointers are live
+		p.SetWaiting("lock held by a", a)
+		p.Block()
+	})
+	err := e.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"wait graph:", "lock held by b", "lock held by a", "cycle:"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("deadlock error missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestWaitGraphClearedByWake(t *testing.T) {
+	e := New()
+	var target *Proc
+	target = e.Spawn("target", func(p *Proc) {
+		p.SetWaiting("waiting for waker")
+		p.Block()
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Sleep(5)
+		e.Wake(target)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if reason, _ := target.Waiting(); reason != "" {
+		t.Errorf("wait annotation not cleared by Wake: %q", reason)
+	}
+	if g := e.WaitGraph(); g != "" {
+		t.Errorf("wait graph not empty after completion:\n%s", g)
+	}
+}

@@ -23,6 +23,8 @@
 // code needs no nil checks at call sites.
 package trace
 
+import "fmt"
+
 // Category classifies an event by the layer that produced it. Categories
 // become the "cat" field of exported Chrome trace events and may be
 // selectively disabled to control trace volume.
@@ -122,16 +124,18 @@ type Tracer struct {
 }
 
 // New creates a tracer holding up to size records, initially enabled with
-// every category on.
-func New(size int) *Tracer {
+// every category on. It returns an error for a non-positive size — buffer
+// sizes typically arrive from flags, and a bad flag should be a diagnosed
+// failure, not a crash.
+func New(size int) (*Tracer, error) {
 	if size <= 0 {
-		panic("trace: invalid tracer size")
+		return nil, fmt.Errorf("trace: invalid tracer size %d (must be positive)", size)
 	}
 	return &Tracer{
 		events:    make([]Event, size),
 		enabled:   true,
 		procNames: map[int32]string{},
-	}
+	}, nil
 }
 
 // On enables recording.

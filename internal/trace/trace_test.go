@@ -7,7 +7,7 @@ import (
 )
 
 func TestRingWrapAndDropped(t *testing.T) {
-	tr := New(4)
+	tr := mustNew(t, 4)
 	for i := 0; i < 6; i++ {
 		tr.Instant(int64(i*1000), 0, CatMachine, "tick", int64(i), 0)
 	}
@@ -45,7 +45,7 @@ func TestNilTracerIsSafe(t *testing.T) {
 }
 
 func TestOnOffAndCategoryFilter(t *testing.T) {
-	tr := New(8)
+	tr := mustNew(t, 8)
 	tr.Off()
 	tr.Instant(1, 0, CatTLB, "tlb-hit", 0, 0)
 	if tr.Len() != 0 {
@@ -69,7 +69,7 @@ func TestOnOffAndCategoryFilter(t *testing.T) {
 }
 
 func TestRebaseKeepsTimestampsMonotonic(t *testing.T) {
-	tr := New(16)
+	tr := mustNew(t, 16)
 	tr.Instant(5_000, 1, CatKernel, "a", 0, 0)
 	tr.Rebase("run2")
 	// The second run restarts at virtual time zero; its events must still
@@ -91,7 +91,7 @@ func TestRebaseKeepsTimestampsMonotonic(t *testing.T) {
 }
 
 func TestLoggingDoesNotAllocate(t *testing.T) {
-	tr := New(1 << 12)
+	tr := mustNew(t, 1 << 12)
 	allocs := testing.AllocsPerRun(1000, func() {
 		tr.Begin(1, 0, CatShootdown, "shootdown-sync", 3, 1)
 		tr.Instant(2, 0, CatMachine, "ipi-send", 5, 0)
@@ -110,7 +110,7 @@ type chromeDoc struct {
 }
 
 func TestWriteChromeTrace(t *testing.T) {
-	tr := New(64)
+	tr := mustNew(t, 64)
 	tr.NameProc(2, "child0")
 	tr.Begin(0, 1, CatKernel, "thread-run", 7, 0)
 	tr.Instant(500, 1, CatTLB, "tlb-miss", 1, 0)
@@ -180,5 +180,23 @@ func TestWriteChromeTraceNil(t *testing.T) {
 	}
 	if len(doc.TraceEvents) != 0 {
 		t.Fatalf("nil tracer exported %d events", len(doc.TraceEvents))
+	}
+}
+
+// mustNew builds a tracer or fails the test.
+func mustNew(t *testing.T, size int) *Tracer {
+	t.Helper()
+	tr, err := New(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewRejectsInvalidSize(t *testing.T) {
+	for _, size := range []int{0, -1} {
+		if tr, err := New(size); err == nil {
+			t.Errorf("New(%d) = %v, want error", size, tr)
+		}
 	}
 }

@@ -25,7 +25,10 @@ func TestTracingIsPerturbationFree(t *testing.T) {
 		return res
 	}
 	plain := run(nil)
-	tr := trace.New(1 << 18)
+	tr, err := trace.New(1 << 18)
+	if err != nil {
+		t.Fatal(err)
+	}
 	traced := run(tr)
 	if !reflect.DeepEqual(plain, traced) {
 		t.Fatalf("tracing perturbed the run:\n  off: %+v\n  on:  %+v", plain, traced)

@@ -27,6 +27,7 @@ import (
 	"math/rand"
 
 	"shootdown/internal/core"
+	"shootdown/internal/fault"
 	"shootdown/internal/kernel"
 	"shootdown/internal/machine"
 	"shootdown/internal/sim"
@@ -73,6 +74,13 @@ type AppConfig struct {
 	// of the run. Recording charges no virtual time, so results are
 	// bit-identical with and without it.
 	Tracer *trace.Tracer
+	// Faults, when set, injects deterministic hardware faults (dropped or
+	// delayed IPIs, slow responders, bus jitter) per the config; its Seed
+	// field drives the injection sequence.
+	Faults *fault.Config
+	// Oracle attaches the independent TLB-consistency checker; the run
+	// fails if any TLB grants an access through a stale translation.
+	Oracle bool
 	// Observe, when set, is called with the kernel after the run completes
 	// (metrics harvesting).
 	Observe func(*kernel.Kernel)
@@ -108,6 +116,9 @@ func (c AppConfig) newKernel() (*kernel.Kernel, error) {
 		RemoteInvalidate: c.RemoteInvalidate,
 		IPIMode:          c.IPIMode,
 	}
+	if c.Faults != nil && c.Faults.Enabled() {
+		mo.Faults = fault.New(*c.Faults)
+	}
 	timer := sim.Time(10_000_000) // 10 ms tick
 	if c.NoTimer {
 		timer = 0
@@ -124,6 +135,7 @@ func (c AppConfig) newKernel() (*kernel.Kernel, error) {
 		TraceOff:         c.TraceOff,
 		MaxTime:          c.MaxVirtualTime,
 		Tracer:           c.Tracer,
+		Oracle:           c.Oracle,
 	})
 	if err != nil {
 		return nil, err

@@ -1,16 +1,21 @@
 #!/bin/sh
-# Full local CI: build, vet, race-test, then smoke-test the observability
-# layer end to end (Chrome trace + metrics + JSON results from a real run).
+# Full local CI. Tier 1 (build + test) is the hard floor; tier 2 (vet +
+# race-detector tests) catches what tier 1 can't; the smoke stage exercises
+# the observability layer end to end and checks that the fault-injection
+# campaign is deterministic (same seed, byte-identical output).
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== go build ./..."
+echo "== tier 1: go build ./..."
 go build ./...
 
-echo "== go vet ./..."
+echo "== tier 1: go test ./..."
+go test ./...
+
+echo "== tier 2: go vet ./..."
 go vet ./...
 
-echo "== go test -race ./..."
+echo "== tier 2: go test -race ./..."
 go test -race ./...
 
 echo "== smoke: shootdownsim trace/metrics/json"
@@ -25,5 +30,10 @@ grep -q '^# TYPE shootdown_initiator_microseconds histogram' "$tmp/m.txt"
 echo "== smoke: tlbtest trace/json"
 go run ./cmd/tlbtest -children 4 -trace "$tmp/tt.json" -format json >"$tmp/tt-result.json"
 go run ./scripts/validatetrace "$tmp/tt.json"
+
+echo "== smoke: fault campaign is deterministic (same seed, identical bytes)"
+go run ./cmd/shootdownsim -seed 7 -format json faults >"$tmp/faults1.json"
+go run ./cmd/shootdownsim -seed 7 -format json faults >"$tmp/faults2.json"
+cmp "$tmp/faults1.json" "$tmp/faults2.json"
 
 echo "check: all green"
