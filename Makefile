@@ -1,22 +1,23 @@
 # Local CI for the shootdown reproduction. `make check` is what a PR must
-# pass: tier-1 (build + test), tier-2 (vet + race-detector tests), and an
-# end-to-end smoke run of the observability layer plus a determinism check
-# of the fault-injection campaign.
+# pass: tier-1 (build + test + lint), tier-2 (race-detector tests over the
+# packages with real concurrency), and an end-to-end smoke run of the
+# observability layer plus a determinism check of the fault-injection
+# campaign.
 
 GO ?= go
 
-.PHONY: check tier1 tier2 build vet test race bench smoke
+.PHONY: check tier1 tier2 build vet lint test race bench smoke
 
 check: ## tier-1 + tier-2 + observability and fault-campaign smoke tests
 	./scripts/check.sh
 
-tier1: ## the hard floor: build + tests
+tier1: ## the hard floor: build + tests + static analysis
 	$(GO) build ./...
 	$(GO) test ./...
+	$(MAKE) lint
 
-tier2: ## static analysis + race detector
-	$(GO) vet ./...
-	$(GO) test -race ./...
+tier2: ## race detector over the packages that use real concurrency
+	$(GO) test -race ./internal/sim/... ./internal/trace/...
 
 build:
 	$(GO) build ./...
@@ -24,11 +25,18 @@ build:
 vet:
 	$(GO) vet ./...
 
+lint: ## go vet + the shootdownlint analyzer suite (DESIGN.md §10)
+	$(GO) vet ./...
+	$(GO) run ./cmd/shootdownlint ./...
+
 test:
 	$(GO) test ./...
 
+# internal/sim and internal/trace are the only packages allowed real
+# concurrency (the simconcurrency analyzer enforces that the rest stay in
+# virtual time), so the race detector only needs to cover them.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/sim/... ./internal/trace/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -1,0 +1,21 @@
+// Command shootdownlint runs the repository's static-analysis suite: the
+// determinism, concurrency, interrupt-priority, and lock-ordering
+// analyzers described in internal/analysis and DESIGN.md §10.
+//
+// Usage:
+//
+//	shootdownlint [-list] [-suppressions] [packages]
+//
+// With no packages it checks the whole module (./...). Exit status is 0
+// when clean, 1 when findings were reported, 2 on usage or load errors.
+package main
+
+import (
+	"os"
+
+	"shootdown/internal/analysis/driver"
+)
+
+func main() {
+	os.Exit(driver.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

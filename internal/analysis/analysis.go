@@ -1,0 +1,165 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis model: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. The build
+// environment for this repository is fully offline (no module proxy), so
+// x/tools cannot be vendored; this package provides the same shape with
+// only the standard library, keeping the analyzers themselves portable —
+// each Run function takes a Pass whose fields mirror x/tools field names,
+// so porting to the real framework is a matter of changing one import.
+//
+// Beyond the x/tools subset, the package implements the repository's
+// suppression convention: a comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on (or immediately above) the offending line silences that analyzer
+// there. The reason is mandatory — a suppression without one is itself
+// reported — so every deliberate exception stays explicit and auditable
+// (cmd/shootdownlint -suppressions lists them all).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one analysis: its name, what it checks, and the
+// function that checks one package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow comments. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description shown by the driver's -list.
+	Doc string
+	// Run inspects the package described by pass and reports diagnostics
+	// through pass.Report. The returned value is stored by the driver and
+	// made available to later passes of the same analyzer over importing
+	// packages (see Pass.Imported) — a lightweight stand-in for the
+	// x/tools facts mechanism.
+	Run func(pass *Pass) (interface{}, error)
+}
+
+// Pass carries one package's worth of material to an Analyzer's Run.
+// Field names match golang.org/x/tools/go/analysis.Pass where the concept
+// exists there.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver applies suppression
+	// filtering; analyzers should report unconditionally.
+	Report func(Diagnostic)
+	// Imported holds the Run results of this same analyzer for every
+	// package analyzed before this one (the driver analyzes packages in
+	// dependency order), keyed by package path. Analyzers that need
+	// cross-package summaries (lockorder's callee lock sets) read it.
+	Imported map[string]interface{}
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Suppression is one parsed //lint:allow comment.
+type Suppression struct {
+	Pos      token.Position // where the comment sits
+	Analyzer string
+	Reason   string
+}
+
+// SuppressionIndex records every //lint:allow comment in a set of files
+// and answers whether a diagnostic position is covered by one.
+type SuppressionIndex struct {
+	// byFileLine maps file name -> line -> analyzer names allowed there.
+	byFileLine map[string]map[int]map[string]bool
+	entries    []Suppression
+	malformed  []Diagnostic
+}
+
+// lintAllowPrefix is the comment marker. The directive-style "//lint:"
+// prefix (no space) keeps gofmt from reflowing it.
+const lintAllowPrefix = "//lint:allow"
+
+// NewSuppressionIndex scans the files' comments for //lint:allow
+// directives. A directive covers its own source line and the line below
+// it, so both trailing comments and whole-line comments above the
+// offending statement work:
+//
+//	ex.Advance(d) //lint:allow ipldiscipline stall is bounded
+//
+//	//lint:allow simdeterminism order-insensitive counter aggregation
+//	for k := range m { ... }
+func NewSuppressionIndex(fset *token.FileSet, files []*ast.File) *SuppressionIndex {
+	idx := &SuppressionIndex{byFileLine: map[string]map[int]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, lintAllowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, lintAllowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				if name == "" || strings.TrimSpace(reason) == "" {
+					idx.malformed = append(idx.malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed suppression: want //lint:allow <analyzer> <reason>; the reason is mandatory",
+					})
+					continue
+				}
+				idx.entries = append(idx.entries, Suppression{
+					Pos: pos, Analyzer: name, Reason: strings.TrimSpace(reason),
+				})
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					lines := idx.byFileLine[pos.Filename]
+					if lines == nil {
+						lines = map[int]map[string]bool{}
+						idx.byFileLine[pos.Filename] = lines
+					}
+					if lines[line] == nil {
+						lines[line] = map[string]bool{}
+					}
+					lines[line][name] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// Allowed reports whether analyzer name is suppressed at pos.
+func (idx *SuppressionIndex) Allowed(name string, pos token.Position) bool {
+	return idx.byFileLine[pos.Filename][pos.Line][name]
+}
+
+// Entries returns every well-formed suppression, sorted by position, for
+// the driver's audit listing.
+func (idx *SuppressionIndex) Entries() []Suppression {
+	out := make([]Suppression, len(idx.entries))
+	copy(out, idx.entries)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+// Malformed returns a diagnostic for every //lint:allow comment missing
+// its analyzer name or reason.
+func (idx *SuppressionIndex) Malformed() []Diagnostic { return idx.malformed }

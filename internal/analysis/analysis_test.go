@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const suppressionSrc = `package p
+
+func a() {
+	f() //lint:allow simdeterminism trailing suppression with a reason
+	//lint:allow lockorder whole-line suppression covers the next line
+	g()
+	h() //lint:allow ipldiscipline
+}
+
+func f() {}
+func g() {}
+func h() {}
+`
+
+func TestSuppressionIndex(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressionSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewSuppressionIndex(fset, []*ast.File{f})
+
+	at := func(line int) token.Position {
+		return token.Position{Filename: "p.go", Line: line}
+	}
+	if !idx.Allowed("simdeterminism", at(4)) {
+		t.Error("trailing suppression on its own line not honored")
+	}
+	if !idx.Allowed("lockorder", at(6)) {
+		t.Error("whole-line suppression above the statement not honored")
+	}
+	if idx.Allowed("lockorder", at(4)) {
+		t.Error("suppression leaked to an unrelated analyzer")
+	}
+	if idx.Allowed("simdeterminism", at(10)) {
+		t.Error("suppression leaked to an uncovered line")
+	}
+
+	entries := idx.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("Entries = %d, want 2 (the malformed one is excluded)", len(entries))
+	}
+	if entries[0].Analyzer != "simdeterminism" || entries[0].Reason != "trailing suppression with a reason" {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+
+	mal := idx.Malformed()
+	if len(mal) != 1 {
+		t.Fatalf("Malformed = %d, want 1 (reason is mandatory)", len(mal))
+	}
+	if got := fset.Position(mal[0].Pos).Line; got != 7 {
+		t.Errorf("malformed suppression reported at line %d, want 7", got)
+	}
+}

@@ -1,0 +1,141 @@
+// Package analysistest runs an analyzer over golden-file fixture packages
+// and compares its diagnostics against "want" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest (see internal/analysis for
+// why the real framework cannot be vendored here).
+//
+// A fixture tree is a tiny module rooted at the analyzer's testdata
+// directory (the go tool never descends into directories named testdata,
+// so the fixture module is invisible to ./... builds):
+//
+//	testdata/go.mod          — "module lint.test"
+//	testdata/a/a.go          — fixture package, import path "lint.test/a"
+//
+// Expectations are comments on the offending line:
+//
+//	ex.RaiseIPL(machine.IPLHigh) // want `result of RaiseIPL is discarded`
+//
+// Each backquoted (or double-quoted) string is a regular expression that
+// must match exactly one diagnostic reported on that line; diagnostics
+// with no matching want, and wants with no matching diagnostic, fail the
+// test. Suppression comments (//lint:allow) are honored, so fixtures can
+// cover the suppression path too.
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"shootdown/internal/analysis"
+	"shootdown/internal/analysis/load"
+)
+
+// Run loads the fixture packages named by patterns (relative to testdata,
+// e.g. "a" for testdata/a) and checks analyzer a's diagnostics against
+// the want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := load.Load(testdata, true, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v", patterns)
+	}
+	imported := map[string]interface{}{}
+	for _, pkg := range pkgs {
+		diags := collect(t, a, pkg, imported)
+		checkWants(t, pkg, diags)
+	}
+}
+
+// collect runs the analyzer over one package and returns its unsuppressed
+// diagnostics (plus any malformed suppression comments).
+func collect(t *testing.T, a *analysis.Analyzer, pkg *load.Package, imported map[string]interface{}) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Imported:  imported,
+	}
+	result, err := a.Run(pass)
+	if err != nil {
+		t.Fatalf("%s: analyzer failed: %v", pkg.Path, err)
+	}
+	imported[pkg.Path] = result
+	idx := analysis.NewSuppressionIndex(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !idx.Allowed(a.Name, pkg.Fset.Position(d.Pos)) {
+			kept = append(kept, d)
+		}
+	}
+	return append(kept, idx.Malformed()...)
+}
+
+// want is one expectation: a regexp on a specific file line.
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// checkWants matches diagnostics against the package's want comments.
+func checkWants(t *testing.T, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c.Text), "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+					expr := m[1]
+					if expr == "" {
+						expr = m[2]
+					}
+					rx, err := regexp.Compile(expr)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, expr, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if w := matchWant(wants, pos, d.Message); w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.rx)
+		}
+	}
+}
+
+func matchWant(wants []*want, pos token.Position, msg string) *want {
+	for _, w := range wants {
+		if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(msg) {
+			w.hit = true
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+// Package driver runs the shootdownlint analyzers over the module. It is
+// the offline counterpart of x/tools' multichecker: it loads packages with
+// internal/analysis/load, runs each analyzer over the packages in its
+// scope in dependency order (so cross-package summaries flow from imports
+// to importers), applies //lint:allow suppressions, and renders the
+// surviving diagnostics.
+//
+// Each analyzer checks an invariant that only holds in part of the tree,
+// so each has a scope — the set of simulated packages it patrols:
+//
+//   - simdeterminism and simconcurrency cover every simulated package
+//     (the protocol, the machine model, and the workloads), but not
+//     internal/sim itself — the engine is the one place real concurrency
+//     and the host clock are allowed to live.
+//   - ipldiscipline covers the packages that manipulate interrupt
+//     priority: the machine model and everything that takes spin locks.
+//   - lockorder covers the packages whose locks appear in the documented
+//     lock order.
+package driver
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+
+	"shootdown/internal/analysis"
+	"shootdown/internal/analysis/ipldiscipline"
+	"shootdown/internal/analysis/load"
+	"shootdown/internal/analysis/lockorder"
+	"shootdown/internal/analysis/simconcurrency"
+	"shootdown/internal/analysis/simdeterminism"
+)
+
+// Analyzers is the suite, in the order diagnostics are attributed.
+var Analyzers = []*analysis.Analyzer{
+	simdeterminism.Analyzer,
+	simconcurrency.Analyzer,
+	ipldiscipline.Analyzer,
+	lockorder.Analyzer,
+}
+
+// simulated is every package that runs in virtual time. internal/sim is
+// deliberately absent: the engine implements virtual time out of real
+// concurrency and is covered by `go test -race` instead.
+var simulated = []string{
+	"baseline", "core", "experiments", "fault", "kernel", "machine", "mem",
+	"oracle", "pmap", "ptable", "tlb", "vm", "workload",
+}
+
+// scopes maps analyzer name -> the internal/<dir> packages it checks.
+var scopes = map[string][]string{
+	"simdeterminism": simulated,
+	"simconcurrency": simulated,
+	"ipldiscipline":  {"machine", "kernel", "core", "pmap", "vm", "baseline"},
+	"lockorder":      {"core", "pmap", "vm", "kernel", "baseline"},
+}
+
+// Main runs the driver with command-line args (excluding argv[0]) and
+// returns the process exit code: 0 clean, 1 diagnostics reported, 2 usage
+// or load failure.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("shootdownlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	audit := fs.Bool("suppressions", false, "list every //lint:allow suppression and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: shootdownlint [-list] [-suppressions] [packages]\n\n"+
+			"Runs the shootdown static-analysis suite (see internal/analysis).\n"+
+			"Patterns default to ./... and follow go-tool syntax for module-local packages.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range Analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n\t(scope: internal/{%s})\n",
+				a.Name, a.Doc, strings.Join(scopes[a.Name], ","))
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(".", true, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "shootdownlint: %v\n", err)
+		return 2
+	}
+	if *audit {
+		count := 0
+		for _, pkg := range pkgs {
+			idx := analysis.NewSuppressionIndex(pkg.Fset, pkg.Files)
+			for _, s := range idx.Entries() {
+				fmt.Fprintf(stdout, "%s:%d: %s: %s\n", s.Pos.Filename, s.Pos.Line, s.Analyzer, s.Reason)
+				count++
+			}
+		}
+		fmt.Fprintf(stdout, "%d suppression(s)\n", count)
+		return 0
+	}
+
+	type finding struct {
+		pos      token.Position
+		analyzer string
+		msg      string
+	}
+	var findings []finding
+	imported := map[string]map[string]interface{}{}
+	for _, a := range Analyzers {
+		imported[a.Name] = map[string]interface{}{}
+	}
+	for _, pkg := range pkgs {
+		idx := analysis.NewSuppressionIndex(pkg.Fset, pkg.Files)
+		for _, d := range idx.Malformed() {
+			findings = append(findings, finding{pkg.Fset.Position(d.Pos), "suppression", d.Message})
+		}
+		for _, a := range Analyzers {
+			if !inScope(a.Name, pkg.Path) {
+				continue
+			}
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+				Imported:  imported[a.Name],
+			}
+			result, err := a.Run(pass)
+			if err != nil {
+				fmt.Fprintf(stderr, "shootdownlint: %s: %s: %v\n", a.Name, pkg.Path, err)
+				return 2
+			}
+			imported[a.Name][pkg.Path] = result
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if idx.Allowed(a.Name, pos) {
+					continue
+				}
+				findings = append(findings, finding{pos, a.Name, d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.msg < b.msg
+	})
+	for _, f := range findings {
+		fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", f.pos.Filename, f.pos.Line, f.pos.Column, f.msg, f.analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "shootdownlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// inScope reports whether the analyzer covers the package. Import paths
+// look like "shootdown/internal/core" (augmented packages) or
+// "shootdown/internal/core_test" (external test packages); both map to the
+// internal/<dir> scope entry.
+func inScope(analyzer, path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	i := strings.Index(path, "internal/")
+	if i < 0 {
+		return false
+	}
+	dir := path[i+len("internal/"):]
+	for _, s := range scopes[analyzer] {
+		if dir == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,55 @@
+package driver
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit = %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"simdeterminism", "simconcurrency", "ipldiscipline", "lockorder"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestInScope(t *testing.T) {
+	cases := []struct {
+		analyzer, path string
+		want           bool
+	}{
+		{"simdeterminism", "shootdown/internal/core", true},
+		{"simdeterminism", "shootdown/internal/core_test", true},
+		{"simdeterminism", "shootdown/internal/sim", false},
+		{"simdeterminism", "shootdown/internal/analysis/load", false},
+		{"simconcurrency", "shootdown/internal/workload", true},
+		{"ipldiscipline", "shootdown/internal/machine", true},
+		{"ipldiscipline", "shootdown/internal/experiments", false},
+		{"lockorder", "shootdown/internal/pmap", true},
+		{"lockorder", "shootdown/internal/machine", false},
+		{"lockorder", "shootdown/cmd/shootdownsim", false},
+	}
+	for _, c := range cases {
+		if got := inScope(c.analyzer, c.path); got != c.want {
+			t.Errorf("inScope(%s, %s) = %v, want %v", c.analyzer, c.path, got, c.want)
+		}
+	}
+}
+
+// TestWholeTreeIsClean is the same gate make lint applies: the full module
+// must produce no findings. It doubles as an end-to-end test of the loader
+// and every analyzer against real code.
+func TestWholeTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	var out, errb bytes.Buffer
+	if code := Main([]string{"./..."}, &out, &errb); code != 0 {
+		t.Fatalf("shootdownlint exit = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}

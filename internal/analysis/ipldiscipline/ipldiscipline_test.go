@@ -1,0 +1,12 @@
+package ipldiscipline_test
+
+import (
+	"testing"
+
+	"shootdown/internal/analysis/analysistest"
+	"shootdown/internal/analysis/ipldiscipline"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata", ipldiscipline.Analyzer, "a")
+}

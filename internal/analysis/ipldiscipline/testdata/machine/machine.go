@@ -1,0 +1,42 @@
+// Package machine is a miniature stand-in for the simulator's machine
+// model: just enough surface for the ipldiscipline fixtures to type-check.
+// The analyzer matches by package name and method shape, so these fixtures
+// classify exactly like the real tree.
+package machine
+
+type IPL int
+
+const (
+	IPLLow IPL = iota
+	IPLDevice
+	IPLHigh
+)
+
+type Exec struct{ ipl IPL }
+
+func (ex *Exec) RaiseIPL(l IPL) IPL {
+	prev := ex.ipl
+	ex.ipl = l
+	return prev
+}
+
+func (ex *Exec) RestoreIPL(l IPL) { ex.ipl = l }
+
+func (ex *Exec) DisableAll() IPL { return ex.RaiseIPL(IPLHigh) }
+
+func (ex *Exec) SpinWhile(cond func() bool) {}
+
+type SpinLock struct{ held bool }
+
+func (l *SpinLock) Lock(ex *Exec) IPL {
+	prev := ex.RaiseIPL(IPLHigh)
+	l.held = true
+	return prev
+}
+
+func (l *SpinLock) TryLock(ex *Exec) bool { return !l.held }
+
+func (l *SpinLock) Unlock(ex *Exec, prev IPL) {
+	l.held = false
+	ex.RestoreIPL(prev)
+}

@@ -1,0 +1,392 @@
+// Package load parses and type-checks the packages of a Go module so the
+// analyzers in internal/analysis can inspect them. It is a small, offline
+// substitute for golang.org/x/tools/go/packages: the build environment
+// has no module proxy, so the loader resolves module-local imports by
+// walking the module tree itself and resolves standard-library imports by
+// compiling them from $GOROOT/src (go/importer's "source" compiler),
+// neither of which needs the network or pre-built export data.
+//
+// The loader is deliberately narrower than go/packages: it assumes the
+// module has no external (non-stdlib) dependencies — true for this
+// repository by policy — and it ignores build constraints, cgo, and
+// vendoring, none of which the repository uses.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("shootdown/internal/core"). External test
+	// packages get the conventional "_test" suffix.
+	Path string
+	// Dir is the absolute directory the sources live in.
+	Dir string
+	// Fset is the file set shared by every package of one Load call.
+	Fset *token.FileSet
+	// Files are the parsed sources being analyzed. When test files were
+	// requested this is the augmented package (compiled + in-package
+	// test files), matching what `go test` compiles.
+	Files []*ast.File
+	// Types and TypesInfo are the type-checker's output for Files.
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Load parses and type-checks the module packages under dir selected by
+// patterns and returns them in dependency order (every package appears
+// after the packages it imports). Supported patterns: "./..." for the
+// whole module, "dir/..." for a subtree, and "dir" for one package
+// directory (all relative to the module root; a leading "./" and the
+// module path itself are both accepted). When includeTests is true the
+// returned packages include in-package _test.go files, and external
+// (package foo_test) test packages are returned as their own entries.
+func Load(dir string, includeTests bool, patterns ...string) ([]*Package, error) {
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	ld := &loader{
+		root:    root,
+		modPath: modPath,
+		fset:    token.NewFileSet(),
+		dirs:    map[string]*pkgDir{},
+		types:   map[string]*types.Package{},
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	if err := ld.scan(); err != nil {
+		return nil, err
+	}
+	sel, err := ld.match(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []*Package
+	for _, rel := range sel {
+		pd := ld.dirs[rel]
+		if err := ld.parseDir(pd); err != nil {
+			return nil, err
+		}
+		pkgs, err := ld.build(pd, includeTests)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkgs...)
+	}
+	sortByDeps(out)
+	return out, nil
+}
+
+// pkgDir is one directory that may hold up to three package variants:
+// the compiled package, its in-package test files, and an external
+// _test package.
+type pkgDir struct {
+	rel     string // module-relative dir, "" for the root
+	abs     string
+	path    string // import path of the compiled package
+	parsed  bool
+	name    string // package name of the compiled files
+	files   []*ast.File
+	tests   []*ast.File
+	xtests  []*ast.File
+	goFiles []string
+}
+
+type loader struct {
+	root    string
+	modPath string
+	fset    *token.FileSet
+	std     types.Importer
+	dirs    map[string]*pkgDir // by module-relative dir
+	types   map[string]*types.Package
+	stack   []string // import-cycle detection
+}
+
+func moduleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("load: no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("load: no module directive in %s/go.mod", root)
+}
+
+// scan enumerates every directory in the module that holds .go files.
+func (l *loader) scan() error {
+	return filepath.WalkDir(l.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") {
+			return nil
+		}
+		dir := filepath.Dir(p)
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			rel = ""
+		}
+		pd := l.dirs[rel]
+		if pd == nil {
+			path := l.modPath
+			if rel != "" {
+				path = l.modPath + "/" + filepath.ToSlash(rel)
+			}
+			pd = &pkgDir{rel: rel, abs: dir, path: path}
+			l.dirs[rel] = pd
+		}
+		pd.goFiles = append(pd.goFiles, filepath.Base(p))
+		return nil
+	})
+}
+
+// match resolves patterns to a sorted list of module-relative dirs.
+func (l *loader) match(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	want := map[string]bool{}
+	for _, pat := range patterns {
+		p := strings.TrimPrefix(pat, "./")
+		p = strings.TrimPrefix(p, l.modPath)
+		p = strings.TrimPrefix(p, "/")
+		matched := false
+		if rest, ok := strings.CutSuffix(p, "..."); ok {
+			prefix := strings.TrimSuffix(rest, "/")
+			for rel := range l.dirs {
+				if prefix == "" || rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+					want[rel] = true
+					matched = true
+				}
+			}
+		} else if _, ok := l.dirs[p]; ok {
+			want[p] = true
+			matched = true
+		}
+		if !matched {
+			return nil, fmt.Errorf("load: pattern %q matched no packages", pat)
+		}
+	}
+	sel := make([]string, 0, len(want))
+	for rel := range want {
+		sel = append(sel, rel)
+	}
+	sort.Strings(sel)
+	return sel, nil
+}
+
+// parseDir parses every .go file of a directory and partitions the files
+// into the compiled package, in-package tests, and the external _test
+// package.
+func (l *loader) parseDir(pd *pkgDir) error {
+	if pd.parsed {
+		return nil
+	}
+	pd.parsed = true
+	sort.Strings(pd.goFiles)
+	for _, name := range pd.goFiles {
+		file, err := parser.ParseFile(l.fset, filepath.Join(pd.abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		pkgName := file.Name.Name
+		switch {
+		case strings.HasSuffix(name, "_test.go") && strings.HasSuffix(pkgName, "_test"):
+			pd.xtests = append(pd.xtests, file)
+		case strings.HasSuffix(name, "_test.go"):
+			pd.tests = append(pd.tests, file)
+		default:
+			if pd.name != "" && pd.name != pkgName {
+				return fmt.Errorf("load: %s: conflicting package names %s and %s", pd.abs, pd.name, pkgName)
+			}
+			pd.name = pkgName
+			pd.files = append(pd.files, file)
+		}
+	}
+	return nil
+}
+
+// build type-checks the analyzed variant(s) of one directory.
+func (l *loader) build(pd *pkgDir, includeTests bool) ([]*Package, error) {
+	var out []*Package
+	files := pd.files
+	if includeTests {
+		files = append(append([]*ast.File{}, pd.files...), pd.tests...)
+	}
+	if len(files) > 0 {
+		tpkg, info, err := l.check(pd.path, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			Path: pd.path, Dir: pd.abs, Fset: l.fset,
+			Files: files, Types: tpkg, TypesInfo: info,
+		})
+	}
+	if includeTests && len(pd.xtests) > 0 {
+		tpkg, info, err := l.check(pd.path+"_test", pd.xtests)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			Path: pd.path + "_test", Dir: pd.abs, Fset: l.fset,
+			Files: pd.xtests, Types: tpkg, TypesInfo: info,
+		})
+	}
+	return out, nil
+}
+
+// check runs the type checker over one file set, resolving imports
+// through the loader.
+func (l *loader) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var firstErr error
+	cfg := &types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := cfg.Check(path, l.fset, files, info)
+	if firstErr != nil {
+		return nil, nil, fmt.Errorf("load: type-checking %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("load: type-checking %s: %w", path, err)
+	}
+	return tpkg, info, nil
+}
+
+// Import implements types.Importer. Module-local paths are built from the
+// module tree (compiled files only — the importable variant); everything
+// else is delegated to the standard-library source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.types[path]; ok {
+		return pkg, nil
+	}
+	rel, local := l.localDir(path)
+	if !local {
+		return l.std.Import(path)
+	}
+	pd, ok := l.dirs[rel]
+	if !ok {
+		return nil, fmt.Errorf("load: import %q: no such package in module", path)
+	}
+	for _, p := range l.stack {
+		if p == path {
+			return nil, fmt.Errorf("load: import cycle through %q", path)
+		}
+	}
+	if err := l.parseDir(pd); err != nil {
+		return nil, err
+	}
+	if len(pd.files) == 0 {
+		return nil, fmt.Errorf("load: import %q: package has only test files", path)
+	}
+	l.stack = append(l.stack, path)
+	tpkg, _, err := l.check(path, pd.files)
+	l.stack = l.stack[:len(l.stack)-1]
+	if err != nil {
+		return nil, err
+	}
+	l.types[path] = tpkg
+	return tpkg, nil
+}
+
+// localDir maps a module-local import path to its module-relative dir.
+func (l *loader) localDir(path string) (string, bool) {
+	if path == l.modPath {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// sortByDeps orders packages so importers follow their imports (the
+// driver's cross-package summary mechanism relies on it). Ties are broken
+// by path so output order is deterministic.
+func sortByDeps(pkgs []*Package) {
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	index := map[string]*Package{}
+	for _, p := range pkgs {
+		index[p.Path] = p
+	}
+	seen := map[string]bool{}
+	var out []*Package
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if seen[p.Path] {
+			return
+		}
+		seen[p.Path] = true
+		imps := p.Types.Imports()
+		for _, imp := range imps {
+			if dep, ok := index[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	copy(pkgs, out)
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"shootdown/internal/analysis/analysistest"
+	"shootdown/internal/analysis/lockorder"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "core", "pmap", "vm", "kernel")
+}

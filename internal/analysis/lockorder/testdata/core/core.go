@@ -1,0 +1,39 @@
+// Package core mirrors the shootdown structure: per-CPU action locks are
+// the leaf rank of the documented order.
+package core
+
+import "lint.test/machine"
+
+type Shootdown struct {
+	actionLocks []machine.SpinLock
+	extra       machine.SpinLock
+}
+
+// Sync queues an action under one action lock and releases it — the
+// paper's initiator never holds two at once.
+func (s *Shootdown) Sync(ex *machine.Exec) {
+	prev := s.actionLocks[0].Lock(ex)
+	s.actionLocks[0].Unlock(ex, prev)
+}
+
+// PostAction reaches the action lock through one more call, for the
+// transitive-summary tests.
+func (s *Shootdown) PostAction(ex *machine.Exec) { s.Sync(ex) }
+
+func (s *Shootdown) DoubleAction(ex *machine.Exec) {
+	a := s.actionLocks[0].Lock(ex)
+	b := s.actionLocks[1].Lock(ex) // want `acquiring core\.actionLocks while already holding core\.actionLocks`
+	s.actionLocks[1].Unlock(ex, b)
+	s.actionLocks[0].Unlock(ex, a)
+}
+
+func (s *Shootdown) NestedSameRank(ex *machine.Exec) {
+	prev := s.actionLocks[0].Lock(ex)
+	s.Sync(ex) // want `call to Sync may acquire core\.actionLocks while core\.actionLocks is held`
+	s.actionLocks[0].Unlock(ex, prev)
+}
+
+func (s *Shootdown) UseExtra(ex *machine.Exec) {
+	prev := s.extra.Lock(ex) // want `acquisition of undocumented spin lock core\.extra`
+	s.extra.Unlock(ex, prev)
+}

@@ -1,0 +1,52 @@
+// Package kernel mirrors the scheduler: the run-queue lock is the last
+// lock in the documented order, so shooting down while holding it inverts
+// the order.
+package kernel
+
+import (
+	"lint.test/core"
+	"lint.test/machine"
+	"lint.test/pmap"
+)
+
+type Kernel struct {
+	schedLock machine.SpinLock
+	s         *core.Shootdown
+}
+
+// enqueue takes only the scheduler lock.
+func (k *Kernel) enqueue(ex *machine.Exec) {
+	prev := k.schedLock.Lock(ex)
+	k.schedLock.Unlock(ex, prev)
+}
+
+// ShootdownWhileScheduling initiates a shootdown with the run-queue lock
+// held: the action locks rank below the scheduler lock.
+func (k *Kernel) ShootdownWhileScheduling(ex *machine.Exec) {
+	prev := k.schedLock.Lock(ex)
+	k.s.PostAction(ex) // want `call to PostAction may acquire core\.actionLocks .* while holding kernel\.schedLock`
+	k.schedLock.Unlock(ex, prev)
+}
+
+// ViaInterface inverts the order through an interface call, resolved by
+// method name against the summaries of already-analyzed packages.
+func (k *Kernel) ViaInterface(ex *machine.Exec, st pmap.Strategy) {
+	prev := k.schedLock.Lock(ex)
+	st.Sync(ex) // want `call to Sync may acquire core\.actionLocks .* while holding kernel\.schedLock`
+	k.schedLock.Unlock(ex, prev)
+}
+
+// TryShape inverts inside the conditional-acquire shape.
+func (k *Kernel) TryShape(ex *machine.Exec) {
+	if k.schedLock.TryLock(ex) {
+		k.s.PostAction(ex) // want `call to PostAction may acquire core\.actionLocks`
+		k.schedLock.Unlock(ex, machine.IPL(0))
+	}
+}
+
+// ReleaseFirst drops the scheduler lock before the shootdown — clean.
+func (k *Kernel) ReleaseFirst(ex *machine.Exec) {
+	prev := k.schedLock.Lock(ex)
+	k.schedLock.Unlock(ex, prev)
+	k.s.PostAction(ex)
+}

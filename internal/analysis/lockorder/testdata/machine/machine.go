@@ -1,0 +1,28 @@
+// Package machine is a miniature stand-in for the simulator's machine
+// model, just enough for the lockorder fixtures to type-check. The
+// analyzer classifies locks by the (package name, field name) of the
+// SpinLock field, so these fixtures classify like the real tree.
+package machine
+
+type IPL int
+
+type Exec struct{ ipl IPL }
+
+func (ex *Exec) RaiseIPL(l IPL) IPL {
+	prev := ex.ipl
+	ex.ipl = l
+	return prev
+}
+
+func (ex *Exec) RestoreIPL(l IPL) { ex.ipl = l }
+
+type SpinLock struct{ held bool }
+
+func (l *SpinLock) Lock(ex *Exec) IPL {
+	l.held = true
+	return 0
+}
+
+func (l *SpinLock) TryLock(ex *Exec) bool { return !l.held }
+
+func (l *SpinLock) Unlock(ex *Exec, prev IPL) { l.held = false }

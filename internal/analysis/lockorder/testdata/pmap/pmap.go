@@ -1,0 +1,30 @@
+// Package pmap mirrors the physical-map layer: the pmap lock sits between
+// the vm map lock and the shootdown action locks, and the shootdown
+// strategy is reached through an interface, as in the real tree.
+package pmap
+
+import "lint.test/machine"
+
+// Strategy is the shootdown hook; core.Shootdown implements it.
+type Strategy interface {
+	Sync(ex *machine.Exec)
+}
+
+type Pmap struct {
+	lock     machine.SpinLock
+	strategy Strategy
+}
+
+// Update holds the pmap lock across the strategy's shootdown: pmap lock
+// before action locks is exactly the documented order.
+func (pm *Pmap) Update(ex *machine.Exec) {
+	prev := pm.lock.Lock(ex)
+	pm.strategy.Sync(ex)
+	pm.lock.Unlock(ex, prev)
+}
+
+// Enter takes and releases only the pmap lock.
+func (pm *Pmap) Enter(ex *machine.Exec) {
+	prev := pm.lock.Lock(ex)
+	pm.lock.Unlock(ex, prev)
+}

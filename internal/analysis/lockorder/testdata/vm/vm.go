@@ -1,0 +1,21 @@
+// Package vm mirrors the address-space layer: the vm map lock is the
+// first lock in the documented order.
+package vm
+
+import (
+	"lint.test/machine"
+	"lint.test/pmap"
+)
+
+type Map struct {
+	lock machine.SpinLock
+	pm   *pmap.Pmap
+}
+
+// Fault holds the map lock across the pmap update — the documented
+// direction, so no diagnostic.
+func (m *Map) Fault(ex *machine.Exec) {
+	prev := m.lock.Lock(ex)
+	m.pm.Enter(ex)
+	m.lock.Unlock(ex, prev)
+}

@@ -1,0 +1,12 @@
+package simconcurrency_test
+
+import (
+	"testing"
+
+	"shootdown/internal/analysis/analysistest"
+	"shootdown/internal/analysis/simconcurrency"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata", simconcurrency.Analyzer, "a")
+}

@@ -1,0 +1,12 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"shootdown/internal/analysis/analysistest"
+	"shootdown/internal/analysis/simdeterminism"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata", simdeterminism.Analyzer, "a")
+}

@@ -1,0 +1,66 @@
+// Package a exercises the simdeterminism analyzer: wall-clock time,
+// global randomness, host environment, and map-order leaks.
+package a
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func sink(string) {}
+
+func wallClock() time.Duration {
+	t0 := time.Now()             // want `call to time\.Now in simulated code`
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep in simulated code`
+	return time.Since(t0)        // want `call to time\.Since in simulated code`
+}
+
+func virtualTimeTypesAreFine(d time.Duration) time.Duration {
+	return d * 2 // ok: time.Duration arithmetic reads no clock
+}
+
+func globalRand() int {
+	return rand.Intn(4) // want `call to global math/rand\.Intn in simulated code`
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(1)) // ok: explicit seeded source
+	return r.Intn(4)                 // ok: method on a *rand.Rand
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `call to os\.Getenv in simulated code`
+}
+
+func mapOrderLeak(m map[string]int) {
+	for k := range m { // want `iteration over a map calls sink in its body`
+		sink(k)
+	}
+}
+
+func mapAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // ok: order-insensitive aggregation
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // ok: building a key slice to sort
+	}
+	_ = keys
+	return total
+}
+
+func mapNoBinding(m map[string]int) {
+	for range m { // ok: no bound variable, the order cannot leak
+		sink("tick")
+	}
+}
+
+func suppressed(m map[string]int) {
+	//lint:allow simdeterminism fixture demonstrates a reasoned suppression
+	for k := range m {
+		sink(k)
+	}
+}

@@ -56,10 +56,11 @@ func TestTables234Render(t *testing.T) {
 		t.Fatalf("apps = %d", len(r.Apps))
 	}
 	t2, t3, t4, ov := r.RenderTable2(), r.RenderTable3(), r.RenderTable4(), r.RenderOverhead()
+	tables := []struct{ name, out string }{{"t2", t2}, {"t3", t3}, {"t4", t4}, {"ov", ov}}
 	for _, app := range []string{"Mach", "Parthenon", "Agora", "Camelot"} {
-		for name, out := range map[string]string{"t2": t2, "t3": t3, "t4": t4, "ov": ov} {
-			if !strings.Contains(out, app) {
-				t.Errorf("%s missing %s", name, app)
+		for _, tb := range tables {
+			if !strings.Contains(tb.out, app) {
+				t.Errorf("%s missing %s", tb.name, app)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -97,7 +98,13 @@ func TestPanics(t *testing.T) {
 			m.FreeFrame(f)
 		},
 	}
-	for name, fn := range cases {
+	names := make([]string, 0, len(cases))
+	for name := range cases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fn := cases[name]
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -137,6 +144,7 @@ func TestQuickReadBack(t *testing.T) {
 		pa := fr.Addr(uint32(wordIdx%WordsPerPage) * WordSize)
 		m.WriteWord(pa, v)
 		model[pa] = v
+		//lint:allow simdeterminism pure read-back check; no effect depends on visit order
 		for a, want := range model {
 			if m.ReadWord(a) != want {
 				return false

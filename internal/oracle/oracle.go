@@ -30,6 +30,7 @@ package oracle
 
 import (
 	"fmt"
+	"sort"
 
 	"shootdown/internal/machine"
 	"shootdown/internal/ptable"
@@ -238,11 +239,17 @@ func (o *Oracle) Check() int {
 					VA: va, ASID: sh.asid, Got: pte, Want: want})
 			}
 		})
-		for va, want := range sh.entries {
+		// Record in address order so the violation log is deterministic.
+		var missing []ptable.VAddr
+		for va := range sh.entries {
 			if !seen[va] {
-				o.record(Violation{Time: o.m.Eng.Now(), CPU: -1, Kind: "table-divergence",
-					VA: va, ASID: sh.asid, Got: 0, Want: want})
+				missing = append(missing, va)
 			}
+		}
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		for _, va := range missing {
+			o.record(Violation{Time: o.m.Eng.Now(), CPU: -1, Kind: "table-divergence",
+				VA: va, ASID: sh.asid, Got: 0, Want: sh.entries[va]})
 		}
 	}
 	o.stats.StaleCached = o.countStaleCached()

@@ -45,15 +45,18 @@ func (f *fixture) on(t *testing.T, fn func(ex *machine.Exec)) {
 }
 
 func TestProtString(t *testing.T) {
-	cases := map[pmap.Prot]string{
-		pmap.ProtNone:  "---",
-		pmap.ProtRead:  "r--",
-		pmap.ProtWrite: "-w-",
-		pmap.ProtRW:    "rw-",
+	cases := []struct {
+		p    pmap.Prot
+		want string
+	}{
+		{pmap.ProtNone, "---"},
+		{pmap.ProtRead, "r--"},
+		{pmap.ProtWrite, "-w-"},
+		{pmap.ProtRW, "rw-"},
 	}
-	for p, want := range cases {
-		if p.String() != want {
-			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+	for _, c := range cases {
+		if c.p.String() != c.want {
+			t.Errorf("%d.String() = %q, want %q", c.p, c.p.String(), c.want)
 		}
 	}
 	if !pmap.ProtRW.CanRead() || !pmap.ProtRW.CanWrite() {

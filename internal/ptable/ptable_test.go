@@ -2,6 +2,7 @@ package ptable
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"shootdown/internal/mem"
@@ -280,7 +281,13 @@ func TestQuickEnterLookupRoundTrip(t *testing.T) {
 		}
 		model[va] = pte
 	}
-	for va, want := range model {
+	vas := make([]VAddr, 0, len(model))
+	for va := range model {
+		vas = append(vas, va)
+	}
+	sort.Slice(vas, func(i, j int) bool { return vas[i] < vas[j] })
+	for _, va := range vas {
+		want := model[va]
 		got, _, ok := tbl.Lookup(va)
 		if !ok || got != want {
 			t.Fatalf("Lookup(%#x) = %v,%v; want %v", va, got, ok, want)
@@ -291,12 +298,12 @@ func TestQuickEnterLookupRoundTrip(t *testing.T) {
 	tbl.ForEach(0, 0xFFFFFFFF, func(va VAddr, pte PTE) { seen[va] = pte })
 	// The very top page is excluded by the exclusive bound if mapped there;
 	// add it back for comparison if needed.
-	for va, want := range model {
+	for _, va := range vas {
 		if va >= 0xFFFFF000 {
 			continue
 		}
-		if seen[va] != want {
-			t.Fatalf("ForEach missed or corrupted %#x: %v vs %v", va, seen[va], want)
+		if seen[va] != model[va] {
+			t.Fatalf("ForEach missed or corrupted %#x: %v vs %v", va, seen[va], model[va])
 		}
 	}
 }

@@ -59,8 +59,8 @@ func TestHistogramQuantile(t *testing.T) {
 		h.Observe(float64(i))
 	}
 	for _, tc := range []struct {
-		q        float64
-		lo, hi   float64 // acceptance interval for a bucketed estimate
+		q      float64
+		lo, hi float64 // acceptance interval for a bucketed estimate
 	}{
 		{0, 1, 1},
 		{0.5, 350, 700},

@@ -2,6 +2,7 @@ package tlb
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"shootdown/internal/mem"
@@ -254,7 +255,12 @@ func TestQuickNoStaleEntries(t *testing.T) {
 		}
 		// After a flush nothing survives.
 		b.Flush()
+		vas := make([]ptable.VAddr, 0, len(model))
 		for va := range model {
+			vas = append(vas, va)
+		}
+		sort.Slice(vas, func(i, j int) bool { return vas[i] < vas[j] })
+		for _, va := range vas {
 			if _, hit := b.Probe(va, ASIDNone); hit {
 				t.Fatalf("%v: entry for %#x survived flush", repl, va)
 			}

@@ -91,7 +91,7 @@ func TestRebaseKeepsTimestampsMonotonic(t *testing.T) {
 }
 
 func TestLoggingDoesNotAllocate(t *testing.T) {
-	tr := mustNew(t, 1 << 12)
+	tr := mustNew(t, 1<<12)
 	allocs := testing.AllocsPerRun(1000, func() {
 		tr.Begin(1, 0, CatShootdown, "shootdown-sync", 3, 1)
 		tr.Instant(2, 0, CatMachine, "ipi-send", 5, 0)

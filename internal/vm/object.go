@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 
 	"shootdown/internal/mem"
 )
@@ -53,8 +54,16 @@ func (o *Object) Deref(phys *mem.PhysMem) {
 	if o.refs > 0 {
 		return
 	}
-	for _, f := range o.pages {
-		phys.FreeFrame(f)
+	// Free in page order: the free list is LIFO, so freeing in map order
+	// would make subsequent allocations depend on Go's randomized map
+	// iteration.
+	idxs := make([]uint32, 0, len(o.pages))
+	for idx := range o.pages {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		phys.FreeFrame(o.pages[idx])
 	}
 	o.pages = nil
 	o.swapped = nil

@@ -1,8 +1,13 @@
 #!/bin/sh
-# Full local CI. Tier 1 (build + test) is the hard floor; tier 2 (vet +
-# race-detector tests) catches what tier 1 can't; the smoke stage exercises
-# the observability layer end to end and checks that the fault-injection
-# campaign is deterministic (same seed, byte-identical output).
+# Full local CI. Tier 1 (build + test + lint) is the hard floor — lint is
+# go vet plus the shootdownlint analyzer suite (DESIGN.md §10), which
+# machine-checks the simulator's determinism, IPL, and lock-ordering
+# invariants. Tier 2 runs the race detector over internal/sim and
+# internal/trace, the only packages allowed real concurrency (the
+# simconcurrency analyzer enforces that everything else stays in virtual
+# time). The smoke stage exercises the observability layer end to end and
+# checks that the fault-injection campaign is deterministic (same seed,
+# byte-identical output).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -12,11 +17,14 @@ go build ./...
 echo "== tier 1: go test ./..."
 go test ./...
 
-echo "== tier 2: go vet ./..."
+echo "== tier 1: go vet ./..."
 go vet ./...
 
-echo "== tier 2: go test -race ./..."
-go test -race ./...
+echo "== tier 1: shootdownlint ./..."
+go run ./cmd/shootdownlint ./...
+
+echo "== tier 2: go test -race ./internal/sim/... ./internal/trace/..."
+go test -race ./internal/sim/... ./internal/trace/...
 
 echo "== smoke: shootdownsim trace/metrics/json"
 tmp=$(mktemp -d)
