@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check tier1 tier2 build vet lint test race bench smoke
+.PHONY: check tier1 tier2 build vet lint test race bench smoke chaos
 
 check: ## tier-1 + tier-2 + observability and fault-campaign smoke tests
 	./scripts/check.sh
@@ -16,8 +16,9 @@ tier1: ## the hard floor: build + tests + static analysis
 	$(GO) test ./...
 	$(MAKE) lint
 
-tier2: ## race detector over the packages that use real concurrency
+tier2: ## race detector + chaos-campaign survival and corpus replay
 	$(GO) test -race ./internal/sim/... ./internal/trace/...
+	$(GO) test ./internal/experiments -run 'ChaosCampaignSurvivesWithoutBug|StaleReviveBugShrinks|CorpusReplay'
 
 build:
 	$(GO) build ./...
@@ -44,3 +45,6 @@ bench:
 smoke: build
 	$(GO) run ./cmd/shootdownsim -runs 1 -trace /tmp/shootdown-trace.json fig2
 	$(GO) run ./scripts/validatetrace /tmp/shootdown-trace.json
+
+chaos: ## bounded fail-stop/hot-plug campaign with schedule shrinking
+	$(GO) run ./cmd/shootdownsim chaos

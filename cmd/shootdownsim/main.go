@@ -11,10 +11,13 @@
 // taggedtlb, pools, pageout, faults, all.
 //
 // -faults injects deterministic hardware faults (dropped/delayed IPIs, slow
-// responders, bus jitter) into every kernel; -oracle attaches an independent
+// responders, bus jitter) into every kernel; -failstop and -hotplug add
+// processor fail-stop and hot-plug faults; -oracle attaches an independent
 // TLB-consistency checker that fails a run if any stale translation is
 // granted. The faults experiment runs a full campaign of fault scenarios
-// against the watchdog-hardened protocol.
+// against the watchdog-hardened protocol; the chaos experiment runs
+// fail-stop/hot-plug schedules against a churn workload and delta-debugs
+// any failing schedule into a minimal reproducer, replayable with -repro.
 //
 // -trace captures a Chrome trace-event (Perfetto) session timeline of every
 // kernel the experiments build; -metrics writes a Prometheus-style counter
@@ -26,10 +29,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"shootdown/internal/experiments"
 	"shootdown/internal/fault"
+	"shootdown/internal/fault/shrink"
 	"shootdown/internal/kernel"
 	"shootdown/internal/trace"
 )
@@ -41,8 +46,11 @@ var (
 	traceBuf = flag.Int("tracebuf", 1<<21, "span-tracer ring capacity in events")
 	metrics  = flag.String("metrics", "", "write a Prometheus-style metrics snapshot of the last kernel run")
 	format   = flag.String("format", "table", "result output format: table, json, or csv")
-	faults   = flag.String("faults", "", `fault-injection spec applied to every kernel, e.g. "drop=0.1,delay=0.2,delaymax=2ms" (keys: drop, delay, delaymax, slow, slowmax, stuck, stuckfor, spurious, jitter, jittermax; "none" disables). The faults experiment adds this as a custom scenario.`)
+	faults   = flag.String("faults", "", `fault-injection spec applied to every kernel, e.g. "drop=0.1,delay=0.2,delaymax=2ms" (keys: drop, delay, delaymax, slow, slowmax, stuck, stuckfor, spurious, jitter, jittermax, failstop, failby, revive, reviveafter; "none" disables). The faults experiment adds this as a custom scenario.`)
 	oracleOn = flag.Bool("oracle", false, "attach the independent TLB-consistency oracle to every kernel; any stale translation granted fails the run")
+	failstop = flag.Bool("failstop", false, `processor fail-stop faults in every kernel (shorthand for -faults "failstop=0.9,failby=8ms"); failed CPUs stay down`)
+	hotplug  = flag.Bool("hotplug", false, `fail-stop plus hot-plug: failed CPUs revive with a cold TLB (shorthand for -faults "failstop=0.9,failby=8ms,revive=1,reviveafter=4ms")`)
+	repro    = flag.String("repro", "", "replay a minimized chaos reproducer JSON file (from the chaos experiment or testdata corpus) and exit; exits non-zero if the replay diverges from the recorded verdict")
 )
 
 func usage() {
@@ -74,6 +82,9 @@ experiments:
   faults      Robustness: fault-injection campaign (dropped/delayed IPIs,
               slow/stuck responders) with watchdog recovery and the
               TLB-consistency oracle
+  chaos       Robustness: processor fail-stop & hot-plug campaign against
+              the churn workload, with delta-debugging minimization of any
+              failing fault schedule (replay one with -repro)
   all         everything above
 
 flags:
@@ -85,6 +96,10 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
+	if *repro != "" {
+		replayRepro(*repro)
+		return
+	}
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
@@ -119,6 +134,17 @@ func main() {
 			os.Exit(2)
 		}
 		fc.Seed = *seed
+		in.Faults = &fc
+	}
+	if *failstop || *hotplug {
+		fc := fault.Config{Seed: *seed}
+		if in.Faults != nil {
+			fc = *in.Faults
+		}
+		fc.FailStop, fc.FailStopBy = 0.9, 8_000_000
+		if *hotplug {
+			fc.Revive, fc.ReviveAfterMax = 1, 4_000_000
+		}
 		in.Faults = &fc
 	}
 	in.Oracle = *oracleOn
@@ -235,6 +261,10 @@ func main() {
 			r, err := experiments.FaultCampaign(*seed, in)
 			return r, r.Render(), err
 		}},
+		{"chaos", func() (any, string, error) {
+			r, err := experiments.ChaosCampaign(*seed, experiments.ChaosOptions{Shrink: true}, in)
+			return r, r.Render(), err
+		}},
 	}
 
 	known := map[string]bool{"all": true}
@@ -304,6 +334,48 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "shootdownsim: wrote metrics snapshot to %s\n", *metrics)
 	}
+}
+
+// replayRepro re-executes a minimized chaos reproducer: exit 0 only if
+// the replay reaches exactly the recorded verdict.
+func replayRepro(path string) {
+	r, err := shrink.Load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shootdownsim: -repro: %v\n", err)
+		os.Exit(2)
+	}
+	verdict, detail, err := experiments.ReplayRepro(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shootdownsim: -repro: %v\n", err)
+		os.Exit(2)
+	}
+	keep := make([]string, len(r.Keep))
+	for i, id := range r.Keep {
+		keep[i] = id.String()
+	}
+	fmt.Printf("repro %s: workload=%s ncpus=%d seed=%d schedule=[%s]\n",
+		path, r.Workload, r.NCPUs, r.Seed, strings.Join(keep, " "))
+	if verdict == r.Verdict {
+		fmt.Printf("replay reproduced the recorded verdict %q", verdict)
+		if detail != "" {
+			fmt.Printf(": %s", firstLine(detail))
+		}
+		fmt.Println()
+		return
+	}
+	fmt.Printf("DIVERGENCE: replay verdict %q, recorded %q", verdict, r.Verdict)
+	if detail != "" {
+		fmt.Printf(" (%s)", firstLine(detail))
+	}
+	fmt.Println()
+	os.Exit(1)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 func writeTrace(t *trace.Tracer, path string) error {

@@ -4,12 +4,15 @@
 // (Section 4: "a processor never holds an action lock while acquiring a
 // pmap lock"); this reproduction documents the order in DESIGN.md as
 //
-//	vm.Map.lock  <  pmap.Pmap.lock  <  shootdown action locks  <  kernel.schedLock
+//	vm.Map.lock  <  pmap.Pmap.lock  <  core.memberLock  <  shootdown action locks  <  kernel.schedLock
 //
-// (vm map lock first, scheduler run-queue lock last; the action locks of
-// core.Shootdown and the postponed-action locks of the baseline strategy
-// share one rank and are leaf locks with respect to each other — at most
-// one may be held at a time).
+// (vm map lock first, scheduler run-queue lock last; the membership lock
+// of the fail-stop/hot-plug layer sits between the pmap lock and the
+// action locks, so an initiator holding the pmap lock may scan membership
+// and then take action locks; the action locks of core.Shootdown and the
+// postponed-action locks of the baseline strategy share one rank and are
+// leaf locks with respect to each other — at most one may be held at a
+// time).
 //
 // The analyzer tracks the multiset of documented locks held along each
 // structural path of a function (Lock/Unlock on machine.SpinLock fields,
@@ -50,7 +53,8 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
 	Doc: "enforce the documented spin-lock order: vm map lock, then pmap lock, " +
-		"then shootdown action locks, then the scheduler lock",
+		"then the shootdown membership lock, then shootdown action locks, " +
+		"then the scheduler lock",
 	Run: run,
 }
 
@@ -67,6 +71,7 @@ type class struct {
 var classes = map[string]class{
 	"vm.lock":          {10, "the vm map lock"},
 	"pmap.lock":        {20, "the pmap lock"},
+	"core.memberLock":  {25, "the shootdown membership lock"},
 	"core.actionLocks": {30, "a shootdown action lock"},
 	"baseline.locks":   {30, "a postponed-action lock"},
 	"kernel.schedLock": {40, "the scheduler run-queue lock"},
@@ -252,7 +257,7 @@ func (w *walker) acquire(h []held, key string, pos token.Pos) []held {
 		switch {
 		case hcl.rank > cl.rank:
 			w.c.reportf(pos,
-				"lock order inversion: acquiring %s (%s) while holding %s (%s); the documented order is vm map lock < pmap lock < action locks < scheduler lock",
+				"lock order inversion: acquiring %s (%s) while holding %s (%s); the documented order is vm map lock < pmap lock < membership lock < action locks < scheduler lock",
 				key, cl.what, hl.key, hcl.what)
 		case hcl.rank == cl.rank:
 			w.c.reportf(pos,

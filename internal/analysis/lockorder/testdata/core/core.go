@@ -6,6 +6,7 @@ import "lint.test/machine"
 
 type Shootdown struct {
 	actionLocks []machine.SpinLock
+	memberLock  machine.SpinLock
 	extra       machine.SpinLock
 }
 
@@ -31,6 +32,24 @@ func (s *Shootdown) NestedSameRank(ex *machine.Exec) {
 	prev := s.actionLocks[0].Lock(ex)
 	s.Sync(ex) // want `call to Sync may acquire core\.actionLocks while core\.actionLocks is held`
 	s.actionLocks[0].Unlock(ex, prev)
+}
+
+// MemberScan takes the membership lock and then an action lock — the
+// documented order (rank 25 before rank 30), so this is clean.
+func (s *Shootdown) MemberScan(ex *machine.Exec) {
+	mp := s.memberLock.Lock(ex)
+	ap := s.actionLocks[0].Lock(ex)
+	s.actionLocks[0].Unlock(ex, ap)
+	s.memberLock.Unlock(ex, mp)
+}
+
+// MemberAfterAction inverts the order: the membership lock must never be
+// acquired while an action lock is held.
+func (s *Shootdown) MemberAfterAction(ex *machine.Exec) {
+	ap := s.actionLocks[0].Lock(ex)
+	mp := s.memberLock.Lock(ex) // want `lock order inversion: acquiring core\.memberLock \(the shootdown membership lock\) while holding core\.actionLocks`
+	s.memberLock.Unlock(ex, mp)
+	s.actionLocks[0].Unlock(ex, ap)
 }
 
 func (s *Shootdown) UseExtra(ex *machine.Exec) {

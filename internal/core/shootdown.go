@@ -44,6 +44,13 @@ type Pmap interface {
 	// Locked reports whether the pmap's update lock is held. Responders
 	// spin on this to stall while an update is in progress.
 	Locked() bool
+	// UpdateInProgress reports whether the pmap's update lock is held by
+	// a processor that is still alive in the incarnation that took it.
+	// Responders stall on this rather than Locked: a fail-stopped
+	// initiator's lock does not signal an in-progress update — its
+	// partial update is frozen, and waiting for an unlock that will
+	// never come would wedge every responder.
+	UpdateInProgress() bool
 	// InUse reports whether the given processor is actively translating
 	// through this pmap. The kernel pmap is in use on every processor.
 	InUse(cpu int) bool
@@ -212,6 +219,13 @@ type Stats struct {
 	WatchdogTimeouts    uint64
 	WatchdogRetries     uint64
 	WatchdogEscalations uint64
+	// OfflineSkipped counts processors excluded from a shootdown up front
+	// because they were offline when the initiator scanned membership.
+	OfflineSkipped uint64
+	// WatchdogMembershipRescues counts waits abandoned because the
+	// membership re-check found the responder fail-stopped (or failed and
+	// revived into a fresh incarnation) — the watchdog's final escalation.
+	WatchdogMembershipRescues uint64
 }
 
 // Shootdown is the Mach shootdown algorithm state: the active and idle
@@ -227,6 +241,14 @@ type Shootdown struct {
 	queues       [][]Action
 	overflow     []bool
 	actionLocks  []machine.SpinLock
+
+	// memberLock serializes membership-sensitive transitions: an
+	// initiator's membership scan (and the watchdog's membership
+	// re-check) against a revived processor's protocol-state reset. It
+	// ranks between the pmap lock and the action locks in the documented
+	// lock order, so an initiator holding the pmap lock may take it and
+	// then the action locks.
+	memberLock machine.SpinLock
 
 	kernelPmap Pmap
 	userPmapOn func(cpu int) Pmap // pmap active on a CPU, or nil
@@ -265,6 +287,7 @@ func New(m *machine.Machine, opts Options) *Shootdown {
 		s.active[i] = true
 		s.actionLocks[i] = machine.SpinLock{Name: fmt.Sprintf("action%d", i), MinIPL: machine.IPLHigh}
 	}
+	s.memberLock = machine.SpinLock{Name: "member", MinIPL: machine.IPLHigh}
 	m.SetHandler(machine.VecIPI, func(ex *machine.Exec, _ machine.Vector) {
 		s.respond(ex)
 	})
@@ -346,10 +369,23 @@ func (s *Shootdown) Sync(ex *machine.Exec, op *Op, p Pmap, start, end ptable.VAd
 	}
 
 	action := Action{Pmap: p, ASID: p.ASID(), Start: start.Page(), End: end}
-	var sendList, waitList []int
+	var sendList []int
+	var waitList []waiter
 	queued := 0
+	// The membership scan runs under the member lock, so a processor
+	// mid-revive (resetting its protocol state under the same lock) is
+	// seen either wholly offline or wholly reset — never half-way.
+	mprev := s.memberLock.Lock(ex)
 	for cpu := 0; cpu < m.NumCPUs(); cpu++ {
 		if cpu == me || !inUseFor(p, cpu, start, end) {
+			continue
+		}
+		if !m.CPU(cpu).Online() {
+			// A fail-stopped processor translates nothing and loses its
+			// TLB before rejoining (full flush on online), so it is
+			// excluded up front — the membership analogue of the paper's
+			// idle-processor optimization.
+			s.stats.OfflineSkipped++
 			continue
 		}
 		lprev := s.actionLocks[cpu].Lock(ex)
@@ -363,7 +399,7 @@ func (s *Shootdown) Sync(ex *machine.Exec, op *Op, p Pmap, start, end ptable.VAd
 			s.stats.IdleSkipped++
 			continue
 		}
-		waitList = append(waitList, cpu)
+		waitList = append(waitList, waiter{cpu: cpu, inc: m.CPU(cpu).Incarnation()})
 		if m.CPU(cpu).Pending(machine.VecIPI) {
 			// An interrupt is already on its way; one responder pass
 			// services every shootdown in progress.
@@ -372,6 +408,7 @@ func (s *Shootdown) Sync(ex *machine.Exec, op *Op, p Pmap, start, end ptable.VAd
 		}
 		sendList = append(sendList, cpu)
 	}
+	s.memberLock.Unlock(ex, mprev)
 
 	if len(sendList) > 0 {
 		ex.SendIPI(sendList)
@@ -380,10 +417,10 @@ func (s *Shootdown) Sync(ex *machine.Exec, op *Op, p Pmap, start, end ptable.VAd
 	if len(waitList) > 0 {
 		s.Span.Begin(int64(ex.Now()), me, trace.CatShootdown, "shootdown-wait", int64(len(waitList)), 0)
 	}
-	for _, cpu := range waitList {
+	for _, w := range waitList {
 		// A responder that stops using the pmap has flushed its entries
 		// for it; no need to synchronize with it (refinement 1).
-		s.waitForResponder(ex, p, cpu, start, end)
+		s.waitForResponder(ex, p, w, start, end)
 	}
 	if len(waitList) > 0 {
 		s.Span.End(int64(ex.Now()), me, trace.CatShootdown, "shootdown-wait")
@@ -404,17 +441,31 @@ func (s *Shootdown) Sync(ex *machine.Exec, op *Op, p Pmap, start, end ptable.VAd
 	return shot
 }
 
+// waiter is one waitList entry: the responder's CPU number plus the
+// incarnation it was scanned at, so the wait can tell a fail/revive cycle
+// apart from a slow acknowledgment.
+type waiter struct {
+	cpu int
+	inc uint64
+}
+
 // waitForResponder implements the phase-1 wait on one processor: spin until
 // it acknowledges (leaves the active set) or stops using the pmap. With no
 // watchdog configured this is the paper's unbounded spin, which trusts the
-// interrupt hardware. With a watchdog armed, a timed-out spin re-sends the
-// IPI (it may have been dropped) under exponential backoff, and after
-// WatchdogMaxRetries forces the straggler's queue into the overflow state so
-// its eventual response is a single conservative full flush. The wait itself
-// is never abandoned: Sync's contract is that the pmap may be modified only
-// once the responder is quiescent, and no number of dropped interrupts makes
-// it safe to proceed without that.
-func (s *Shootdown) waitForResponder(ex *machine.Exec, p Pmap, cpu int, start, end ptable.VAddr) {
+// interrupt hardware (and assumes processors do not fail; fail-stop
+// tolerance requires the watchdog). With a watchdog armed, a timed-out
+// spin escalates in stages: re-send the IPI (it may have been dropped)
+// under exponential backoff; after WatchdogMaxRetries force the
+// straggler's queue into the overflow state so its eventual response is a
+// single conservative full flush; and on every timeout re-check
+// membership — a responder that fail-stopped will never acknowledge, and
+// one that failed and revived lost its TLB and its queued actions to the
+// online reset, so in either case there is nothing left to wait for. That
+// membership rescue is the only way the wait is abandoned: Sync's contract
+// is that the pmap may be modified only once the responder cannot use a
+// stale entry, and a dead (or cold-rebooted) TLB satisfies it.
+func (s *Shootdown) waitForResponder(ex *machine.Exec, p Pmap, w waiter, start, end ptable.VAddr) {
+	cpu := w.cpu
 	cond := func() bool { return s.active[cpu] && inUseFor(p, cpu, start, end) }
 	if s.opts.WatchdogTimeout <= 0 {
 		ex.SpinWhile(cond)
@@ -430,6 +481,9 @@ func (s *Shootdown) waitForResponder(ex *machine.Exec, p Pmap, cpu int, start, e
 			firstTimeout = ex.Now()
 		}
 		s.Span.Instant(int64(ex.Now()), me, trace.CatShootdown, "watchdog-timeout", int64(cpu), int64(retry))
+		if s.memberRecheck(ex, w) {
+			break
+		}
 		if !escalated && retry >= s.opts.WatchdogMaxRetries {
 			escalated = true
 			s.stats.WatchdogEscalations++
@@ -455,6 +509,23 @@ func (s *Shootdown) waitForResponder(ex *machine.Exec, p Pmap, cpu int, start, e
 	if firstTimeout != 0 {
 		s.recoveryUS = append(s.recoveryUS, float64(ex.Now()-firstTimeout)/1000)
 	}
+}
+
+// memberRecheck is the watchdog's membership escalation: under the member
+// lock (serializing against a concurrent online reset), test whether the
+// awaited responder is still alive in the incarnation it was scanned at.
+// If not, the wait is over — an offline processor cannot touch the pmap,
+// and a revived one came back with an empty TLB and a reset action queue.
+func (s *Shootdown) memberRecheck(ex *machine.Exec, w waiter) (rescued bool) {
+	mprev := s.memberLock.Lock(ex)
+	alive := s.m.CPU(w.cpu).Online() && s.m.CPU(w.cpu).Incarnation() == w.inc
+	s.memberLock.Unlock(ex, mprev)
+	if alive {
+		return false
+	}
+	s.stats.WatchdogMembershipRescues++
+	s.Span.Instant(int64(ex.Now()), ex.CPUID(), trace.CatShootdown, "watchdog-member-rescue", int64(w.cpu), int64(w.inc))
+	return true
 }
 
 // enqueue adds an action to a CPU's queue; the caller holds the action
@@ -487,7 +558,7 @@ func (s *Shootdown) respond(ex *machine.Exec) {
 	// doing any work, giving the initiator's watchdog something to time out
 	// against. Interrupts are already masked, matching the failure mode of
 	// a handler stuck in earlier non-preemptible work.
-	if d := s.m.Faults().ResponderDelay(); d > 0 {
+	if d := s.m.Faults().ResponderDelay(me); d > 0 {
 		s.Span.Instant(int64(ex.Now()), me, trace.CatShootdown, "responder-fault-stall", int64(d), 0)
 		ex.Stall(d)
 	}
@@ -498,15 +569,19 @@ func (s *Shootdown) respond(ex *machine.Exec) {
 		// paper's pseudo-code joins the two lock tests with &&, but the
 		// responder must stall while EITHER pmap is being updated —
 		// otherwise it could reload a stale entry from (or write R/M
-		// bits into) the half-updated map; we implement the OR.
+		// bits into) the half-updated map; we implement the OR. The test
+		// is UpdateInProgress, not Locked: a fail-stopped initiator's
+		// lock will never be released, and its frozen half-update is
+		// processed like any other — the queued (or escalated-to-flush)
+		// invalidations over-invalidate, which is always safe.
 		s.active[me] = false
 		s.Span.Begin(int64(ex.Now()), me, trace.CatShootdown, "shootdown-stall", 0, 0)
 		ex.SpinWhile(func() bool {
-			if s.kernelPmap != nil && s.kernelPmap.Locked() {
+			if s.kernelPmap != nil && s.kernelPmap.UpdateInProgress() {
 				return true
 			}
 			if s.userPmapOn != nil {
-				if up := s.userPmapOn(me); up != nil && up.Locked() {
+				if up := s.userPmapOn(me); up != nil && up.UpdateInProgress() {
 					return true
 				}
 			}
@@ -600,6 +675,28 @@ func (s *Shootdown) flush(ex *machine.Exec, asid tlb.ASID) {
 		return
 	}
 	ex.FlushTLB()
+}
+
+// OnCPUOnline resets the protocol state of a processor rejoining the
+// machine, running on the revived CPU itself before it executes anything
+// else. Whatever was queued for (or half-processed by) its previous life
+// is void: the hardware flushed the TLB on online, so there are no stale
+// entries left to invalidate. The reset runs under the member lock so an
+// initiator's membership scan never observes the rejoining processor
+// half-reset, and under the action lock against an initiator that already
+// saw us online and is enqueueing.
+func (s *Shootdown) OnCPUOnline(ex *machine.Exec) {
+	me := ex.CPUID()
+	mprev := s.memberLock.Lock(ex)
+	lprev := s.actionLocks[me].Lock(ex)
+	s.queues[me] = s.queues[me][:0]
+	s.overflow[me] = false
+	s.actionNeeded[me] = false
+	s.actionLocks[me].Unlock(ex, lprev)
+	s.idle[me] = false
+	s.active[me] = true
+	s.memberLock.Unlock(ex, mprev)
+	s.Span.Instant(int64(ex.Now()), me, trace.CatShootdown, "shootdown-online-reset", int64(ex.CPU().Incarnation()), 0)
 }
 
 // GoIdle adds the processor to the idle set. The idle loop must keep

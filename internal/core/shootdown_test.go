@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"shootdown/internal/core"
+	"shootdown/internal/fault"
 	"shootdown/internal/machine"
 	"shootdown/internal/mem"
 	"shootdown/internal/pmap"
@@ -702,6 +703,230 @@ func TestActionPages(t *testing.T) {
 	b := core.Action{Start: 0x1000, End: 0x1001}
 	if b.Pages() != 1 {
 		t.Fatalf("partial page Pages = %d", b.Pages())
+	}
+}
+
+// TestWatchdogEscalationTable walks the initiator watchdog through every
+// rung of its escalation ladder — timeout, IPI re-send, exponential backoff
+// up to the cap, the conservative full-flush escalation, and finally the
+// membership re-check that abandons a wait on a dead (or dead-and-revived)
+// responder. One responder on CPU 1 caches a writable entry and then
+// misbehaves per the case; the initiator on CPU 0 reprotects the page and
+// must always come back, with the stats and the recovery-latency metric
+// telling the story of how.
+func TestWatchdogEscalationTable(t *testing.T) {
+	const respCPU = 1
+	const page = ptable.VAddr(0x90000)
+	cases := []struct {
+		name   string
+		opts   core.Options
+		faults string   // injector spec for the machine ("" = no injector)
+		stall  sim.Time // responder holds interrupts masked this long (0 = open)
+		failAt sim.Time // >0: fail-stop the responder's CPU at this time
+		revive bool     // bring it straight back (incarnation bump, cold TLB)
+		check  func(t *testing.T, st core.Stats, recovery []float64)
+	}{
+		{
+			// The IPI arrived but the responder has interrupts masked:
+			// every timeout finds the vector still pending, so the watchdog
+			// must wait it out without ever re-sending.
+			name: "timeout-pending-ipi-no-resend",
+			opts: core.Options{WatchdogTimeout: 200_000, WatchdogMaxRetries: 10},
+			// Off the watchdog's check points (500us, 900us, 1.7ms), so no
+			// check races the interrupt being serviced at unmask time.
+			stall: 1_000_000,
+			check: func(t *testing.T, st core.Stats, recovery []float64) {
+				if st.WatchdogTimeouts == 0 {
+					t.Errorf("no timeouts recorded: %+v", st)
+				}
+				if st.WatchdogRetries != 0 {
+					t.Errorf("retried %d times with the IPI still pending", st.WatchdogRetries)
+				}
+				if st.WatchdogEscalations != 0 || st.WatchdogMembershipRescues != 0 {
+					t.Errorf("escalated against a merely slow responder: %+v", st)
+				}
+				if len(recovery) != 1 || recovery[0] <= 0 {
+					t.Errorf("recovery latency %v, want one positive sample", recovery)
+				}
+			},
+		},
+		{
+			// The interrupt hardware eats IPIs: the responder spins with
+			// interrupts open and never hears the first one, so recovery
+			// has to come from a watchdog re-send.
+			name:   "dropped-ipi-resent",
+			opts:   core.Options{WatchdogTimeout: 200_000, WatchdogMaxRetries: 10},
+			faults: "drop=0.9",
+			check: func(t *testing.T, st core.Stats, recovery []float64) {
+				if st.WatchdogTimeouts == 0 || st.WatchdogRetries == 0 {
+					t.Errorf("dropped IPI not retried: %+v", st)
+				}
+				if st.WatchdogMembershipRescues != 0 {
+					t.Errorf("membership rescue against a live responder: %+v", st)
+				}
+				if len(recovery) == 0 {
+					t.Error("no recovery latency recorded")
+				}
+			},
+		},
+		{
+			// A long stall under a small backoff cap: the retry interval
+			// doubles 100→200→400 and then pins at the cap, so the timeout
+			// count sits between pure doubling (~5) and no backoff (~30).
+			name: "backoff-doubles-to-cap",
+			opts: core.Options{
+				WatchdogTimeout:    100_000,
+				WatchdogBackoffMax: 400_000,
+				WatchdogMaxRetries: 50,
+			},
+			stall: 3_000_000,
+			check: func(t *testing.T, st core.Stats, recovery []float64) {
+				if st.WatchdogTimeouts < 6 || st.WatchdogTimeouts > 12 {
+					t.Errorf("timeouts = %d, want 6..12 (backoff doubling, capped at 400us)", st.WatchdogTimeouts)
+				}
+				if st.WatchdogEscalations != 0 {
+					t.Errorf("escalated below the retry budget: %+v", st)
+				}
+				if len(recovery) != 1 || recovery[0] <= 0 {
+					t.Errorf("recovery latency %v, want one positive sample", recovery)
+				}
+			},
+		},
+		{
+			// Retry budget exhausted: the straggler's queue is forced into
+			// overflow so its eventual drain is one conservative full flush.
+			name: "escalates-to-full-flush",
+			opts: core.Options{
+				WatchdogTimeout:    100_000,
+				WatchdogBackoffMax: 100_000,
+				WatchdogMaxRetries: 2,
+			},
+			stall: 1_500_000,
+			check: func(t *testing.T, st core.Stats, recovery []float64) {
+				if st.WatchdogEscalations == 0 {
+					t.Errorf("retry budget blown but never escalated: %+v", st)
+				}
+				if st.FullFlushes == 0 {
+					t.Errorf("escalation did not degrade the drain to a full flush: %+v", st)
+				}
+				if len(recovery) != 1 || recovery[0] <= 0 {
+					t.Errorf("recovery latency %v, want one positive sample", recovery)
+				}
+			},
+		},
+		{
+			// The responder fail-stops mid-wait: it will never acknowledge,
+			// and only the membership re-check can end the wait.
+			name:   "member-rescue-fail-stop",
+			opts:   core.Options{WatchdogTimeout: 200_000},
+			stall:  50_000_000_000, // masked until killed
+			failAt: 700_000,
+			check: func(t *testing.T, st core.Stats, recovery []float64) {
+				if st.WatchdogMembershipRescues == 0 {
+					t.Errorf("dead responder never rescued: %+v", st)
+				}
+				if len(recovery) != 1 || recovery[0] <= 0 {
+					t.Errorf("recovery latency %v, want one positive sample", recovery)
+				}
+			},
+		},
+		{
+			// Fail and revive between two watchdog checks: the CPU is back
+			// online, but in a fresh incarnation with a cold TLB — the
+			// incarnation captured at scan time unmasks the impostor.
+			name:   "member-rescue-revived-incarnation",
+			opts:   core.Options{WatchdogTimeout: 1_000_000},
+			stall:  50_000_000_000, // masked until killed
+			failAt: 600_000,
+			revive: true,
+			check: func(t *testing.T, st core.Stats, recovery []float64) {
+				if st.WatchdogMembershipRescues == 0 {
+					t.Errorf("revived responder never rescued: %+v", st)
+				}
+				if len(recovery) != 1 || recovery[0] <= 0 {
+					t.Errorf("recovery latency %v, want one positive sample", recovery)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.New(sim.WithMaxTime(60_000_000_000))
+			costs := machine.DefaultCosts()
+			costs.JitterPct = 0
+			mo := machine.Options{NumCPUs: 2, MemFrames: 1024, Costs: costs}
+			if tc.faults != "" {
+				fc, err := fault.ParseSpec(tc.faults)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fc.Seed = 11
+				mo.Faults = fault.New(fc)
+			}
+			m := machine.New(eng, mo)
+			sd := core.New(m, tc.opts)
+			sys, err := pmap.NewSystem(m, sd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			up, err := sys.NewUser()
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := m.Phys.AllocFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := up.Table.Enter(page, ptable.Make(f, true)); err != nil {
+				t.Fatal(err)
+			}
+			eng.Spawn("responder", func(p *sim.Proc) {
+				ex := m.Attach(p, respCPU)
+				defer ex.Detach()
+				up.Activate(ex, respCPU)
+				if fa := ex.Write(page, 1); fa != nil {
+					t.Errorf("prime write: %v", fa)
+					return
+				}
+				if tc.stall > 0 {
+					prev := ex.DisableAll()
+					ex.Advance(tc.stall)
+					ex.RestoreIPL(prev)
+				}
+				// Spin with interrupts open until the invalidation lands.
+				for n := uint32(2); ex.Write(page, n) == nil; n++ {
+					ex.Advance(5_000)
+				}
+			})
+			done := false
+			eng.Spawn("initiator", func(p *sim.Proc) {
+				ex := m.Attach(p, 0)
+				defer ex.Detach()
+				up.Activate(ex, 0)
+				ex.Advance(300_000) // let the responder cache the entry
+				up.Protect(ex, page, page+mem.PageSize, pmap.ProtRead)
+				done = true
+			})
+			if tc.failAt > 0 {
+				eng.Spawn("reaper", func(p *sim.Proc) {
+					p.Sleep(tc.failAt)
+					if !m.FailCPU(respCPU) {
+						t.Error("FailCPU refused")
+					}
+					if tc.revive && !m.OnlineCPU(respCPU) {
+						t.Error("OnlineCPU refused")
+					}
+				})
+			}
+			if err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if !done {
+				t.Fatal("initiator never completed")
+			}
+			tc.check(t, sd.Stats(), sd.WatchdogRecoveryUS())
+		})
 	}
 }
 

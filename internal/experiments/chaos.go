@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"shootdown/internal/fault"
+	"shootdown/internal/fault/shrink"
+	"shootdown/internal/kernel"
+	"shootdown/internal/sim"
+	"shootdown/internal/workload"
+)
+
+// chaosScenarios is the fail-stop/hot-plug campaign: processor lifecycle
+// faults, alone and combined with the interrupt-level chaos of the fault
+// campaign, against the churn workload with the watchdog armed and the
+// oracle attached. The membership layer must carry every run to a clean
+// finish: an initiator never waits on a dead responder, a revived CPU
+// never serves a stale translation.
+var chaosScenarios = []struct {
+	Name string
+	Spec string
+}{
+	{"failstop", "failstop=0.9,failby=8ms"},
+	{"hotplug", "failstop=0.9,failby=8ms,revive=1,reviveafter=4ms"},
+	{"failstop+chaos", "failstop=0.7,failby=8ms,revive=0.8,reviveafter=4ms,drop=0.10,delay=0.10,delaymax=1ms,slow=0.20,slowmax=300us,spurious=0.05"},
+}
+
+// Chaos run verdicts.
+const (
+	VerdictOK       = "ok"
+	VerdictOracle   = "oracle"   // consistency violation (the interesting failure)
+	VerdictDeadlock = "deadlock" // blocked procs, none runnable
+	VerdictTimeout  = "timeout"  // virtual-time bound hit (livelock/hang)
+	VerdictError    = "error"    // anything else
+)
+
+// classify maps a run error to a verdict string the shrinker can compare.
+func classify(err error) string {
+	switch {
+	case err == nil:
+		return VerdictOK
+	case errors.Is(err, sim.ErrDeadlock):
+		return VerdictDeadlock
+	case strings.Contains(err.Error(), "oracle:"):
+		return VerdictOracle
+	case strings.Contains(err.Error(), "virtual time limit"):
+		return VerdictTimeout
+	default:
+		return VerdictError
+	}
+}
+
+// chaosCell is one deterministic churn run under a fault config: the
+// fixture both the campaign and the shrinker's test function re-execute.
+func chaosCell(seed int64, ncpus int, fc fault.Config, bug bool, obs func(*kernel.Kernel)) (verdict, detail string, events []fault.Event) {
+	fcCopy := fc
+	app := workload.AppConfig{
+		NCPUs:              ncpus,
+		Seed:               seed,
+		Scale:              0.5,
+		ShootdownOptions:   campaignWatchdog,
+		Oracle:             true,
+		BugSkipReviveFlush: bug,
+		MaxVirtualTime:     30_000_000_000,
+		Faults:             &fcCopy,
+	}
+	app.Observe = func(k *kernel.Kernel) {
+		events = k.M.Faults().Events()
+		if obs != nil {
+			obs(k)
+		}
+	}
+	_, err := workload.RunChurn(app)
+	if err != nil {
+		detail = err.Error()
+	}
+	return classify(err), detail, events
+}
+
+// ChaosRun is one scenario's outcome.
+type ChaosRun struct {
+	Scenario string
+	Spec     string
+	Bug      string `json:",omitempty"`
+
+	Verdict string
+	Err     string `json:",omitempty"`
+
+	Faults     fault.Stats
+	LockBreaks uint64
+	// Membership-layer counters: CPUs excluded up front, and waits
+	// abandoned because the responder died mid-barrier.
+	OfflineSkipped uint64
+	MemberRescues  uint64
+	OracleStale    uint64
+	Violations     uint64
+
+	// Shrink results, when the run failed and shrinking was enabled.
+	ScheduleLen int             `json:",omitempty"` // events in the failing schedule
+	Shrunk      []fault.EventID `json:",omitempty"` // 1-minimal subset
+	ShrinkTests int             `json:",omitempty"`
+	Repro       *shrink.Repro   `json:",omitempty"`
+}
+
+// ChaosResult is the whole campaign.
+type ChaosResult struct {
+	Seed  int64
+	NCPUs int
+	Runs  []ChaosRun
+}
+
+// Failures counts non-ok runs.
+func (r ChaosResult) Failures() int {
+	n := 0
+	for _, run := range r.Runs {
+		if run.Verdict != VerdictOK {
+			n++
+		}
+	}
+	return n
+}
+
+// ChaosOptions tunes the campaign.
+type ChaosOptions struct {
+	NCPUs int // default 6
+	// PlantBug enables the intentional stale-TLB-after-revive bug
+	// (machine.Options.SkipReviveFlush) in every run, to demonstrate
+	// detection and minimization end to end.
+	PlantBug bool
+	// Shrink runs delta debugging on failing schedules; MaxShrinkRuns
+	// bounds the re-executions per failure (default 48).
+	Shrink        bool
+	MaxShrinkRuns int
+}
+
+// ChaosCampaign runs every fail-stop/hot-plug scenario against the churn
+// workload. A failing run (which, with PlantBug, is the expected outcome
+// of the hot-plug scenarios) is delta-debugged down to a 1-minimal fault
+// schedule and packaged as a replayable reproducer.
+func ChaosCampaign(seed int64, opt ChaosOptions, ins ...Instrument) (ChaosResult, error) {
+	in := pick(ins)
+	if opt.NCPUs == 0 {
+		opt.NCPUs = 6
+	}
+	if opt.MaxShrinkRuns == 0 {
+		opt.MaxShrinkRuns = 48
+	}
+	res := ChaosResult{Seed: seed, NCPUs: opt.NCPUs}
+	for i, sc := range chaosScenarios {
+		fc, err := fault.ParseSpec(sc.Spec)
+		if err != nil {
+			return res, fmt.Errorf("experiments: chaos scenario %s: %w", sc.Name, err)
+		}
+		fc.Seed = seed + int64(i)*257
+		row := ChaosRun{Scenario: sc.Name, Spec: sc.Spec}
+		if opt.PlantBug {
+			row.Bug = "skip-revive-flush"
+		}
+		obs := func(k *kernel.Kernel) {
+			if in.Observe != nil {
+				in.Observe(k)
+			}
+			row.Faults = k.M.Faults().Stats()
+			row.LockBreaks = k.M.LockBreaks()
+			if k.Shoot != nil {
+				st := k.Shoot.Stats()
+				row.OfflineSkipped = st.OfflineSkipped
+				row.MemberRescues = st.WatchdogMembershipRescues
+			}
+			if k.Oracle != nil {
+				k.Oracle.Check()
+				ost := k.Oracle.Stats()
+				row.OracleStale = ost.StaleCached
+				row.Violations = ost.Violations
+			}
+		}
+		verdict, detail, events := chaosCell(seed, opt.NCPUs, fc, opt.PlantBug, obs)
+		row.Verdict, row.Err = verdict, detail
+		if verdict != VerdictOK && opt.Shrink {
+			row.ScheduleLen = len(events)
+			r := shrinkFailure(seed, opt.NCPUs, fc, opt.PlantBug, verdict, events, opt.MaxShrinkRuns)
+			row.Shrunk = r.Keep
+			row.ShrinkTests = r.Tests
+			repro := buildRepro(seed, opt.NCPUs, fc, opt.PlantBug, verdict, events, r.Keep)
+			row.Repro = &repro
+		}
+		res.Runs = append(res.Runs, row)
+	}
+	return res, nil
+}
+
+// shrinkFailure delta-debugs one failing schedule: keep only the events
+// in the candidate set (mask the rest) and require the same verdict.
+func shrinkFailure(seed int64, ncpus int, fc fault.Config, bug bool, verdict string, events []fault.Event, maxRuns int) shrink.Result {
+	all := eventIDs(events)
+	return shrink.Minimize(all, func(keep []fault.EventID) bool {
+		cfg := fc
+		cfg.Mask = append(append([]fault.EventID(nil), fc.Mask...), shrink.MaskFor(all, keep)...)
+		v, _, _ := chaosCell(seed, ncpus, cfg, bug, nil)
+		return v == verdict
+	}, maxRuns)
+}
+
+// buildRepro packages a minimized failure for replay: the original fault
+// config with the mask set so exactly the kept events fire.
+func buildRepro(seed int64, ncpus int, fc fault.Config, bug bool, verdict string, events []fault.Event, keep []fault.EventID) shrink.Repro {
+	cfg := fc
+	cfg.Mask = append(append([]fault.EventID(nil), fc.Mask...), shrink.MaskFor(eventIDs(events), keep)...)
+	sort.Slice(cfg.Mask, func(i, j int) bool {
+		if cfg.Mask[i].Kind != cfg.Mask[j].Kind {
+			return cfg.Mask[i].Kind < cfg.Mask[j].Kind
+		}
+		return cfg.Mask[i].Seq < cfg.Mask[j].Seq
+	})
+	r := shrink.Repro{
+		Version:  shrink.ReproVersion,
+		Workload: "churn",
+		Seed:     seed,
+		NCPUs:    ncpus,
+		Faults:   cfg,
+		Keep:     keep,
+		Verdict:  verdict,
+	}
+	if bug {
+		r.Bug = "skip-revive-flush"
+	}
+	return r
+}
+
+func eventIDs(events []fault.Event) []fault.EventID {
+	out := make([]fault.EventID, len(events))
+	for i, e := range events {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// ReplayRepro re-executes a minimized reproducer and reports the verdict
+// it produced. A healthy reproducer yields exactly its recorded verdict;
+// anything else is a divergence (fixed bug, or a nondeterminism bug).
+func ReplayRepro(r shrink.Repro, ins ...Instrument) (string, string, error) {
+	if err := r.Validate(); err != nil {
+		return "", "", err
+	}
+	if r.Workload != "churn" {
+		return "", "", fmt.Errorf("experiments: repro workload %q not supported", r.Workload)
+	}
+	in := pick(ins)
+	verdict, detail, _ := chaosCell(r.Seed, r.NCPUs, r.Faults, r.Bug == "skip-revive-flush", in.Observe)
+	return verdict, detail, nil
+}
+
+// Render prints the campaign.
+func (r ChaosResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos campaign: processor fail-stop & hot-plug (%d-CPU churn, seed %d)\n", r.NCPUs, r.Seed)
+	fmt.Fprintf(&b, "watchdog: timeout %v, %d retries, then escalation; membership re-check on dead responders\n\n",
+		campaignWatchdog.WatchdogTimeout.Duration(), campaignWatchdog.WatchdogMaxRetries)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "scenario\tverdict\tfails\trevives\tlock breaks\toffline skips\tmember rescues\toracle viol\tshrunk\n")
+	for _, run := range r.Runs {
+		shrunk := "-"
+		if run.Verdict != VerdictOK && run.ScheduleLen > 0 {
+			shrunk = fmt.Sprintf("%d -> %d (%d runs)", run.ScheduleLen, len(run.Shrunk), run.ShrinkTests)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			run.Scenario, run.Verdict, run.Faults.FailStops, run.Faults.Revives,
+			run.LockBreaks, run.OfflineSkipped, run.MemberRescues, run.Violations, shrunk)
+	}
+	w.Flush()
+	for _, run := range r.Runs {
+		if run.Verdict == VerdictOK {
+			continue
+		}
+		fmt.Fprintf(&b, "\nFAIL %s (%s): %s\n", run.Scenario, run.Verdict, firstLine(run.Err))
+		if len(run.Shrunk) > 0 {
+			ids := make([]string, len(run.Shrunk))
+			for i, id := range run.Shrunk {
+				ids[i] = id.String()
+			}
+			fmt.Fprintf(&b, "  minimal schedule: %s\n", strings.Join(ids, " "))
+		}
+	}
+	if r.Failures() == 0 {
+		fmt.Fprintf(&b, "\nall %d scenarios survived: no shootdown ever waited on a dead processor, every revived TLB came up cold\n", len(r.Runs))
+	}
+	return b.String()
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -3,14 +3,23 @@
 // protocol implicitly assumes away — interprocessor interrupts that are
 // dropped or delayed by the interrupt hardware, responders that are slow
 // (or briefly stuck) servicing the shootdown interrupt, spurious shootdown
-// interrupts, and jittered bus timing — so the protocol-hardening layer
-// (watchdog retry/escalation in internal/core) and the consistency oracle
-// (internal/oracle) can be exercised under adversity.
+// interrupts, jittered bus timing, and processors that fail-stop outright
+// (optionally reviving later with a cold TLB) — so the protocol-hardening
+// layer (watchdog retry/escalation and membership re-check in
+// internal/core) and the consistency oracle (internal/oracle) can be
+// exercised under adversity.
 //
-// Every decision is drawn from a single seeded RNG that is consumed only at
-// engine-serialized points (inside running procs), so a campaign with a
+// Each fault kind draws from its own RNG sub-stream, derived by a splitmix
+// step from the seed XOR a per-kind tag, so enabling or disabling one kind
+// never perturbs the schedule of the others. Decisions are consumed only
+// at engine-serialized points (inside running procs), so a campaign with a
 // fixed seed replays exactly: the same faults hit the same events in the
 // same order on every run.
+//
+// Every injected fault is logged as an Event with a stable per-kind
+// sequence number; a Config.Mask suppresses chosen events by ID (the RNG
+// is still drawn, then the effect discarded), which is the substrate the
+// delta-debugging shrinker in fault/shrink minimizes over.
 //
 // All Injector methods are safe on a nil receiver (they inject nothing), so
 // the machine layer needs no nil checks at call sites.
@@ -26,6 +35,55 @@ import (
 
 	"shootdown/internal/sim"
 )
+
+// Kind names one fault type. The string form is stable and appears in
+// reproducer JSON.
+type Kind string
+
+// Fault kinds.
+const (
+	KindDropIPI        Kind = "drop"
+	KindDelayIPI       Kind = "delay"
+	KindSlowResponder  Kind = "slow"
+	KindStuckResponder Kind = "stuck"
+	KindSpuriousIPI    Kind = "spurious"
+	KindBusJitter      Kind = "jitter"
+	KindFailStop       Kind = "failstop"
+	KindRevive         Kind = "revive"
+)
+
+// kindList orders the kinds; the index is each kind's RNG stream slot.
+var kindList = []Kind{
+	KindDropIPI, KindDelayIPI, KindSlowResponder, KindStuckResponder,
+	KindSpuriousIPI, KindBusJitter, KindFailStop, KindRevive,
+}
+
+func kindIndex(k Kind) int {
+	for i, kk := range kindList {
+		if kk == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// EventID identifies one injected fault: the kind plus the per-kind
+// ordinal of the firing decision. IDs are stable for a fixed (config,
+// seed, mask) triple, which is what makes masks replayable.
+type EventID struct {
+	Kind Kind   `json:"kind"`
+	Seq  uint64 `json:"seq"`
+}
+
+func (id EventID) String() string { return fmt.Sprintf("%s:%d", id.Kind, id.Seq) }
+
+// Event is one fault that was actually injected during a run.
+type Event struct {
+	ID  EventID  `json:"id"`
+	At  sim.Time `json:"at"`            // virtual time of the decision (0 if no clock wired)
+	CPU int      `json:"cpu"`           // primary CPU involved (target, responder, …)
+	Arg int64    `json:"arg,omitempty"` // kind-specific magnitude (delay ns, …)
+}
 
 // Config selects fault kinds and rates. Probabilities are in [0, 1]; a zero
 // probability disables the kind entirely (and consumes no randomness for
@@ -62,6 +120,22 @@ type Config struct {
 	// extra (0, BusJitterMax] beyond its reserved slot.
 	BusJitter    float64
 	BusJitterMax sim.Time
+
+	// FailStop is the probability, per CPU other than the bootstrap
+	// processor (CPU 0), that the CPU fail-stops at a time drawn uniform
+	// in (0, FailStopBy]. The whole fail/revive plan is fixed at injector
+	// construction, so it is part of the deterministic schedule.
+	FailStop   float64
+	FailStopBy sim.Time
+	// Revive is the probability that a fail-stopped CPU comes back online
+	// (hot-plug, cold TLB) after a further uniform (0, ReviveAfterMax].
+	Revive         float64
+	ReviveAfterMax sim.Time
+
+	// Mask suppresses the listed events: the RNG is drawn exactly as
+	// without the mask, then the fault's effect is discarded. Not part of
+	// the Spec syntax; the shrinker and -repro set it programmatically.
+	Mask []EventID `json:"Mask,omitempty"`
 }
 
 // Default magnitudes applied by withDefaults when a probability is set but
@@ -71,6 +145,8 @@ const (
 	defaultSlowResponderMax   = sim.Time(500_000)    // 500 µs
 	defaultStuckResponderTime = sim.Time(10_000_000) // 10 ms
 	defaultBusJitterMax       = sim.Time(2_000)      // 2 µs
+	defaultFailStopBy         = sim.Time(10_000_000) // 10 ms
+	defaultReviveAfterMax     = sim.Time(5_000_000)  // 5 ms
 )
 
 func (c Config) withDefaults() Config {
@@ -86,6 +162,12 @@ func (c Config) withDefaults() Config {
 	if c.BusJitter > 0 && c.BusJitterMax == 0 {
 		c.BusJitterMax = defaultBusJitterMax
 	}
+	if c.FailStop > 0 && c.FailStopBy == 0 {
+		c.FailStopBy = defaultFailStopBy
+	}
+	if c.Revive > 0 && c.ReviveAfterMax == 0 {
+		c.ReviveAfterMax = defaultReviveAfterMax
+	}
 	return c
 }
 
@@ -97,6 +179,7 @@ func (c Config) Validate() error {
 	}{
 		{"drop", c.DropIPI}, {"delay", c.DelayIPI}, {"slow", c.SlowResponder},
 		{"stuck", c.StuckResponder}, {"spurious", c.SpuriousIPI}, {"jitter", c.BusJitter},
+		{"failstop", c.FailStop}, {"revive", c.Revive},
 	}
 	for _, p := range probs {
 		if p.v < 0 || p.v > 1 {
@@ -109,6 +192,7 @@ func (c Config) Validate() error {
 	}{
 		{"delaymax", c.DelayIPIMax}, {"slowmax", c.SlowResponderMax},
 		{"stuckfor", c.StuckResponderTime}, {"jittermax", c.BusJitterMax},
+		{"failby", c.FailStopBy}, {"reviveafter", c.ReviveAfterMax},
 	}
 	for _, d := range durs {
 		if d.v < 0 {
@@ -121,11 +205,12 @@ func (c Config) Validate() error {
 // Enabled reports whether any fault kind has a nonzero probability.
 func (c Config) Enabled() bool {
 	return c.DropIPI > 0 || c.DelayIPI > 0 || c.SlowResponder > 0 ||
-		c.StuckResponder > 0 || c.SpuriousIPI > 0 || c.BusJitter > 0
+		c.StuckResponder > 0 || c.SpuriousIPI > 0 || c.BusJitter > 0 ||
+		c.FailStop > 0
 }
 
 // Spec renders the config in ParseSpec's syntax (stable key order), for
-// labeling campaign rows.
+// labeling campaign rows. The Seed and Mask fields are not rendered.
 func (c Config) Spec() string {
 	c = c.withDefaults()
 	var parts []string
@@ -144,6 +229,8 @@ func (c Config) Spec() string {
 	add("stuck", c.StuckResponder, "stuckfor", c.StuckResponderTime)
 	add("spurious", c.SpuriousIPI, "", 0)
 	add("jitter", c.BusJitter, "jittermax", c.BusJitterMax)
+	add("failstop", c.FailStop, "failby", c.FailStopBy)
+	add("revive", c.Revive, "reviveafter", c.ReviveAfterMax)
 	if len(parts) == 0 {
 		return "none"
 	}
@@ -152,12 +239,13 @@ func (c Config) Spec() string {
 
 // ParseSpec parses a comma-separated key=value fault specification, e.g.
 //
-//	drop=0.15,delay=0.1,delaymax=2ms,slow=0.1,spurious=0.05
+//	drop=0.15,delay=0.1,delaymax=2ms,slow=0.1,spurious=0.05,failstop=0.5
 //
-// Keys: drop, delay, slow, stuck, spurious, jitter (probabilities in
-// [0, 1]); delaymax, slowmax, stuckfor, jittermax (Go durations). Unset
-// magnitudes take kind-specific defaults. "none" or "" yields a zero
-// config. The Seed field is not part of the spec; callers set it.
+// Keys: drop, delay, slow, stuck, spurious, jitter, failstop, revive
+// (probabilities in [0, 1]); delaymax, slowmax, stuckfor, jittermax,
+// failby, reviveafter (Go durations). Unset magnitudes take kind-specific
+// defaults. "none" or "" yields a zero config. The Seed and Mask fields
+// are not part of the spec; callers set them.
 func ParseSpec(spec string) (Config, error) {
 	var c Config
 	spec = strings.TrimSpace(spec)
@@ -208,6 +296,10 @@ func probField(c *Config, k string) (*float64, bool) {
 		return &c.SpuriousIPI, true
 	case "jitter":
 		return &c.BusJitter, true
+	case "failstop":
+		return &c.FailStop, true
+	case "revive":
+		return &c.Revive, true
 	}
 	return nil, false
 }
@@ -222,13 +314,18 @@ func durField(c *Config, k string) (*sim.Time, bool) {
 		return &c.StuckResponderTime, true
 	case "jittermax":
 		return &c.BusJitterMax, true
+	case "failby":
+		return &c.FailStopBy, true
+	case "reviveafter":
+		return &c.ReviveAfterMax, true
 	}
 	return nil, false
 }
 
 func specKeys() []string {
 	ks := []string{"drop", "delay", "delaymax", "slow", "slowmax",
-		"stuck", "stuckfor", "spurious", "jitter", "jittermax"}
+		"stuck", "stuckfor", "spurious", "jitter", "jittermax",
+		"failstop", "failby", "revive", "reviveafter"}
 	sort.Strings(ks)
 	return ks
 }
@@ -241,26 +338,93 @@ type Stats struct {
 	SlowResponses  uint64
 	StuckResponses uint64
 	JitteredBusOps uint64
+	FailStops      uint64
+	Revives        uint64
 }
 
 // Total sums all injected faults.
 func (s Stats) Total() uint64 {
 	return s.DroppedIPIs + s.DelayedIPIs + s.SpuriousIPIs +
-		s.SlowResponses + s.StuckResponses + s.JitteredBusOps
+		s.SlowResponses + s.StuckResponses + s.JitteredBusOps +
+		s.FailStops + s.Revives
 }
 
-// Injector makes fault decisions from one seeded RNG. A nil *Injector
-// injects nothing.
+// splitmix64 is the SplitMix64 finalizer, used to derive well-separated
+// per-kind stream seeds from (seed XOR kind tag).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// kindTag hashes a kind name (FNV-1a) into the tag XORed with the seed.
+func kindTag(k Kind) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// CPUEvent is one entry of the deterministic fail/revive plan: at virtual
+// time At, CPU fails (Online=false) or comes back online (Online=true).
+type CPUEvent struct {
+	ID     EventID  `json:"id"`
+	CPU    int      `json:"cpu"`
+	At     sim.Time `json:"at"`
+	Online bool     `json:"online"`
+}
+
+// Injector makes fault decisions, one seeded RNG sub-stream per kind.
+// A nil *Injector injects nothing.
 type Injector struct {
-	cfg   Config
-	rng   *rand.Rand
-	stats Stats
+	cfg     Config
+	streams []*rand.Rand
+	fired   []uint64 // per-kind ordinal of the next firing decision
+	masked  map[EventID]bool
+	events  []Event
+	stats   Stats
+	clock   func() sim.Time
+
+	plan     []CPUEvent // full fail/revive plan (before masking)
+	planNCPU int
+	planDone bool
 }
 
 // New builds an injector. The config's magnitude defaults are applied.
 func New(cfg Config) *Injector {
 	cfg = cfg.withDefaults()
-	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	in := &Injector{
+		cfg:     cfg,
+		streams: make([]*rand.Rand, len(kindList)),
+		fired:   make([]uint64, len(kindList)),
+		masked:  make(map[EventID]bool, len(cfg.Mask)),
+	}
+	for i, k := range kindList {
+		in.streams[i] = rand.New(rand.NewSource(int64(splitmix64(uint64(cfg.Seed) ^ kindTag(k)))))
+	}
+	for _, id := range cfg.Mask {
+		in.masked[id] = true
+	}
+	return in
+}
+
+// SetClock wires a virtual-time source so events carry timestamps. The
+// machine layer calls this; timestamps are informational only and do not
+// affect any decision.
+func (in *Injector) SetClock(fn func() sim.Time) {
+	if in != nil {
+		in.clock = fn
+	}
+}
+
+func (in *Injector) now() sim.Time {
+	if in.clock == nil {
+		return 0
+	}
+	return in.clock()
 }
 
 // Config returns the effective configuration (zero value on nil).
@@ -279,28 +443,65 @@ func (in *Injector) Stats() Stats {
 	return in.stats
 }
 
-// uniform returns a value in (0, max], never zero so an injected fault is
-// always observable.
-func (in *Injector) uniform(max sim.Time) sim.Time {
+// Events returns a copy of the injected-fault log, in injection order
+// (plan events first, at plan-generation time).
+func (in *Injector) Events() []Event {
+	if in == nil {
+		return nil
+	}
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	return out
+}
+
+// fire assigns the next ordinal for kind k and consults the mask: it
+// returns the event ID and whether the fault's effect should be applied.
+// The caller must already have drawn all RNG for the decision (including
+// magnitudes), so masking never perturbs the stream.
+func (in *Injector) fire(k Kind) (EventID, bool) {
+	i := kindIndex(k)
+	id := EventID{Kind: k, Seq: in.fired[i]}
+	in.fired[i]++
+	return id, !in.masked[id]
+}
+
+func (in *Injector) record(id EventID, cpu int, arg int64) {
+	in.events = append(in.events, Event{ID: id, At: in.now(), CPU: cpu, Arg: arg})
+}
+
+// stream returns the RNG sub-stream for kind k.
+func (in *Injector) stream(k Kind) *rand.Rand { return in.streams[kindIndex(k)] }
+
+// uniform returns a value in (0, max] from r, never zero so an injected
+// fault is always observable.
+func uniform(r *rand.Rand, max sim.Time) sim.Time {
 	if max <= 0 {
 		return 0
 	}
-	return 1 + sim.Time(in.rng.Int63n(int64(max)))
+	return 1 + sim.Time(r.Int63n(int64(max)))
 }
 
 // OnIPI decides the fate of one IPI from CPU from to CPU to: dropped,
-// delivered after a delay, or (both zero-valued) delivered normally.
+// delivered after a delay, or (both zero-valued) delivered normally. Drop
+// and delay draw from independent streams; when both fire, drop wins.
 func (in *Injector) OnIPI(from, to int) (drop bool, delay sim.Time) {
 	if in == nil {
 		return false, 0
 	}
-	if in.cfg.DropIPI > 0 && in.rng.Float64() < in.cfg.DropIPI {
-		in.stats.DroppedIPIs++
-		return true, 0
+	if in.cfg.DropIPI > 0 && in.stream(KindDropIPI).Float64() < in.cfg.DropIPI {
+		if id, apply := in.fire(KindDropIPI); apply {
+			in.stats.DroppedIPIs++
+			in.record(id, to, 0)
+			return true, 0
+		}
 	}
-	if in.cfg.DelayIPI > 0 && in.rng.Float64() < in.cfg.DelayIPI {
-		in.stats.DelayedIPIs++
-		return false, in.uniform(in.cfg.DelayIPIMax)
+	if in.cfg.DelayIPI > 0 && in.stream(KindDelayIPI).Float64() < in.cfg.DelayIPI {
+		d := uniform(in.stream(KindDelayIPI), in.cfg.DelayIPIMax)
+		if id, apply := in.fire(KindDelayIPI); apply {
+			in.stats.DelayedIPIs++
+			in.record(id, to, int64(d))
+			return false, d
+		}
 	}
 	return false, 0
 }
@@ -312,42 +513,143 @@ func (in *Injector) SpuriousTarget(from, ncpu int) (int, bool) {
 	if in == nil || in.cfg.SpuriousIPI <= 0 || ncpu < 2 {
 		return 0, false
 	}
-	if in.rng.Float64() >= in.cfg.SpuriousIPI {
+	r := in.stream(KindSpuriousIPI)
+	if r.Float64() >= in.cfg.SpuriousIPI {
 		return 0, false
 	}
-	t := in.rng.Intn(ncpu - 1)
+	t := r.Intn(ncpu - 1)
 	if t >= from {
 		t++
 	}
+	id, apply := in.fire(KindSpuriousIPI)
+	if !apply {
+		return 0, false
+	}
 	in.stats.SpuriousIPIs++
+	in.record(id, t, 0)
 	return t, true
 }
 
-// ResponderDelay decides how long a responder pass stalls before doing any
-// work: a long "stuck" period, a short "slow" period, or zero.
-func (in *Injector) ResponderDelay() sim.Time {
+// ResponderDelay decides how long a responder pass on CPU cpu stalls
+// before doing any work: a long "stuck" period, a short "slow" period, or
+// zero. Stuck and slow draw from independent streams; stuck wins.
+func (in *Injector) ResponderDelay(cpu int) sim.Time {
 	if in == nil {
 		return 0
 	}
-	if in.cfg.StuckResponder > 0 && in.rng.Float64() < in.cfg.StuckResponder {
-		in.stats.StuckResponses++
-		return in.cfg.StuckResponderTime
+	if in.cfg.StuckResponder > 0 && in.stream(KindStuckResponder).Float64() < in.cfg.StuckResponder {
+		if id, apply := in.fire(KindStuckResponder); apply {
+			in.stats.StuckResponses++
+			in.record(id, cpu, int64(in.cfg.StuckResponderTime))
+			return in.cfg.StuckResponderTime
+		}
 	}
-	if in.cfg.SlowResponder > 0 && in.rng.Float64() < in.cfg.SlowResponder {
-		in.stats.SlowResponses++
-		return in.uniform(in.cfg.SlowResponderMax)
+	if in.cfg.SlowResponder > 0 && in.stream(KindSlowResponder).Float64() < in.cfg.SlowResponder {
+		d := uniform(in.stream(KindSlowResponder), in.cfg.SlowResponderMax)
+		if id, apply := in.fire(KindSlowResponder); apply {
+			in.stats.SlowResponses++
+			in.record(id, cpu, int64(d))
+			return d
+		}
 	}
 	return 0
 }
 
-// BusJitter decides the extra stall for one bus transaction.
-func (in *Injector) BusJitter() sim.Time {
+// BusJitter decides the extra stall for one bus transaction on CPU cpu.
+func (in *Injector) BusJitter(cpu int) sim.Time {
 	if in == nil || in.cfg.BusJitter <= 0 {
 		return 0
 	}
-	if in.rng.Float64() >= in.cfg.BusJitter {
+	r := in.stream(KindBusJitter)
+	if r.Float64() >= in.cfg.BusJitter {
+		return 0
+	}
+	d := uniform(r, in.cfg.BusJitterMax)
+	id, apply := in.fire(KindBusJitter)
+	if !apply {
 		return 0
 	}
 	in.stats.JitteredBusOps++
-	return in.uniform(in.cfg.BusJitterMax)
+	in.record(id, cpu, int64(d))
+	return d
+}
+
+// Plan returns the deterministic fail/revive schedule for an ncpu-way
+// machine, sorted by time, with masked events removed (masking a CPU's
+// fail also suppresses its revive — a revive without its fail is
+// meaningless). The plan is generated once, on first call, entirely from
+// the failstop and revive streams; CPU 0 is the bootstrap processor and
+// never fails.
+func (in *Injector) Plan(ncpu int) []CPUEvent {
+	if in == nil || in.cfg.FailStop <= 0 {
+		return nil
+	}
+	if !in.planDone {
+		in.generatePlan(ncpu)
+	} else if ncpu != in.planNCPU {
+		panic(fmt.Sprintf("fault: Plan called with ncpu=%d after plan generated for ncpu=%d", ncpu, in.planNCPU))
+	}
+	var out []CPUEvent
+	skipRevive := map[int]bool{}
+	for _, ev := range in.plan {
+		if in.masked[ev.ID] || (ev.Online && skipRevive[ev.CPU]) {
+			if !ev.Online {
+				skipRevive[ev.CPU] = true
+			}
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func (in *Injector) generatePlan(ncpu int) {
+	in.planDone = true
+	in.planNCPU = ncpu
+	fr := in.stream(KindFailStop)
+	rr := in.stream(KindRevive)
+	for cpu := 1; cpu < ncpu; cpu++ {
+		if fr.Float64() >= in.cfg.FailStop {
+			continue
+		}
+		failAt := uniform(fr, in.cfg.FailStopBy)
+		failID, _ := in.fire(KindFailStop)
+		in.plan = append(in.plan, CPUEvent{ID: failID, CPU: cpu, At: failAt})
+		if in.cfg.Revive > 0 && rr.Float64() < in.cfg.Revive {
+			reviveAt := failAt + uniform(rr, in.cfg.ReviveAfterMax)
+			reviveID, _ := in.fire(KindRevive)
+			in.plan = append(in.plan, CPUEvent{ID: reviveID, CPU: cpu, At: reviveAt, Online: true})
+		}
+	}
+	sort.Slice(in.plan, func(i, j int) bool {
+		if in.plan[i].At != in.plan[j].At {
+			return in.plan[i].At < in.plan[j].At
+		}
+		return in.plan[i].CPU < in.plan[j].CPU
+	})
+	// Log the unmasked plan entries as injected events up front: the plan
+	// is part of the schedule the shrinker minimizes over.
+	for _, ev := range in.plan {
+		if in.masked[ev.ID] {
+			continue
+		}
+		arg := int64(0)
+		if ev.Online {
+			arg = 1
+		}
+		in.events = append(in.events, Event{ID: ev.ID, At: ev.At, CPU: ev.CPU, Arg: arg})
+	}
+}
+
+// NotePlanApplied records that the kernel applied one plan event (the
+// fail/revive actually happened before the run ended), for the stats.
+func (in *Injector) NotePlanApplied(ev CPUEvent) {
+	if in == nil {
+		return
+	}
+	if ev.Online {
+		in.stats.Revives++
+	} else {
+		in.stats.FailStops++
+	}
 }

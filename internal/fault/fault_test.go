@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"reflect"
 	"testing"
 
 	"shootdown/internal/sim"
@@ -14,10 +15,10 @@ func TestNilInjectorInjectsNothing(t *testing.T) {
 	if _, ok := in.SpuriousTarget(0, 16); ok {
 		t.Fatalf("nil injector produced a spurious target")
 	}
-	if d := in.ResponderDelay(); d != 0 {
+	if d := in.ResponderDelay(0); d != 0 {
 		t.Fatalf("nil injector delayed a responder: %v", d)
 	}
-	if d := in.BusJitter(); d != 0 {
+	if d := in.BusJitter(0); d != 0 {
 		t.Fatalf("nil injector jittered the bus: %v", d)
 	}
 	if s := in.Stats(); s != (Stats{}) {
@@ -45,8 +46,8 @@ func TestDeterministicReplay(t *testing.T) {
 			var d decision
 			d.drop, d.delay = in.OnIPI(i%8, (i+1)%8)
 			d.spurious, d.spuOK = in.SpuriousTarget(i%8, 8)
-			d.resp = in.ResponderDelay()
-			d.jitter = in.BusJitter()
+			d.resp = in.ResponderDelay(0)
+			d.jitter = in.BusJitter(0)
 			out = append(out, d)
 		}
 		return out
@@ -91,7 +92,7 @@ func TestInjectedDelaysAreBoundedAndPositive(t *testing.T) {
 		if _, delay := in.OnIPI(0, 1); delay <= 0 || delay > 100 {
 			t.Fatalf("IPI delay %v outside (0, 100]", delay)
 		}
-		if d := in.ResponderDelay(); d <= 0 || d > 50 {
+		if d := in.ResponderDelay(0); d <= 0 || d > 50 {
 			t.Fatalf("responder delay %v outside (0, 50]", d)
 		}
 	}
@@ -134,7 +135,7 @@ func TestParseSpec(t *testing.T) {
 			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
 			continue
 		}
-		if got != tc.want {
+		if !reflect.DeepEqual(got, tc.want) {
 			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
 		}
 	}
@@ -149,7 +150,174 @@ func TestSpecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("re-parsing %q: %v", c.Spec(), err)
 	}
-	if again != c {
+	if !reflect.DeepEqual(again, c) {
 		t.Fatalf("spec round trip: %+v vs %+v", again, c)
+	}
+}
+
+// TestStreamIndependence pins the satellite-1 fix: each fault kind draws
+// from its own sub-stream, so enabling one kind must not perturb the
+// schedule of another. The drop decisions here interleave with responder
+// and bus decisions in one run and not the other, yet stay identical.
+func TestStreamIndependence(t *testing.T) {
+	dropsOf := func(cfg Config, interleave bool) []bool {
+		in := New(cfg)
+		var out []bool
+		for i := 0; i < 300; i++ {
+			drop, _ := in.OnIPI(i%8, (i+1)%8)
+			out = append(out, drop)
+			if interleave {
+				in.ResponderDelay(i % 8)
+				in.BusJitter(i % 8)
+				in.SpuriousTarget(i%8, 8)
+			}
+		}
+		return out
+	}
+	alone := dropsOf(Config{Seed: 11, DropIPI: 0.3}, false)
+	crowded := dropsOf(Config{
+		Seed: 11, DropIPI: 0.3, SlowResponder: 0.5, StuckResponder: 0.1,
+		BusJitter: 0.5, SpuriousIPI: 0.3,
+	}, true)
+	if !reflect.DeepEqual(alone, crowded) {
+		t.Fatalf("drop schedule perturbed by enabling other fault kinds")
+	}
+}
+
+// TestStreamGolden pins the exact per-kind decision sequence for one seed,
+// so any change to the stream derivation (splitmix tags, draw order) is a
+// visible, deliberate break.
+func TestStreamGolden(t *testing.T) {
+	in := New(Config{Seed: 42, DropIPI: 0.5})
+	got := ""
+	for i := 0; i < 24; i++ {
+		if drop, _ := in.OnIPI(0, 1); drop {
+			got += "D"
+		} else {
+			got += "."
+		}
+	}
+	const want = "..DDDD..D..DD..D..D.DD.D"
+	if got != want {
+		t.Fatalf("drop stream for seed 42 = %q, want %q", got, want)
+	}
+}
+
+func TestMaskSuppressesWithoutPerturbing(t *testing.T) {
+	base := Config{Seed: 5, DropIPI: 0.4}
+	run := func(mask []EventID) (drops []bool, ev []Event, st Stats) {
+		c := base
+		c.Mask = mask
+		in := New(c)
+		for i := 0; i < 100; i++ {
+			d, _ := in.OnIPI(0, 1)
+			drops = append(drops, d)
+		}
+		return drops, in.Events(), in.Stats()
+	}
+	drops, events, _ := run(nil)
+	if len(events) == 0 {
+		t.Fatal("no drops fired with p=0.4")
+	}
+	victim := events[1].ID
+	masked, maskedEvents, st := run([]EventID{victim})
+
+	// Exactly one drop disappears, at the victim's position; every other
+	// decision is unchanged.
+	diff := 0
+	for i := range drops {
+		if drops[i] != masked[i] {
+			diff++
+			if drops[i] != true || masked[i] != false {
+				t.Fatalf("mask flipped a non-drop at %d", i)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("mask changed %d decisions, want exactly 1", diff)
+	}
+	if st.DroppedIPIs != uint64(len(events)-1) {
+		t.Fatalf("stats count masked event: %d vs %d fired", st.DroppedIPIs, len(events))
+	}
+	for _, e := range maskedEvents {
+		if e.ID == victim {
+			t.Fatal("masked event still in the event log")
+		}
+	}
+	// Later events keep their sequence numbers: ordinals are assigned
+	// before the mask is consulted.
+	if maskedEvents[1].ID != events[2].ID {
+		t.Fatalf("ordinals shifted under mask: %v vs %v", maskedEvents[1].ID, events[2].ID)
+	}
+}
+
+func TestPlanDeterministicAndBootstrapImmune(t *testing.T) {
+	cfg := Config{Seed: 99, FailStop: 0.9, Revive: 0.8}
+	a := New(cfg).Plan(8)
+	b := New(cfg).Plan(8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("plan not deterministic:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("no plan events with failstop=0.9 on 8 CPUs")
+	}
+	for _, ev := range a {
+		if ev.CPU == 0 {
+			t.Fatal("bootstrap processor (CPU 0) must never fail")
+		}
+		if ev.At <= 0 {
+			t.Fatalf("plan event at non-positive time: %+v", ev)
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatal("plan not sorted by time")
+		}
+	}
+}
+
+func TestPlanMaskingFailSuppressesRevive(t *testing.T) {
+	cfg := Config{Seed: 99, FailStop: 0.9, Revive: 0.9}
+	full := New(cfg).Plan(8)
+	var failID EventID
+	var victim int
+	found := false
+	for _, ev := range full {
+		if ev.Online {
+			continue
+		}
+		// Pick a fail that has a matching revive.
+		for _, rv := range full {
+			if rv.Online && rv.CPU == ev.CPU {
+				failID, victim, found = ev.ID, ev.CPU, true
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Skip("no fail+revive pair for this seed")
+	}
+	cfg.Mask = []EventID{failID}
+	masked := New(cfg).Plan(8)
+	for _, ev := range masked {
+		if ev.CPU == victim {
+			t.Fatalf("masking the fail left event %+v for cpu %d in the plan", ev, victim)
+		}
+	}
+}
+
+func TestPlanStreamsIndependentOfOtherKinds(t *testing.T) {
+	a := New(Config{Seed: 123, FailStop: 0.7, Revive: 0.5}).Plan(8)
+	in := New(Config{Seed: 123, FailStop: 0.7, Revive: 0.5, DropIPI: 0.5, SlowResponder: 0.5})
+	// Consume lots of other-kind randomness before generating the plan.
+	for i := 0; i < 200; i++ {
+		in.OnIPI(0, 1)
+		in.ResponderDelay(1)
+	}
+	b := in.Plan(8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fail/revive plan perturbed by other fault kinds:\n%v\n%v", a, b)
 	}
 }

@@ -205,6 +205,7 @@ func (k *Kernel) Run() error {
 			k.idleLoop(p, cpu)
 		})
 	}
+	k.startLifecycle()
 	if k.cfg.TimerInterval > 0 {
 		k.Eng.Spawn("clock", func(p *sim.Proc) {
 			for !k.stopping {
@@ -235,6 +236,9 @@ func (k *Kernel) closeOpenSpans() {
 	}
 	now := int64(k.Eng.Now())
 	for cpu := 0; cpu < k.M.NumCPUs(); cpu++ {
+		if !k.M.CPU(cpu).Online() {
+			continue // a failed CPU's spans were closed at fail time
+		}
 		if k.current[cpu] != nil {
 			tr.End(now, cpu, trace.CatKernel, "thread-run")
 		} else {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"shootdown/internal/fault"
 	"shootdown/internal/kernel"
 	"shootdown/internal/machine"
 	"shootdown/internal/mem"
@@ -529,5 +530,158 @@ func TestMutexUnlockByNonHolderPanics(t *testing.T) {
 	}
 	if !panicked {
 		t.Fatal("unlock of unheld mutex should panic")
+	}
+}
+
+// failStopConfig builds a config with a deterministic fail/revive plan and
+// the oracle attached.
+func failStopConfig(ncpu int, seed int64, revive bool) kernel.Config {
+	cfg := testConfig(ncpu)
+	fc := fault.Config{Seed: seed, FailStop: 1, FailStopBy: 5_000_000}
+	if revive {
+		fc.Revive = 1
+		fc.ReviveAfterMax = 2_000_000
+	}
+	cfg.Machine.Faults = fault.New(fc)
+	cfg.Oracle = true
+	return cfg
+}
+
+// TestFailStopReapsRunningThread pins the lifecycle driver's recovery: a
+// thread pinned to a busy loop on a doomed CPU dies with ErrCPUFailed, its
+// joiner is released, and the run still completes cleanly.
+func TestFailStopReapsRunningThread(t *testing.T) {
+	cfg := failStopConfig(3, 21, false)
+	k, err := kernel.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, _ := k.NewTask("t")
+	var victims []*kernel.Thread
+	// More busy threads than surviving CPUs: some must be running on the
+	// doomed CPUs when they fail.
+	for i := 0; i < 3; i++ {
+		i := i
+		victims = append(victims, task.Spawn(fmt.Sprintf("spin%d", i), func(th *kernel.Thread) {
+			th.Compute(50_000_000)
+		}))
+	}
+	joined := false
+	task.Spawn("joiner", func(th *kernel.Thread) {
+		for _, v := range victims {
+			th.Join(v)
+		}
+		joined = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !joined {
+		t.Fatal("joiner never released after fail-stops")
+	}
+	failed := 0
+	for _, v := range victims {
+		if errors.Is(v.Err, kernel.ErrCPUFailed) {
+			failed++
+		}
+	}
+	if got := k.M.Faults().Stats().FailStops; got == 0 {
+		t.Fatal("plan applied no fail-stops")
+	} else if failed == 0 {
+		t.Fatalf("%d CPUs failed but no thread died with ErrCPUFailed", got)
+	}
+	if k.Oracle.Stats().Violations != 0 {
+		t.Fatalf("oracle violations under fail-stop: %v", k.Oracle.Err())
+	}
+}
+
+// TestHotPlugRevivedCPUSchedulesAgain pins the revive path: after
+// fail+revive, every CPU is back online, the revived CPUs dispatch work
+// again, and the oracle saw an empty TLB at each revive.
+func TestHotPlugRevivedCPUSchedulesAgain(t *testing.T) {
+	cfg := failStopConfig(4, 5, true)
+	k, err := kernel.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, _ := k.NewTask("t")
+	// Enough medium-length threads that redispatch continues well past the
+	// last revive (plan is done by ~7 ms; this workload runs ~10x that).
+	cpusSeen := map[int]bool{}
+	for i := 0; i < 12; i++ {
+		i := i
+		task.Spawn(fmt.Sprintf("w%d", i), func(th *kernel.Thread) {
+			for j := 0; j < 20; j++ {
+				th.Compute(1_000_000)
+				th.Yield()
+				cpusSeen[th.CPU()] = true
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := k.M.Faults().Stats()
+	if st.FailStops == 0 || st.Revives == 0 {
+		t.Fatalf("plan applied %d fails, %d revives; want both nonzero", st.FailStops, st.Revives)
+	}
+	for cpu := 0; cpu < 4; cpu++ {
+		if !k.M.CPU(cpu).Online() {
+			t.Fatalf("cpu %d still offline after revive plan", cpu)
+		}
+	}
+	if len(cpusSeen) != 4 {
+		t.Fatalf("post-revive dispatch only reached CPUs %v", cpusSeen)
+	}
+	if got := k.Oracle.Stats().CPURevives; got != st.Revives {
+		t.Fatalf("oracle saw %d revives, plan applied %d", got, st.Revives)
+	}
+	if k.Oracle.Stats().Violations != 0 {
+		t.Fatalf("oracle violations under hot-plug: %v", k.Oracle.Err())
+	}
+}
+
+// TestStaleReviveBugCaughtByOracle plants the intentional bug — a revived
+// CPU skips its hardware TLB reset — and requires the oracle to flag the
+// carried-over entries as stale-after-revive violations.
+func TestStaleReviveBugCaughtByOracle(t *testing.T) {
+	cfg := failStopConfig(4, 5, true)
+	cfg.Machine.SkipReviveFlush = true
+	k, err := kernel.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, _ := k.NewTask("t")
+	for i := 0; i < 8; i++ {
+		i := i
+		task.Spawn(fmt.Sprintf("mem%d", i), func(th *kernel.Thread) {
+			va, err := th.VMAllocate(4 * mem.PageSize)
+			if err != nil {
+				t.Errorf("VMAllocate: %v", err)
+				return
+			}
+			// Keep touching the pages across the whole fail/revive window
+			// (~7 ms) so the doomed CPUs hold live TLB entries when they die.
+			for j := 0; j < 200; j++ {
+				if err := th.Write(va+ptable.VAddr(j%4)*mem.PageSize, uint32(j)); err != nil {
+					return // a fail-stopped sibling may have left state; tolerate
+				}
+				th.Compute(50_000)
+			}
+		})
+	}
+	err = k.Run()
+	var stale bool
+	for _, v := range k.Oracle.Violations() {
+		if v.Kind == "stale-after-revive" {
+			stale = true
+		}
+	}
+	if !stale {
+		t.Fatalf("SkipReviveFlush planted but oracle saw no stale-after-revive violation (err=%v, stats=%+v)",
+			err, k.Oracle.Stats())
+	}
+	if err == nil {
+		t.Fatal("run with planted bug reported no error")
 	}
 }

@@ -44,6 +44,8 @@ func (k *Kernel) Metrics() *trace.MetricSet {
 		shoot("watchdog_timeouts_total", "Responder-ack waits that exceeded the watchdog timeout.", s.WatchdogTimeouts)
 		shoot("watchdog_retries_total", "IPIs re-sent by the watchdog.", s.WatchdogRetries)
 		shoot("watchdog_escalations_total", "Stragglers forced onto the full-flush path.", s.WatchdogEscalations)
+		shoot("watchdog_member_rescues_total", "Waits abandoned because the responder fail-stopped.", s.WatchdogMembershipRescues)
+		shoot("offline_skipped_total", "CPUs excluded from shootdowns for being offline.", s.OfflineSkipped)
 		ms.Histogram("shootdown_watchdog_recovery_microseconds",
 			"Watchdog recovery latency (first timeout to responder quiescence, µs).",
 			latencyHistogram(k.Shoot.WatchdogRecoveryUS()), nil)
@@ -60,7 +62,13 @@ func (k *Kernel) Metrics() *trace.MetricSet {
 		fc("slow_responses_total", "Responder passes stalled by the injector.", f.SlowResponses)
 		fc("stuck_responses_total", "Responder passes wedged for the stuck duration.", f.StuckResponses)
 		fc("jittered_bus_ops_total", "Bus operations given extra latency.", f.JitteredBusOps)
+		fc("failstops_total", "Processor fail-stops applied.", f.FailStops)
+		fc("revives_total", "Processors brought back online.", f.Revives)
 	}
+	ms.Counter("machine_lock_breaks_total",
+		"Spin locks broken because their owner fail-stopped.", float64(k.M.LockBreaks()), nil)
+	ms.Counter("machine_epoch",
+		"Membership epoch (CPU lifecycle transitions).", float64(k.M.Epoch()), nil)
 
 	if k.Oracle != nil {
 		o := k.Oracle.Stats()
@@ -71,6 +79,8 @@ func (k *Kernel) Metrics() *trace.MetricSet {
 		oc("insert_checks_total", "Translations checked at TLB-insert points.", o.InsertChecks)
 		oc("sync_checks_total", "Full physical-vs-shadow table comparisons.", o.SyncChecks)
 		oc("violations_total", "Stale translations granted (any nonzero value is a protocol bug).", o.Violations)
+		oc("cpu_fails_total", "Fail-stops observed by the oracle.", o.CPUFails)
+		oc("cpu_revives_total", "Revives observed (TLB-empty asserted) by the oracle.", o.CPURevives)
 		ms.Gauge("oracle_stale_cached_entries",
 			"Stale entries parked in TLBs at the last sync check (legal; informational).",
 			float64(o.StaleCached), nil)

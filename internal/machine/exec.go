@@ -21,9 +21,12 @@ type Exec struct {
 }
 
 // Attach binds proc to CPU cpuID and returns the execution context.
-// It panics if the CPU is already occupied.
+// It panics if the CPU is already occupied or offline.
 func (m *Machine) Attach(proc *sim.Proc, cpuID int) *Exec {
 	cpu := m.cpus[cpuID]
+	if cpu.state != CPUOnline {
+		panic(fmt.Sprintf("machine: attach to offline cpu %d", cpuID))
+	}
 	if cpu.cur != nil {
 		panic(fmt.Sprintf("machine: cpu %d already occupied by proc %q", cpuID, cpu.cur.proc.Name()))
 	}
@@ -213,7 +216,7 @@ func (ex *Exec) busStall(n int) {
 		}
 		// Injected timing faults stretch the transaction beyond its
 		// reserved slot (marginal bus arbitration, retried cycles).
-		w += ex.machine.faults.BusJitter()
+		w += ex.machine.faults.BusJitter(ex.cpu.id)
 		ex.advanceNoIRQ(w)
 	}
 }

@@ -110,6 +110,12 @@ type Options struct {
 	// IPIs, spurious interrupts, bus jitter) into the machine. Nil runs
 	// the fault-free hardware the paper assumes.
 	Faults *fault.Injector
+	// SkipReviveFlush suppresses the full TLB flush a processor performs
+	// when it comes back online. This is an intentional bug knob: a
+	// revived CPU then resumes with whatever translations it cached
+	// before failing, which the consistency oracle must catch. Used only
+	// to validate the oracle and the chaos shrinker.
+	SkipReviveFlush bool
 }
 
 func (o Options) withDefaults() Options {
@@ -145,7 +151,38 @@ type Machine struct {
 	tracer   *trace.Tracer
 	mmuObs   MMUObserver
 
+	// epoch counts CPU membership changes (fail or online transitions);
+	// protocol layers compare epochs to detect that membership moved
+	// under them.
+	epoch uint64
+	// lockBreaks counts spin locks broken because their owner fail-stopped.
+	lockBreaks uint64
+
 	kernelTable *ptable.Table
+}
+
+// CPUState is a processor's lifecycle state.
+type CPUState int
+
+// CPU lifecycle states.
+const (
+	// CPUOnline: the processor executes and receives interrupts.
+	CPUOnline CPUState = iota
+	// CPUOffline: the processor fail-stopped. It executes nothing,
+	// receives no interrupts, and its TLB contents are frozen until it
+	// is brought back online.
+	CPUOffline
+)
+
+func (s CPUState) String() string {
+	switch s {
+	case CPUOnline:
+		return "online"
+	case CPUOffline:
+		return "offline"
+	default:
+		return fmt.Sprintf("cpustate(%d)", int(s))
+	}
 }
 
 // CPU is one simulated processor.
@@ -159,6 +196,13 @@ type CPU struct {
 	pendingAt [numVectors]sim.Time // earliest delivery time while pending
 
 	cur *Exec // execution context currently on this CPU, if any
+
+	state CPUState
+	// incarnation distinguishes a CPU's lifetimes across fail/online
+	// cycles: it increments every time the CPU comes back online, so a
+	// lock acquired (or a response awaited) before a failure can be told
+	// apart from the revived processor's new life.
+	incarnation uint64
 
 	userTable *ptable.Table
 	userASID  tlb.ASID
@@ -190,6 +234,9 @@ func New(eng *sim.Engine, opts Options) *Machine {
 		cfg := opts.TLB
 		cfg.Seed = opts.Seed + int64(i)*7919
 		m.cpus = append(m.cpus, &CPU{m: m, id: i, TLB: tlb.New(cfg)})
+	}
+	if m.faults != nil {
+		m.faults.SetClock(func() sim.Time { return eng.Now() })
 	}
 	return m
 }
@@ -256,6 +303,11 @@ func (m *Machine) Post(target int, v Vector) (wasPending bool) {
 // delivery time earlier: a watchdog's retry IPI overtakes a delayed one.
 func (m *Machine) PostAfter(target int, v Vector, delay sim.Time) (wasPending bool) {
 	cpu := m.cpus[target]
+	if cpu.state != CPUOnline {
+		// A fail-stopped processor latches nothing; the interrupt is lost
+		// exactly as on real hardware whose target has powered off.
+		return false
+	}
 	now := m.Eng.Now()
 	nudge := func() {
 		if cpu.cur != nil && cpu.cur.proc != nil {
@@ -278,6 +330,76 @@ func (m *Machine) PostAfter(target int, v Vector, delay sim.Time) (wasPending bo
 
 // Faults returns the machine's fault injector (possibly nil).
 func (m *Machine) Faults() *fault.Injector { return m.faults }
+
+// Epoch returns the membership epoch: the number of CPU lifecycle
+// transitions (fail or online) so far.
+func (m *Machine) Epoch() uint64 { return m.epoch }
+
+// LockBreaks returns how many spin locks have been broken because their
+// owning processor fail-stopped while holding them.
+func (m *Machine) LockBreaks() uint64 { return m.lockBreaks }
+
+// FailCPU fail-stops a processor: its state goes offline, the execution
+// context on it (if any) is halted in place — nothing unwinds, so any
+// spin locks that context held stay held until a survivor breaks them —
+// and every latched interrupt is discarded. Returns false if the CPU was
+// already offline. The caller (the kernel's lifecycle driver) is
+// responsible for software-level recovery: reaping the dead thread,
+// releasing its pmap membership, and restarting scheduling state.
+func (m *Machine) FailCPU(cpuID int) bool {
+	cpu := m.cpus[cpuID]
+	if cpu.state != CPUOnline {
+		return false
+	}
+	cpu.state = CPUOffline
+	m.epoch++
+	if cpu.cur != nil {
+		if cpu.cur.proc != nil {
+			m.Eng.Kill(cpu.cur.proc)
+		}
+		cpu.cur = nil
+	}
+	for v := Vector(0); v < numVectors; v++ {
+		cpu.pending[v] = false
+	}
+	m.tracer.Instant(int64(m.Eng.Now()), cpuID, trace.CatMachine, "cpu-fail", int64(cpu.incarnation), 0)
+	return true
+}
+
+// OnlineCPU brings a failed processor back online with a fresh
+// incarnation. Hardware reset flushes its TLB — a hot-plugged processor
+// must start translation from the page tables, never from entries cached
+// in a previous life (Options.SkipReviveFlush suppresses this, as an
+// intentional bug for oracle validation). Returns false if the CPU was
+// already online.
+func (m *Machine) OnlineCPU(cpuID int) bool {
+	cpu := m.cpus[cpuID]
+	if cpu.state == CPUOnline {
+		return false
+	}
+	cpu.state = CPUOnline
+	cpu.incarnation++
+	m.epoch++
+	if !m.opts.SkipReviveFlush {
+		cpu.TLB.Flush()
+	}
+	for v := Vector(0); v < numVectors; v++ {
+		cpu.pending[v] = false
+	}
+	cpu.userTable = nil
+	cpu.userASID = tlb.ASIDNone
+	m.tracer.Instant(int64(m.Eng.Now()), cpuID, trace.CatMachine, "cpu-online", int64(cpu.incarnation), 0)
+	return true
+}
+
+// cpuAlive reports whether processor cpu is online in the same
+// incarnation inc — i.e. whether an agent that recorded (cpu, inc) is
+// still running. False once the CPU fails, and still false after it
+// revives (the revived processor is a different life).
+func (m *Machine) cpuAlive(cpu int, inc uint64) bool {
+	c := m.cpus[cpu]
+	return c.state == CPUOnline && c.incarnation == inc
+}
 
 // MMUObserver watches successful translations, for consistency checking
 // that is independent of the shootdown protocol (internal/oracle). OnTLBUse
@@ -318,6 +440,16 @@ func irqName(v Vector) string {
 
 // ID returns the CPU number.
 func (c *CPU) ID() int { return c.id }
+
+// State returns the CPU's lifecycle state.
+func (c *CPU) State() CPUState { return c.state }
+
+// Online reports whether the CPU is online.
+func (c *CPU) Online() bool { return c.state == CPUOnline }
+
+// Incarnation returns the CPU's current incarnation number (0 for its
+// first life; incremented each time it comes back online after a failure).
+func (c *CPU) Incarnation() uint64 { return c.incarnation }
 
 // IPL returns the CPU's current interrupt priority level.
 func (c *CPU) IPL() IPL { return c.ipl }
@@ -414,33 +546,55 @@ type SpinLock struct {
 	Name   string
 	MinIPL IPL
 
-	held  bool
-	owner int
+	held     bool
+	owner    int
+	ownerInc uint64 // owner CPU's incarnation at acquisition
+}
+
+// breakIfOwnerDead releases a lock whose owner fail-stopped while holding
+// it (the owner's context was halted in place, so no unlock is coming).
+// This is the successor path the protocol needs to survive a dead
+// initiator: the next processor that wants the lock inherits it, finding
+// the protected structure in whatever consistent-at-instruction-boundary
+// state the victim left it. Returns whether the lock was broken.
+func (l *SpinLock) breakIfOwnerDead(m *Machine) bool {
+	if !l.held || m.cpuAlive(l.owner, l.ownerInc) {
+		return false
+	}
+	m.lockBreaks++
+	m.tracer.Instant(int64(m.Eng.Now()), l.owner, trace.CatMachine, "lock-break", int64(l.ownerInc), 0)
+	l.held = false
+	return true
 }
 
 // Lock raises the caller to the lock's IPL, spins until the lock is free,
-// and takes it. It returns the previous IPL for Unlock to restore.
+// and takes it. It returns the previous IPL for Unlock to restore. A lock
+// held by a fail-stopped processor is broken and taken over rather than
+// spun on forever.
 func (l *SpinLock) Lock(ex *Exec) IPL {
 	prev := ex.RaiseIPL(l.MinIPL)
 	ex.charge(ex.m().costs.LockAcquire)
-	for l.held {
+	for l.held && !l.breakIfOwnerDead(ex.m()) {
 		ex.Advance(ex.m().costs.SpinCheck)
 	}
 	l.held = true
 	l.owner = ex.CPUID()
+	l.ownerInc = ex.cpu.incarnation
 	return prev
 }
 
 // TryLock takes the lock if it is free, without spinning and without
 // touching the interrupt level — the caller must already be at the lock's
 // IPL or higher (typically via DisableAll) and restores it through Unlock.
+// Like Lock, it breaks and takes over a dead owner's lock.
 func (l *SpinLock) TryLock(ex *Exec) bool {
 	ex.charge(ex.m().costs.LockAcquire)
-	if l.held {
+	if l.held && !l.breakIfOwnerDead(ex.m()) {
 		return false
 	}
 	l.held = true
 	l.owner = ex.CPUID()
+	l.ownerInc = ex.cpu.incarnation
 	return true
 }
 
@@ -464,3 +618,13 @@ func (l *SpinLock) Held() bool { return l.held }
 
 // HeldBy reports whether the lock is held by the given CPU.
 func (l *SpinLock) HeldBy(cpu int) bool { return l.held && l.owner == cpu }
+
+// HeldLive reports whether the lock is held by a processor that is still
+// alive in the incarnation that acquired it. A responder stalling "while
+// an update is in progress" must use this rather than Held: a dead
+// initiator's lock signals no in-progress update — its partial update is
+// already frozen, and waiting for an unlock that will never come would
+// wedge every responder.
+func (l *SpinLock) HeldLive(m *Machine) bool {
+	return l.held && m.cpuAlive(l.owner, l.ownerInc)
+}

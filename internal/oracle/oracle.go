@@ -56,14 +56,18 @@ type Stats struct {
 	// most recent Check — legal under the idle and ASID optimizations, so
 	// informational only.
 	StaleCached uint64
-	Violations  uint64
+	// CPUFails and CPURevives count the lifecycle transitions the oracle
+	// was told about (fail-stop campaigns).
+	CPUFails   uint64
+	CPURevives uint64
+	Violations uint64
 }
 
 // Violation is one observed breach of the consistency invariant.
 type Violation struct {
 	Time sim.Time
 	CPU  int
-	Kind string // "stale-use", "stale-insert", "table-divergence"
+	Kind string // "stale-use", "stale-insert", "table-divergence", "stale-after-revive"
 	VA   ptable.VAddr
 	ASID tlb.ASID
 	Got  ptable.PTE // what the TLB (or table) held
@@ -219,6 +223,37 @@ func (o *Oracle) OnTLBInsert(cpu int, va ptable.VAddr, asid tlb.ASID, entry ptab
 	}
 }
 
+// OnCPUFail notes a processor fail-stop. The dead CPU's TLB freezes with
+// whatever it cached — harmless, since an offline processor translates
+// nothing — so the stale-cached scan skips offline CPUs from here on.
+func (o *Oracle) OnCPUFail(cpu int) {
+	if o == nil {
+		return
+	}
+	o.stats.CPUFails++
+}
+
+// OnCPUOnline is the hot-plug assertion: a processor coming back online
+// has been through hardware reset, so its TLB must be empty. Any entry
+// still cached is a carry-over from a previous life — exactly the
+// stale-translation-after-revive bug class — and is recorded as a
+// violation whether or not the entry happens to still agree with the
+// shadow (a revived CPU must never trust pre-failure state).
+func (o *Oracle) OnCPUOnline(cpu int) {
+	if o == nil {
+		return
+	}
+	o.stats.CPURevives++
+	for _, e := range o.m.CPU(cpu).TLB.Entries() {
+		var want ptable.PTE
+		if sh, ok := o.byASID[e.ASID]; ok {
+			want = sh.entries[e.VA.Page()]
+		}
+		o.record(Violation{Time: o.m.Eng.Now(), CPU: cpu, Kind: "stale-after-revive",
+			VA: e.VA.Page(), ASID: e.ASID, Got: e.PTE, Want: want})
+	}
+}
+
 // Check is the sync-point assertion: every tracked physical page table must
 // agree with its shadow (masking the hardware-written R/M bits), in both
 // directions. It also refreshes the informational stale-cached count. It
@@ -263,6 +298,9 @@ func (o *Oracle) Check() int {
 func (o *Oracle) countStaleCached() uint64 {
 	var n uint64
 	for i := 0; i < o.m.NumCPUs(); i++ {
+		if !o.m.CPU(i).Online() {
+			continue // a dead CPU's frozen TLB grants nothing
+		}
 		for _, e := range o.m.CPU(i).TLB.Entries() {
 			sh, ok := o.byASID[e.ASID]
 			if !ok {

@@ -194,6 +194,12 @@ func (sys *System) NewUser() (*Pmap, error) {
 // Locked implements core.Pmap.
 func (pm *Pmap) Locked() bool { return pm.lock.Held() }
 
+// UpdateInProgress implements core.Pmap: the lock is held by a processor
+// that is still alive in the incarnation that acquired it. A fail-stopped
+// initiator's lock reports false — its partial update is frozen, not in
+// progress, and responders must not stall on it.
+func (pm *Pmap) UpdateInProgress() bool { return pm.lock.HeldLive(pm.sys.M) }
+
 // InUse implements core.Pmap: the kernel pmap is in use on every processor
 // (the kernel is a multi-threaded task potentially executing everywhere).
 func (pm *Pmap) InUse(cpu int) bool {
@@ -472,6 +478,22 @@ func (pm *Pmap) Deactivate(ex *machine.Exec, cpu int) {
 	pm.inUse[cpu] = false
 	pm.sys.activeUser[cpu] = nil
 	pm.sys.M.CPU(cpu).SetUserTable(nil, tlb.ASIDNone)
+}
+
+// OnCPUFail releases a fail-stopped processor's pmap membership: the user
+// pmap it was translating through (if any) stops counting it as a user, so
+// initiators and the lazy-evaluation checks no longer account for a
+// processor that cannot translate. Dropping the in-use bit without a TLB
+// flush is sound — the dead CPU's TLB is frozen while it is offline, and
+// coming back online flushes it before the first translation. Under
+// LazyASIDRelease other spaces may still retain the dead CPU in their
+// in-use sets; that is conservative over-inclusion (a later shootdown
+// treats the revived CPU as a user and releases it) and never unsafe.
+func (sys *System) OnCPUFail(cpu int) {
+	if pm := sys.activeUser[cpu]; pm != nil {
+		pm.inUse[cpu] = false
+		sys.activeUser[cpu] = nil
+	}
 }
 
 // ReferenceAndClear reads the page's hardware reference bit and clears it

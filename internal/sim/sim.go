@@ -50,6 +50,7 @@ const (
 	StateSleeping              // in the run heap with a wake time
 	StateBlocked               // waiting for an explicit Wake
 	StateDone                  // returned
+	StateHalted                // killed by Engine.Kill; never runs again
 )
 
 func (s State) String() string {
@@ -64,6 +65,8 @@ func (s State) String() string {
 		return "blocked"
 	case StateDone:
 		return "done"
+	case StateHalted:
+		return "halted"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -341,15 +344,41 @@ func (e *Engine) BlockedProcs() []*Proc {
 	return out
 }
 
-// LiveProcs returns the procs that have not finished.
+// LiveProcs returns the procs that have not finished or been halted.
 func (e *Engine) LiveProcs() []*Proc {
 	var out []*Proc
 	for _, p := range e.procs {
-		if p.state != StateDone {
+		if p.state != StateDone && p.state != StateHalted {
 			out = append(out, p)
 		}
 	}
 	return out
+}
+
+// Kill halts a proc in place, modeling fail-stop: the proc transitions to
+// StateHalted and never runs again. Unlike a panic or return, nothing
+// unwinds — deferred calls do not run, so any simulated locks the proc
+// holds stay held (exactly the hazard a fail-stopped processor creates;
+// recovery is the survivors' problem). The backing goroutine stays parked
+// on its resume channel for the life of the process, which is fine for a
+// bounded simulation. The currently running proc cannot kill itself this
+// way (it would deadlock the engine handshake); killing a done or halted
+// proc is a no-op. Returns whether the proc was halted.
+func (e *Engine) Kill(p *Proc) bool {
+	switch p.state {
+	case StateDone, StateHalted:
+		return false
+	case StateRunning:
+		panic(fmt.Sprintf("sim: Kill called on running proc %q; a proc cannot fail-stop itself", p.name))
+	}
+	if p.heapIdx >= 0 {
+		heap.Remove(&e.runq, p.heapIdx)
+	}
+	p.state = StateHalted
+	p.ClearWaiting()
+	e.trace("[%d ns] halt %q", e.now, p.name)
+	e.tracer.Instant(int64(e.now), p.id, trace.CatSim, "halt", 0, 0)
+	return true
 }
 
 func (p *Proc) mustBeCurrent(op string) {

@@ -482,3 +482,83 @@ func TestWaitGraphClearedByWake(t *testing.T) {
 		t.Errorf("wait graph not empty after completion:\n%s", g)
 	}
 }
+
+func TestKillSleepingProc(t *testing.T) {
+	e := New()
+	var ran bool
+	var victim *Proc
+	victim = e.Spawn("victim", func(p *Proc) {
+		p.Sleep(1000)
+		ran = true // must never execute
+	})
+	e.Spawn("killer", func(p *Proc) {
+		p.Sleep(100)
+		if !e.Kill(victim) {
+			t.Error("Kill returned false for sleeping proc")
+		}
+		if victim.State() != StateHalted {
+			t.Errorf("victim state = %v, want halted", victim.State())
+		}
+		// Killing again is a no-op.
+		if e.Kill(victim) {
+			t.Error("second Kill should return false")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("halted proc executed past its Kill point")
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now = %d, want 100 (victim's later wake must not run)", e.Now())
+	}
+}
+
+func TestKillBlockedProcAvoidsDeadlock(t *testing.T) {
+	e := New()
+	var victim *Proc
+	victim = e.Spawn("victim", func(p *Proc) {
+		p.SetWaiting("never-coming")
+		p.Block()
+	})
+	e.Spawn("killer", func(p *Proc) {
+		p.Sleep(50)
+		if !e.Kill(victim) {
+			t.Error("Kill returned false for blocked proc")
+		}
+	})
+	// With the blocked proc halted, the run completes instead of
+	// reporting a deadlock.
+	if err := e.Run(); err != nil {
+		t.Fatalf("run after Kill: %v", err)
+	}
+	if reason, _ := victim.Waiting(); reason != "" {
+		t.Errorf("Kill should clear the wait annotation, got %q", reason)
+	}
+	// A halted proc cannot be woken or preempted.
+	if e.Wake(victim) {
+		t.Error("Wake on halted proc should be a no-op")
+	}
+	if e.Preempt(victim, 0) {
+		t.Error("Preempt on halted proc should be a no-op")
+	}
+}
+
+func TestKillExcludesFromLiveProcs(t *testing.T) {
+	e := New()
+	var victim *Proc
+	victim = e.Spawn("victim", func(p *Proc) { p.Sleep(1000) })
+	e.Spawn("killer", func(p *Proc) {
+		p.Sleep(10)
+		e.Kill(victim)
+		for _, lp := range e.LiveProcs() {
+			if lp == victim {
+				t.Error("halted proc still listed in LiveProcs")
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -144,9 +144,13 @@ func RunTester(cfg TesterConfig) (TesterResult, error) {
 	if err := k.Run(); err != nil {
 		return TesterResult{}, err
 	}
-	for i := range res.Saved {
-		if res.Final[i] != res.Saved[i] {
-			res.Inconsistent = true
+	// Under fail-stop injection the parent can be reaped mid-test, leaving
+	// Final short; an incomplete pair is inconclusive, not inconsistent.
+	if len(res.Final) == len(res.Saved) {
+		for i := range res.Saved {
+			if res.Final[i] != res.Saved[i] {
+				res.Inconsistent = true
+			}
 		}
 	}
 	res.TraceDropped = k.Trace.Dropped()

@@ -81,6 +81,10 @@ type AppConfig struct {
 	// Oracle attaches the independent TLB-consistency checker; the run
 	// fails if any TLB grants an access through a stale translation.
 	Oracle bool
+	// BugSkipReviveFlush plants the intentional stale-TLB-after-revive bug
+	// (a hot-plugged CPU skips its hardware TLB reset) so chaos campaigns
+	// can prove the oracle catches it and the shrinker minimizes it.
+	BugSkipReviveFlush bool
 	// Observe, when set, is called with the kernel after the run completes
 	// (metrics harvesting).
 	Observe func(*kernel.Kernel)
@@ -115,6 +119,7 @@ func (c AppConfig) newKernel() (*kernel.Kernel, error) {
 		TLB:              c.TLB,
 		RemoteInvalidate: c.RemoteInvalidate,
 		IPIMode:          c.IPIMode,
+		SkipReviveFlush:  c.BugSkipReviveFlush,
 	}
 	if c.Faults != nil && c.Faults.Enabled() {
 		mo.Faults = fault.New(*c.Faults)

@@ -5,9 +5,10 @@
 # invariants. Tier 2 runs the race detector over internal/sim and
 # internal/trace, the only packages allowed real concurrency (the
 # simconcurrency analyzer enforces that everything else stays in virtual
-# time). The smoke stage exercises the observability layer end to end and
-# checks that the fault-injection campaign is deterministic (same seed,
-# byte-identical output).
+# time), plus the chaos-campaign survival tests and a replay of every
+# committed fault-schedule reproducer. The smoke stage exercises the
+# observability layer end to end and checks that the fault-injection and
+# chaos campaigns are deterministic (same seed, byte-identical output).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,6 +27,9 @@ go run ./cmd/shootdownlint ./...
 echo "== tier 2: go test -race ./internal/sim/... ./internal/trace/..."
 go test -race ./internal/sim/... ./internal/trace/...
 
+echo "== tier 2: chaos campaign survival + reproducer corpus replay"
+go test ./internal/experiments -run 'ChaosCampaignSurvivesWithoutBug|StaleReviveBugShrinks|CorpusReplay'
+
 echo "== smoke: shootdownsim trace/metrics/json"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -43,5 +47,13 @@ echo "== smoke: fault campaign is deterministic (same seed, identical bytes)"
 go run ./cmd/shootdownsim -seed 7 -format json faults >"$tmp/faults1.json"
 go run ./cmd/shootdownsim -seed 7 -format json faults >"$tmp/faults2.json"
 cmp "$tmp/faults1.json" "$tmp/faults2.json"
+
+echo "== smoke: chaos campaign is deterministic and corpus repros replay"
+go run ./cmd/shootdownsim -seed 7 -format json chaos >"$tmp/chaos1.json"
+go run ./cmd/shootdownsim -seed 7 -format json chaos >"$tmp/chaos2.json"
+cmp "$tmp/chaos1.json" "$tmp/chaos2.json"
+for repro in internal/experiments/testdata/corpus/*.json; do
+	go run ./cmd/shootdownsim -repro "$repro"
+done
 
 echo "check: all green"
