@@ -39,8 +39,8 @@ test:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/trace/...
 
-bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+bench: ## paper-artifact benchmarks + Figure 2 sweep → next free BENCH_<n>.json
+	./scripts/bench.sh
 
 smoke: build
 	$(GO) run ./cmd/shootdownsim -runs 1 -trace /tmp/shootdown-trace.json fig2

@@ -8,7 +8,7 @@
 //
 // Experiments: fig2, table1, table2, table3, table4, overhead, perturb,
 // scale, strategies, ipimodes, highprio, idleopt, threshold, queue,
-// taggedtlb, pools, pageout, faults, all.
+// taggedtlb, pools, pageout, faults, chaos, profile, all.
 //
 // -faults injects deterministic hardware faults (dropped/delayed IPIs, slow
 // responders, bus jitter) into every kernel; -failstop and -hotplug add
@@ -21,8 +21,10 @@
 //
 // -trace captures a Chrome trace-event (Perfetto) session timeline of every
 // kernel the experiments build; -metrics writes a Prometheus-style counter
-// and histogram snapshot; -format selects human-readable tables or
-// machine-readable JSON/CSV.
+// and histogram snapshot; -profile writes the virtual-time profiler's
+// folded stacks, per-CPU phase timeline, lock/bus contention profile, and
+// per-shootdown critical paths into a directory; -format selects
+// human-readable tables or machine-readable JSON/CSV.
 package main
 
 import (
@@ -35,16 +37,11 @@ import (
 	"shootdown/internal/experiments"
 	"shootdown/internal/fault"
 	"shootdown/internal/fault/shrink"
-	"shootdown/internal/kernel"
-	"shootdown/internal/trace"
 )
 
 var (
 	seed     = flag.Int64("seed", 42, "simulation seed (jitter, scheduling, workload randomness)")
 	runs     = flag.Int("runs", 10, "runs per data point for the fig2/scale sweeps")
-	traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (load in chrome://tracing or Perfetto)")
-	traceBuf = flag.Int("tracebuf", 1<<21, "span-tracer ring capacity in events")
-	metrics  = flag.String("metrics", "", "write a Prometheus-style metrics snapshot of the last kernel run")
 	format   = flag.String("format", "table", "result output format: table, json, or csv")
 	faults   = flag.String("faults", "", `fault-injection spec applied to every kernel, e.g. "drop=0.1,delay=0.2,delaymax=2ms" (keys: drop, delay, delaymax, slow, slowmax, stuck, stuckfor, spurious, jitter, jittermax, failstop, failby, revive, reviveafter; "none" disables). The faults experiment adds this as a custom scenario.`)
 	oracleOn = flag.Bool("oracle", false, "attach the independent TLB-consistency oracle to every kernel; any stale translation granted fails the run")
@@ -52,6 +49,11 @@ var (
 	hotplug  = flag.Bool("hotplug", false, `fail-stop plus hot-plug: failed CPUs revive with a cold TLB (shorthand for -faults "failstop=0.9,failby=8ms,revive=1,reviveafter=4ms")`)
 	repro    = flag.String("repro", "", "replay a minimized chaos reproducer JSON file (from the chaos experiment or testdata corpus) and exit; exits non-zero if the replay diverges from the recorded verdict")
 )
+
+// cli carries the shared -trace/-tracebuf/-metrics/-profile plumbing.
+var cli = experiments.CLI{Tool: "shootdownsim"}
+
+func init() { cli.RegisterFlags(flag.CommandLine, 1<<21) }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: shootdownsim [flags] <experiment>...
@@ -85,6 +87,9 @@ experiments:
   chaos       Robustness: processor fail-stop & hot-plug campaign against
               the churn workload, with delta-debugging minimization of any
               failing fault schedule (replay one with -repro)
+  profile     Observability: the Figure 2 workload under the virtual-time
+              profiler, every shootdown's critical path reconstructed and
+              its cost attributed to phases (pair with -profile <dir>)
   all         everything above
 
 flags:
@@ -116,17 +121,15 @@ func main() {
 	}
 	all := want["all"]
 
-	// Observability hooks: one session tracer shared by every kernel the
-	// experiments build, and a metrics snapshot of the last completed run.
-	var in experiments.Instrument
-	if *traceOut != "" {
-		tr, err := trace.New(*traceBuf)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "shootdownsim: -tracebuf: %v\n", err)
-			os.Exit(2)
-		}
-		in.Tracer = tr
+	// Observability hooks: one session tracer and one profiler shared by
+	// every kernel the experiments build, and a metrics snapshot of the
+	// last completed run.
+	inp, err := cli.Instrument()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shootdownsim: %v\n", err)
+		os.Exit(2)
 	}
+	in := *inp
 	if *faults != "" {
 		fc, err := fault.ParseSpec(*faults)
 		if err != nil {
@@ -148,14 +151,6 @@ func main() {
 		in.Faults = &fc
 	}
 	in.Oracle = *oracleOn
-	var lastMetrics *trace.MetricSet
-	kernelRuns := 0
-	if *metrics != "" {
-		in.Observe = func(k *kernel.Kernel) {
-			lastMetrics = k.Metrics()
-			kernelRuns++
-		}
-	}
 
 	// Tables 2-4 and the overhead analysis share one set of application
 	// runs; compute them lazily and only once.
@@ -265,6 +260,10 @@ func main() {
 			r, err := experiments.ChaosCampaign(*seed, experiments.ChaosOptions{Shrink: true}, in)
 			return r, r.Render(), err
 		}},
+		{"profile", func() (any, string, error) {
+			r, err := experiments.Profile(*seed, *runs, in)
+			return r, r.Render(), err
+		}},
 	}
 
 	known := map[string]bool{"all": true}
@@ -312,27 +311,9 @@ func main() {
 		}
 	}
 
-	if *traceOut != "" {
-		if err := writeTrace(in.Tracer, *traceOut); err != nil {
-			fmt.Fprintf(os.Stderr, "shootdownsim: trace: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "shootdownsim: wrote %d trace events to %s (%d dropped)\n",
-			in.Tracer.Len(), *traceOut, in.Tracer.Dropped())
-	}
-	if *metrics != "" {
-		if lastMetrics == nil {
-			fmt.Fprintf(os.Stderr, "shootdownsim: -metrics: no kernel runs observed (pools builds bare machines)\n")
-			os.Exit(1)
-		}
-		lastMetrics.Counter("experiment_kernel_runs_total",
-			"Kernels run by this invocation (metrics snapshot is from the last one).",
-			float64(kernelRuns), nil)
-		if err := writeMetrics(lastMetrics, *metrics); err != nil {
-			fmt.Fprintf(os.Stderr, "shootdownsim: metrics: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "shootdownsim: wrote metrics snapshot to %s\n", *metrics)
+	if err := cli.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "shootdownsim: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -376,28 +357,4 @@ func firstLine(s string) string {
 		return s[:i]
 	}
 	return s
-}
-
-func writeTrace(t *trace.Tracer, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := t.WriteChromeTrace(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func writeMetrics(ms *trace.MetricSet, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if _, err := ms.WriteTo(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

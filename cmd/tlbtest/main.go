@@ -10,7 +10,9 @@
 // the single k-processor shootdown the run causes.
 //
 // -trace writes a Chrome trace-event timeline of the run, -metrics a
-// Prometheus-style snapshot, and -format json a machine-readable result.
+// Prometheus-style snapshot, -profile the virtual-time profiler's folded
+// stacks and per-shootdown critical paths, and -format json a
+// machine-readable result.
 package main
 
 import (
@@ -21,10 +23,9 @@ import (
 
 	"shootdown/internal/baseline"
 	"shootdown/internal/core"
-	"shootdown/internal/kernel"
+	"shootdown/internal/experiments"
 	"shootdown/internal/machine"
 	"shootdown/internal/tlb"
-	"shootdown/internal/trace"
 	"shootdown/internal/workload"
 )
 
@@ -34,10 +35,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	strategy := flag.String("strategy", "shootdown",
 		"consistency mechanism: shootdown, none, hardware-remote, postponed-ipi, timer-flush")
-	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (load in chrome://tracing or Perfetto)")
-	traceBuf := flag.Int("tracebuf", 1<<20, "span-tracer ring capacity in events")
-	metrics := flag.String("metrics", "", "write a Prometheus-style metrics snapshot of the run")
 	format := flag.String("format", "table", "result output format: table or json")
+	cli := experiments.CLI{Tool: "tlbtest"}
+	cli.RegisterFlags(flag.CommandLine, 1<<20)
 	flag.Parse()
 
 	switch *format {
@@ -81,18 +81,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *traceOut != "" {
-		tr, err := trace.New(*traceBuf)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tlbtest: -tracebuf: %v\n", err)
-			os.Exit(2)
-		}
-		cfg.App.Tracer = tr
+	in, err := cli.Instrument()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlbtest: %v\n", err)
+		os.Exit(2)
 	}
-	var lastMetrics *trace.MetricSet
-	if *metrics != "" {
-		cfg.App.Observe = func(k *kernel.Kernel) { lastMetrics = k.Metrics() }
-	}
+	// Apply the hooks without clobbering the strategy/hardware overrides
+	// the -strategy switch just installed.
+	cfg.App = in.App(cfg.App)
 
 	res, err := workload.RunTester(cfg)
 	if err != nil {
@@ -100,24 +96,9 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *traceOut != "" {
-		if err := writeTrace(cfg.App.Tracer, *traceOut); err != nil {
-			fmt.Fprintf(os.Stderr, "tlbtest: trace: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "tlbtest: wrote %d trace events to %s (%d dropped)\n",
-			cfg.App.Tracer.Len(), *traceOut, cfg.App.Tracer.Dropped())
-	}
-	if *metrics != "" {
-		if lastMetrics == nil {
-			fmt.Fprintf(os.Stderr, "tlbtest: -metrics: no kernel run observed\n")
-			os.Exit(1)
-		}
-		if err := writeMetrics(lastMetrics, *metrics); err != nil {
-			fmt.Fprintf(os.Stderr, "tlbtest: metrics: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "tlbtest: wrote metrics snapshot to %s\n", *metrics)
+	if err := cli.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "tlbtest: %v\n", err)
+		os.Exit(1)
 	}
 
 	if *format == "json" {
@@ -155,28 +136,4 @@ func main() {
 		fmt.Printf("shootdown: %d processors shot at, initiator elapsed %.0f µs\n",
 			res.ProcsShot, res.ShootUS)
 	}
-}
-
-func writeTrace(t *trace.Tracer, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := t.WriteChromeTrace(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func writeMetrics(ms *trace.MetricSet, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if _, err := ms.WriteTo(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

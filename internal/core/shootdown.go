@@ -30,6 +30,7 @@ import (
 
 	"shootdown/internal/machine"
 	"shootdown/internal/mem"
+	"shootdown/internal/profile"
 	"shootdown/internal/ptable"
 	"shootdown/internal/sim"
 	"shootdown/internal/tlb"
@@ -260,6 +261,11 @@ type Shootdown struct {
 	// the session tracer (nil-safe; recording charges no virtual time).
 	Span *trace.Tracer
 
+	// Prof, when set, feeds the causal reconstructor: typed hooks at each
+	// protocol step let the profiler link every shootdown into a DAG and
+	// compute its critical path (nil-safe; charges no virtual time).
+	Prof *profile.Profiler
+
 	stats Stats
 	// recoveryUS records, for every wait the watchdog had to rescue, the
 	// virtual microseconds from the first timeout to quiescence.
@@ -363,6 +369,7 @@ func (s *Shootdown) Sync(ex *machine.Exec, op *Op, p Pmap, start, end ptable.VAd
 	}
 	s.Span.Begin(int64(t0), me, trace.CatShootdown, "shootdown-sync",
 		int64(Action{Start: start.Page(), End: end}.Pages()), kernel)
+	s.Prof.ShootBegin(int64(t0), me, p.IsKernel(), Action{Start: start.Page(), End: end}.Pages())
 
 	if inUseFor(p, me, start, end) {
 		s.invalidateLocal(ex, p.ASID(), start, end)
@@ -410,12 +417,23 @@ func (s *Shootdown) Sync(ex *machine.Exec, op *Op, p Pmap, start, end ptable.VAd
 	}
 	s.memberLock.Unlock(ex, mprev)
 
+	if len(waitList) > 0 {
+		// Register the responder set with the profiler before any IPI goes
+		// out, so the machine's post hooks can match them to this instance.
+		wcpus := make([]int, len(waitList))
+		for i, w := range waitList {
+			wcpus[i] = w.cpu
+		}
+		s.Prof.ShootExpect(int64(ex.Now()), me, wcpus)
+	}
 	if len(sendList) > 0 {
 		ex.SendIPI(sendList)
 		s.stats.IPIsSent += uint64(len(sendList))
 	}
 	if len(waitList) > 0 {
 		s.Span.Begin(int64(ex.Now()), me, trace.CatShootdown, "shootdown-wait", int64(len(waitList)), 0)
+		s.Prof.ShootWait(int64(ex.Now()), me)
+		s.Prof.Push(int64(ex.Now()), me, profile.PhaseSpinBarrier)
 	}
 	for _, w := range waitList {
 		// A responder that stops using the pmap has flushed its entries
@@ -423,6 +441,7 @@ func (s *Shootdown) Sync(ex *machine.Exec, op *Op, p Pmap, start, end ptable.VAd
 		s.waitForResponder(ex, p, w, start, end)
 	}
 	if len(waitList) > 0 {
+		s.Prof.Pop(int64(ex.Now()), me, profile.PhaseSpinBarrier)
 		s.Span.End(int64(ex.Now()), me, trace.CatShootdown, "shootdown-wait")
 	}
 	if queued > 0 {
@@ -437,6 +456,7 @@ func (s *Shootdown) Sync(ex *machine.Exec, op *Op, p Pmap, start, end ptable.VAd
 		pages := Action{Start: start.Page(), End: end}.Pages()
 		s.Trace.LogInitiator(ex.Now(), me, p.IsKernel(), pages, shot, ex.Now()-t0)
 	}
+	s.Prof.ShootEnd(int64(ex.Now()), me)
 	s.Span.End(int64(ex.Now()), me, trace.CatShootdown, "shootdown-sync")
 	return shot
 }
@@ -575,7 +595,9 @@ func (s *Shootdown) respond(ex *machine.Exec) {
 		// processed like any other — the queued (or escalated-to-flush)
 		// invalidations over-invalidate, which is always safe.
 		s.active[me] = false
+		s.Prof.RespondAck(int64(ex.Now()), me)
 		s.Span.Begin(int64(ex.Now()), me, trace.CatShootdown, "shootdown-stall", 0, 0)
+		s.Prof.Push(int64(ex.Now()), me, profile.PhaseSpinBarrier)
 		ex.SpinWhile(func() bool {
 			if s.kernelPmap != nil && s.kernelPmap.UpdateInProgress() {
 				return true
@@ -587,6 +609,7 @@ func (s *Shootdown) respond(ex *machine.Exec) {
 			}
 			return false
 		})
+		s.Prof.Pop(int64(ex.Now()), me, profile.PhaseSpinBarrier)
 		s.Span.End(int64(ex.Now()), me, trace.CatShootdown, "shootdown-stall")
 		// Phase 4: the updates are done; invalidate and rejoin.
 		lprev := s.actionLocks[me].Lock(ex)
@@ -599,6 +622,7 @@ func (s *Shootdown) respond(ex *machine.Exec) {
 	if s.Trace != nil {
 		s.Trace.LogResponder(ex.Now(), me, ex.Now()-t0)
 	}
+	s.Prof.RespondDone(int64(ex.Now()), me)
 	s.Span.End(int64(ex.Now()), me, trace.CatShootdown, "shootdown-respond")
 }
 

@@ -1,9 +1,15 @@
 package experiments
 
 import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
 	"shootdown/internal/core"
 	"shootdown/internal/fault"
 	"shootdown/internal/kernel"
+	"shootdown/internal/profile"
 	"shootdown/internal/trace"
 	"shootdown/internal/workload"
 )
@@ -29,6 +35,11 @@ type Instrument struct {
 	Faults *fault.Config
 	// Oracle attaches the TLB-consistency checker to every kernel.
 	Oracle bool
+	// Profiler attaches the virtual-time profiler to every kernel the
+	// experiment builds (each build rebases it, like the tracer). Profiling
+	// charges no virtual time, so profiled results are bit-identical to
+	// unprofiled ones.
+	Profiler *profile.Profiler
 }
 
 // pick flattens the optional variadic instrument parameter.
@@ -48,12 +59,17 @@ var defaultWatchdog = core.Options{
 	WatchdogBackoffMax: 8_000_000,
 }
 
+// App applies the instrument to a workload configuration; commands that
+// build workloads directly (cmd/tlbtest) use it to share the CLI plumbing.
+func (in Instrument) App(c workload.AppConfig) workload.AppConfig { return in.app(c) }
+
 // app applies the instrument to a workload configuration.
 func (in Instrument) app(c workload.AppConfig) workload.AppConfig {
 	c.Tracer = in.Tracer
 	c.Observe = in.Observe
 	c.Faults = in.Faults
 	c.Oracle = in.Oracle
+	c.Profiler = in.Profiler
 	if in.Faults != nil && in.Faults.Enabled() && c.ShootdownOptions.WatchdogTimeout == 0 {
 		c.ShootdownOptions.WatchdogTimeout = defaultWatchdog.WatchdogTimeout
 		c.ShootdownOptions.WatchdogMaxRetries = defaultWatchdog.WatchdogMaxRetries
@@ -67,6 +83,7 @@ func (in Instrument) app(c workload.AppConfig) workload.AppConfig {
 func (in Instrument) config(c kernel.Config) kernel.Config {
 	c.Tracer = in.Tracer
 	c.Oracle = in.Oracle
+	c.Profiler = in.Profiler
 	if in.Faults != nil && in.Faults.Enabled() {
 		c.Machine.Faults = fault.New(*in.Faults)
 		if c.Shootdown.WatchdogTimeout == 0 {
@@ -83,4 +100,112 @@ func (in Instrument) ran(k *kernel.Kernel) {
 	if in.Observe != nil {
 		in.Observe(k)
 	}
+}
+
+// CLI is the shared command-line plumbing for the observability flags the
+// binaries expose: -trace/-tracebuf (Chrome trace-event session timeline),
+// -metrics (Prometheus-style snapshot of the last kernel run), and -profile
+// (virtual-time profile directory). Both cmd/shootdownsim and cmd/tlbtest
+// register it on their flag set, thread the Instrument it builds through
+// their runs, and call Finish to write whatever outputs were requested.
+type CLI struct {
+	// Tool prefixes the stderr summaries ("shootdownsim", "tlbtest").
+	Tool string
+
+	// Flag values, bound by RegisterFlags.
+	Trace    string
+	TraceBuf int
+	Metrics  string
+	Profile  string
+
+	in          Instrument
+	lastMetrics *trace.MetricSet
+	kernelRuns  int
+}
+
+// RegisterFlags binds the shared observability flags on fs. traceBufDefault
+// sets the -tracebuf default (the sweep-heavy shootdownsim wants a larger
+// ring than the single-run tlbtest).
+func (c *CLI) RegisterFlags(fs *flag.FlagSet, traceBufDefault int) {
+	fs.StringVar(&c.Trace, "trace", "",
+		"write a Chrome trace-event JSON file (load in chrome://tracing or Perfetto)")
+	fs.IntVar(&c.TraceBuf, "tracebuf", traceBufDefault,
+		"span-tracer ring capacity in events")
+	fs.StringVar(&c.Metrics, "metrics", "",
+		"write a Prometheus-style metrics snapshot of the last kernel run")
+	fs.StringVar(&c.Profile, "profile", "",
+		"write virtual-time profiles (folded stacks, phase timeline, contention, per-shootdown critical paths) into this directory")
+}
+
+// Instrument builds the hooks the parsed flags ask for and returns the
+// instrument to thread through the run. The pointer aliases the CLI's own
+// copy, so callers may set Faults/Oracle on it before use. Call after
+// flag parsing, before any kernels are built.
+func (c *CLI) Instrument() (*Instrument, error) {
+	if c.Trace != "" {
+		tr, err := trace.New(c.TraceBuf)
+		if err != nil {
+			return nil, fmt.Errorf("-tracebuf: %w", err)
+		}
+		c.in.Tracer = tr
+	}
+	if c.Profile != "" {
+		c.in.Profiler = profile.New()
+	}
+	if c.Metrics != "" {
+		c.in.Observe = func(k *kernel.Kernel) {
+			c.lastMetrics = k.Metrics()
+			c.kernelRuns++
+		}
+	}
+	return &c.in, nil
+}
+
+// Finish writes the outputs the flags requested and prints a one-line
+// stderr summary per artifact. It is a no-op for flags left unset.
+func (c *CLI) Finish() error {
+	if c.Trace != "" {
+		if err := writeFileWith(c.Trace, c.in.Tracer.WriteChromeTrace); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: wrote %d trace events to %s (%d dropped)\n",
+			c.Tool, c.in.Tracer.Len(), c.Trace, c.in.Tracer.Dropped())
+	}
+	if c.Metrics != "" {
+		if c.lastMetrics == nil {
+			return fmt.Errorf("-metrics: no kernel runs observed")
+		}
+		c.lastMetrics.Counter("experiment_kernel_runs_total",
+			"Kernels run by this invocation (metrics snapshot is from the last one).",
+			float64(c.kernelRuns), nil)
+		if err := writeFileWith(c.Metrics, func(w io.Writer) error {
+			_, err := c.lastMetrics.WriteTo(w)
+			return err
+		}); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: wrote metrics snapshot to %s\n", c.Tool, c.Metrics)
+	}
+	if c.Profile != "" {
+		if err := profile.WriteDir(c.in.Profiler, c.Profile); err != nil {
+			return fmt.Errorf("profile: %w", err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"%s: wrote virtual-time profile (folded.txt, timeline.csv, locks.txt, critical.txt) to %s\n",
+			c.Tool, c.Profile)
+	}
+	return nil
+}
+
+// writeFileWith creates path and streams write into it, closing on error.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

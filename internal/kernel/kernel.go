@@ -13,6 +13,7 @@ import (
 	"shootdown/internal/machine"
 	"shootdown/internal/oracle"
 	"shootdown/internal/pmap"
+	"shootdown/internal/profile"
 	"shootdown/internal/sim"
 	"shootdown/internal/trace"
 	"shootdown/internal/vm"
@@ -60,6 +61,11 @@ type Config struct {
 	// TLB grants an access through a stale translation. Checking charges no
 	// virtual time and consumes no simulation randomness.
 	Oracle bool
+	// Profiler, when set, attaches the virtual-time profiler (DESIGN.md
+	// §12): phase attribution on every CPU, per-shootdown critical paths,
+	// and lock/bus contention histograms. Like the tracer it charges no
+	// virtual time and consumes no simulation randomness.
+	Profiler *profile.Profiler
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +128,13 @@ func New(cfg Config) (*Kernel, error) {
 	if cfg.Tracer != nil {
 		m.SetTracer(cfg.Tracer)
 	}
+	if cfg.Profiler != nil {
+		// Like the tracer, a shared session profiler is rebased so
+		// sequential kernels don't overlap in virtual time.
+		cfg.Profiler.Rebase()
+		cfg.Profiler.SetIRQLatency(int64(m.Costs().IRQLatency))
+		m.SetProfiler(cfg.Profiler)
+	}
 	k := &Kernel{
 		Eng:       eng,
 		M:         m,
@@ -150,6 +163,7 @@ func New(cfg Config) (*Kernel, error) {
 		sd := core.New(m, cfg.Shootdown)
 		sd.Trace = k.Trace
 		sd.Span = cfg.Tracer
+		sd.Prof = cfg.Profiler
 		k.Shoot = sd
 		strat = sd
 	}
@@ -218,6 +232,7 @@ func (k *Kernel) Run() error {
 	}
 	err := k.Eng.Run()
 	k.closeOpenSpans()
+	k.cfg.Profiler.FinishAt(int64(k.Eng.Now()))
 	if err == nil {
 		k.Oracle.Check()
 		err = k.Oracle.Err()
@@ -277,10 +292,12 @@ func (k *Kernel) dequeue(ex *machine.Exec) *Thread {
 // and hands the CPU to the chosen thread.
 func (k *Kernel) idleLoop(p *sim.Proc, cpu int) {
 	tr := k.cfg.Tracer
+	pr := k.cfg.Profiler
 	for {
 		ex := k.M.Attach(p, cpu)
 		k.Strategy.GoIdle(ex)
 		tr.Begin(int64(ex.Now()), cpu, trace.CatKernel, "idle", 0, 0)
+		pr.SetBase(int64(ex.Now()), cpu, profile.PhaseIdle)
 		var next *Thread
 		for !k.stopping {
 			if next = k.dequeue(ex); next != nil {
@@ -295,6 +312,7 @@ func (k *Kernel) idleLoop(p *sim.Proc, cpu int) {
 		}
 		k.Strategy.GoActive(ex)
 		tr.End(int64(ex.Now()), cpu, trace.CatKernel, "idle")
+		pr.SetBase(int64(ex.Now()), cpu, profile.PhaseRun)
 		ex.ChargeTime(k.M.Costs().ContextSwitch)
 		// The thread may still be releasing its previous CPU (its proc is
 		// sleeping through the deactivation flush, not yet parked). Wait

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"shootdown/internal/mem"
+	"shootdown/internal/profile"
 	"shootdown/internal/ptable"
 	"shootdown/internal/sim"
 	"shootdown/internal/tlb"
@@ -93,7 +94,7 @@ func (ex *Exec) ChargeInstr() { ex.charge(ex.machine.costs.Instr) }
 // ChargeBusWrites stalls for n write-through store transactions. Kernel
 // code uses it when it stores to simulated physical memory directly (e.g.
 // the pmap module rewriting PTEs).
-func (ex *Exec) ChargeBusWrites(n int) { ex.busStall(n) }
+func (ex *Exec) ChargeBusWrites(n int) { ex.busStall("kernel-store", n) }
 
 // ChargeTime consumes an arbitrary (jittered) cost without interrupt
 // delivery. Kernel layers use it for costs from the machine's cost model
@@ -120,15 +121,34 @@ func (ex *Exec) runHandler(v Vector) {
 	if m.prio[v] > c.ipl {
 		c.ipl = m.prio[v]
 	}
+	ex.profMaskEdge(prev, c.ipl)
+	if v == VecIPI {
+		m.prof.IRQEnter(int64(ex.Now()), c.id)
+	}
 	m.tracer.Begin(int64(ex.Now()), c.id, trace.CatMachine, irqName(v), int64(prev), 0)
-	ex.busStall(m.costs.IRQDispatchBusWrites)
+	ex.busStall("irq-save", m.costs.IRQDispatchBusWrites)
 	ex.charge(m.costs.IRQDispatch)
 	if h := m.handlers[v]; h != nil {
 		h(ex, v)
 	}
 	ex.charge(m.costs.IRQReturn)
+	raised := c.ipl
 	c.ipl = prev
+	ex.profMaskEdge(raised, prev)
 	m.tracer.End(int64(ex.Now()), c.id, trace.CatMachine, irqName(v))
+}
+
+// profMaskEdge tells the profiler when the CPU's IPL crosses the
+// shootdown vector's priority: the masked phase covers exactly the
+// intervals during which a posted shootdown IPI cannot be delivered —
+// the paper's "masked interval" responder cost.
+func (ex *Exec) profMaskEdge(old, cur IPL) {
+	ipi := ex.machine.prio[VecIPI]
+	if old < ipi && cur >= ipi {
+		ex.machine.prof.SetMasked(int64(ex.Now()), ex.cpu.id, true)
+	} else if old >= ipi && cur < ipi {
+		ex.machine.prof.SetMasked(int64(ex.Now()), ex.cpu.id, false)
+	}
 }
 
 // RaiseIPL lifts the CPU's IPL to at least l and returns the previous
@@ -138,6 +158,7 @@ func (ex *Exec) RaiseIPL(l IPL) IPL {
 	if l > ex.cpu.ipl {
 		ex.cpu.ipl = l
 		ex.machine.tracer.Instant(int64(ex.Now()), ex.cpu.id, trace.CatMachine, "ipl-raise", int64(l), int64(prev))
+		ex.profMaskEdge(prev, l)
 	}
 	return prev
 }
@@ -148,6 +169,7 @@ func (ex *Exec) RestoreIPL(l IPL) {
 	lowering := l < ex.cpu.ipl
 	if lowering {
 		ex.machine.tracer.Instant(int64(ex.Now()), ex.cpu.id, trace.CatMachine, "ipl-lower", int64(l), int64(ex.cpu.ipl))
+		ex.profMaskEdge(ex.cpu.ipl, l)
 	}
 	ex.cpu.ipl = l
 	if lowering {
@@ -168,7 +190,7 @@ func (ex *Exec) SpinWhile(cond func() bool) {
 	for i := 1; cond(); i++ {
 		ex.Advance(ex.machine.costs.SpinCheck)
 		if period > 0 && i%period == 0 {
-			ex.busStall(1)
+			ex.busStall("spin-refetch", 1)
 		}
 	}
 }
@@ -187,7 +209,7 @@ func (ex *Exec) SpinWhileFor(cond func() bool, budget sim.Time) bool {
 		}
 		ex.Advance(ex.machine.costs.SpinCheck)
 		if period > 0 && i%period == 0 {
-			ex.busStall(1)
+			ex.busStall("spin-refetch", 1)
 		}
 	}
 	return true
@@ -203,22 +225,31 @@ func (ex *Exec) Stall(d sim.Time) { ex.advanceNoIRQ(d) }
 // queueing delay. Issuing individually matters under contention: other
 // processors' transactions interleave with ours, so a multi-word burst
 // (an interrupt state save, a page copy) degrades sharply once the bus
-// saturates — the Section 7.1 congestion effect.
-func (ex *Exec) busStall(n int) {
+// saturates — the Section 7.1 congestion effect. site names the call
+// site for the profiler's per-site bus contention histograms.
+func (ex *Exec) busStall(site string, n int) {
+	if n <= 0 {
+		return
+	}
+	m := ex.machine
+	m.prof.BusTxns(site, n)
+	m.prof.Push(int64(ex.Now()), ex.cpu.id, profile.PhaseBusStall)
 	for i := 0; i < n; i++ {
 		now := ex.Now()
-		w := ex.machine.Bus.Reserve(now, 1)
+		w := m.Bus.Reserve(now, 1)
 		// Bus transactions are far too frequent to trace individually; the
 		// signal is contention, so record only transactions that queued
 		// behind another CPU's traffic (arg1 = queueing delay in ns).
-		if q := w - ex.machine.Bus.Occupancy(); q > 0 {
-			ex.machine.tracer.Instant(int64(now), ex.cpu.id, trace.CatMachine, "bus-wait", int64(q), 0)
+		if q := w - m.Bus.Occupancy(); q > 0 {
+			m.tracer.Instant(int64(now), ex.cpu.id, trace.CatMachine, "bus-wait", int64(q), 0)
+			m.prof.BusWait(site, int64(q))
 		}
 		// Injected timing faults stretch the transaction beyond its
 		// reserved slot (marginal bus arbitration, retried cycles).
-		w += ex.machine.faults.BusJitter(ex.cpu.id)
+		w += m.faults.BusJitter(ex.cpu.id)
 		ex.advanceNoIRQ(w)
 	}
+	m.prof.Pop(int64(ex.Now()), ex.cpu.id, profile.PhaseBusStall)
 }
 
 // SendIPI posts shootdown interrupts to the target CPUs using the machine's
@@ -230,14 +261,14 @@ func (ex *Exec) SendIPI(targets []int) {
 	switch m.opts.IPIMode {
 	case IPIMulticast:
 		ex.charge(m.costs.IPIMulticastBase)
-		ex.busStall(1)
+		ex.busStall("ipi-send", 1)
 		for _, t := range targets {
 			ex.charge(m.costs.IPIMulticastPerTarget)
 			ex.postIPI(t)
 		}
 	case IPIBroadcast:
 		ex.charge(m.costs.IPIMulticastBase)
-		ex.busStall(1)
+		ex.busStall("ipi-send", 1)
 		for i := range m.cpus {
 			if i != ex.cpu.id {
 				ex.postIPI(i)
@@ -246,7 +277,7 @@ func (ex *Exec) SendIPI(targets []int) {
 	default: // IPIUnicast: one device-register write per target, serially
 		for _, t := range targets {
 			ex.charge(m.costs.IPISend)
-			ex.busStall(1)
+			ex.busStall("ipi-send", 1)
 			ex.postIPI(t)
 		}
 	}
@@ -312,7 +343,7 @@ func (ex *Exec) RemoteInvalidate(target int, asid tlb.ASID, start, end ptable.VA
 	t := ex.machine.cpus[target].TLB
 	for va := start.Page(); va < end; {
 		ex.charge(ex.machine.costs.TLBInvalidateEntry)
-		ex.busStall(1)
+		ex.busStall("remote-inval", 1)
 		t.InvalidatePage(va, asid)
 		next := va + mem.PageSize
 		if next <= va {
@@ -339,7 +370,7 @@ func (ex *Exec) Write(va ptable.VAddr, v uint32) *Fault {
 	if f != nil {
 		return f
 	}
-	ex.busStall(1)
+	ex.busStall("store", 1)
 	ex.machine.Phys.WriteWord(pte.Frame().Addr(va.Offset()), v)
 	return nil
 }
@@ -385,7 +416,7 @@ func (ex *Exec) translate(va ptable.VAddr, write bool) (ptable.PTE, *Fault) {
 
 	// Hardware reload: walk the two-level table in physical memory.
 	ex.charge(m.costs.TLBWalk)
-	ex.busStall(2) // directory read + PTE read
+	ex.busStall("pte-walk", 2) // directory read + PTE read
 	pte, pteAddr, ok := table.Lookup(va)
 	if !ok || !pte.Valid() {
 		return 0, &Fault{VA: va, Write: write, Kind: FaultNotPresent}
@@ -396,7 +427,7 @@ func (ex *Exec) translate(va ptable.VAddr, write bool) (ptable.PTE, *Fault) {
 		if write && pte.Writable() {
 			flags |= ptable.PTEModified
 		}
-		ex.busStall(1)
+		ex.busStall("pte-writeback", 1)
 		m.Phys.WriteWord(pteAddr, uint32(pte.WithFlags(flags)))
 		c.TLB.CountWriteback()
 	}
@@ -425,7 +456,7 @@ func (ex *Exec) writeback(table *ptable.Table, va ptable.VAddr, asid tlb.ASID, e
 		return nil
 	case tlb.WritebackInterlocked:
 		// MC88200: interlocked read-modify-write with a validity check.
-		ex.busStall(2) // locked read + conditional write
+		ex.busStall("pte-writeback", 2) // locked read + conditional write
 		cur, addr, ok := table.Lookup(va)
 		if !ok || !cur.Valid() || cur.Frame() != e.PTE.Frame() {
 			// The mapping changed; the entry must not be used and a
@@ -438,7 +469,7 @@ func (ex *Exec) writeback(table *ptable.Table, va ptable.VAddr, asid tlb.ASID, e
 		c.TLB.UpdateFlags(va, asid, need)
 		return nil
 	default: // tlb.WritebackBlind — NS32382-style
-		ex.busStall(1)
+		ex.busStall("pte-writeback", 1)
 		if addr, ok := table.PTEAddr(va); ok {
 			m.Phys.WriteWord(addr, uint32(e.PTE.WithFlags(need)))
 			c.TLB.CountWriteback()

@@ -18,6 +18,7 @@ import (
 
 	"shootdown/internal/fault"
 	"shootdown/internal/mem"
+	"shootdown/internal/profile"
 	"shootdown/internal/ptable"
 	"shootdown/internal/sim"
 	"shootdown/internal/tlb"
@@ -149,6 +150,7 @@ type Machine struct {
 	handlers [numVectors]Handler
 	prio     [numVectors]IPL
 	tracer   *trace.Tracer
+	prof     *profile.Profiler
 	mmuObs   MMUObserver
 
 	// epoch counts CPU membership changes (fail or online transitions);
@@ -261,6 +263,16 @@ func (m *Machine) SetTracer(t *trace.Tracer) {
 // Tracer returns the machine's tracer (possibly nil).
 func (m *Machine) Tracer() *trace.Tracer { return m.tracer }
 
+// SetProfiler attaches the virtual-time profiler (DESIGN.md §12). Like
+// the tracer, profiler hooks charge no virtual time and consume no
+// simulation randomness, so profiled runs are bit-identical to
+// unprofiled ones. Every profile method is nil-safe, so hooks need no
+// guards; a nil profiler detaches instrumentation.
+func (m *Machine) SetProfiler(p *profile.Profiler) { m.prof = p }
+
+// Profiler returns the machine's profiler (possibly nil).
+func (m *Machine) Profiler() *profile.Profiler { return m.prof }
+
 // NumCPUs returns the processor count.
 func (m *Machine) NumCPUs() int { return len(m.cpus) }
 
@@ -309,6 +321,9 @@ func (m *Machine) PostAfter(target int, v Vector, delay sim.Time) (wasPending bo
 		return false
 	}
 	now := m.Eng.Now()
+	if v == VecIPI {
+		m.prof.IPIPosted(int64(now), target, cpu.ipl >= m.prio[VecIPI])
+	}
 	nudge := func() {
 		if cpu.cur != nil && cpu.cur.proc != nil {
 			m.Eng.Preempt(cpu.cur.proc, now+m.costs.IRQLatency+delay)
@@ -363,6 +378,7 @@ func (m *Machine) FailCPU(cpuID int) bool {
 		cpu.pending[v] = false
 	}
 	m.tracer.Instant(int64(m.Eng.Now()), cpuID, trace.CatMachine, "cpu-fail", int64(cpu.incarnation), 0)
+	m.prof.CPUFail(int64(m.Eng.Now()), cpuID)
 	return true
 }
 
@@ -389,6 +405,7 @@ func (m *Machine) OnlineCPU(cpuID int) bool {
 	cpu.userTable = nil
 	cpu.userASID = tlb.ASIDNone
 	m.tracer.Instant(int64(m.Eng.Now()), cpuID, trace.CatMachine, "cpu-online", int64(cpu.incarnation), 0)
+	m.prof.CPUOnline(int64(m.Eng.Now()), cpuID)
 	return true
 }
 
@@ -548,7 +565,8 @@ type SpinLock struct {
 
 	held     bool
 	owner    int
-	ownerInc uint64 // owner CPU's incarnation at acquisition
+	ownerInc uint64   // owner CPU's incarnation at acquisition
+	heldAt   sim.Time // acquisition time, for the profiler's hold histogram
 }
 
 // breakIfOwnerDead releases a lock whose owner fail-stopped while holding
@@ -574,12 +592,24 @@ func (l *SpinLock) breakIfOwnerDead(m *Machine) bool {
 func (l *SpinLock) Lock(ex *Exec) IPL {
 	prev := ex.RaiseIPL(l.MinIPL)
 	ex.charge(ex.m().costs.LockAcquire)
+	pr := ex.m().prof
+	t0 := ex.Now()
+	contended := false
 	for l.held && !l.breakIfOwnerDead(ex.m()) {
+		if !contended {
+			contended = true
+			pr.Push(int64(ex.Now()), ex.CPUID(), profile.PhaseSpinLock)
+		}
 		ex.Advance(ex.m().costs.SpinCheck)
 	}
+	if contended {
+		pr.Pop(int64(ex.Now()), ex.CPUID(), profile.PhaseSpinLock)
+	}
+	pr.LockWait(l.Name, int64(ex.Now()-t0))
 	l.held = true
 	l.owner = ex.CPUID()
 	l.ownerInc = ex.cpu.incarnation
+	l.heldAt = ex.Now()
 	return prev
 }
 
@@ -592,9 +622,11 @@ func (l *SpinLock) TryLock(ex *Exec) bool {
 	if l.held && !l.breakIfOwnerDead(ex.m()) {
 		return false
 	}
+	ex.m().prof.LockWait(l.Name, 0)
 	l.held = true
 	l.owner = ex.CPUID()
 	l.ownerInc = ex.cpu.incarnation
+	l.heldAt = ex.Now()
 	return true
 }
 
@@ -608,6 +640,7 @@ func (l *SpinLock) Unlock(ex *Exec, prev IPL) {
 			l.Name, ex.CPUID(), l.owner))
 	}
 	ex.charge(ex.m().costs.LockRelease)
+	ex.m().prof.LockHold(l.Name, int64(ex.Now()-l.heldAt))
 	l.held = false
 	ex.RestoreIPL(prev)
 }

@@ -1,0 +1,531 @@
+// Package profile is a deterministic virtual-time profiler for the
+// simulated multiprocessor (DESIGN.md §12). It answers the question the
+// paper's evaluation is ultimately about — *where* a shootdown
+// microsecond goes — with three instruments:
+//
+//   - A phase-attribution engine: every tick of simulated time on every
+//     CPU is charged to a stack of phases (running / IPL-masked /
+//     spinning-on-lock / spinning-at-barrier / bus-stalled / idle /
+//     halted), emitted as folded stacks (flamegraph input) and per-CPU
+//     utilization timelines.
+//   - A causal reconstructor (shootdown.go): each shootdown's events are
+//     linked into a DAG — initiator begin → IPI posts → per-responder
+//     interrupt entry → barrier arrival → flush — from which the critical
+//     path and the "which responder was last and why" attribution fall
+//     out.
+//   - Per-lock and per-bus-site contention profiles (hold/wait
+//     histograms on stats.Histogram).
+//
+// Like the trace layer, the profiler is attached as hooks that charge no
+// virtual time and consume no simulation randomness, so profiled runs
+// are bit-identical to unprofiled ones; and because every timestamp is
+// virtual, two runs with the same seed produce byte-identical profiles.
+// All methods are nil-safe so instrumentation sites need no guards.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"shootdown/internal/stats"
+)
+
+// Phase is one level of the per-CPU attribution stack. The bottom of the
+// stack is a base phase (idle / run / halted); the overlay phases nest
+// above it as the CPU masks interrupts, spins, or stalls on the bus.
+type Phase uint8
+
+// The phase taxonomy (DESIGN.md §12).
+const (
+	// PhaseIdle: the CPU is in its idle loop, polling for work.
+	PhaseIdle Phase = iota
+	// PhaseRun: a thread (or the dispatcher) is executing.
+	PhaseRun
+	// PhaseHalted: the CPU fail-stopped and is offline.
+	PhaseHalted
+	// PhaseMasked: the CPU's IPL masks the shootdown IPI — a device or
+	// timer handler on stock hardware, any IPLHigh section, or interrupt
+	// dispatch itself. Time a pending shootdown spends waiting on such an
+	// interval is the paper's "masked interval" responder cost.
+	PhaseMasked
+	// PhaseSpinLock: spinning to acquire a contended spin lock.
+	PhaseSpinLock
+	// PhaseSpinBarrier: spinning at a shootdown barrier — the initiator
+	// awaiting responder acknowledgments, or a responder stalled until
+	// the initiator's pmap update completes.
+	PhaseSpinBarrier
+	// PhaseBusStall: stalled issuing transactions on the shared bus
+	// (occupancy plus queueing behind other processors' traffic).
+	PhaseBusStall
+	// NumPhases is the number of distinct phases.
+	NumPhases = int(PhaseBusStall) + 1
+)
+
+var phaseNames = [NumPhases]string{
+	"idle", "run", "halted", "ipl-masked", "spin-lock", "spin-barrier", "bus-stall",
+}
+
+func (p Phase) String() string {
+	if int(p) < NumPhases {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// PhaseTotals accumulates nanoseconds by leaf phase.
+type PhaseTotals [NumPhases]int64
+
+// Of returns the accumulated nanoseconds for one phase.
+func (t PhaseTotals) Of(p Phase) int64 { return t[p] }
+
+// DefaultBucketNS is the utilization-timeline bucket width (1 ms of
+// virtual time).
+const DefaultBucketNS = 1_000_000
+
+// maxDepth bounds the phase stack; the instrumented code nests at most
+// base → masked → spin → bus (+ nested interrupt entries).
+const maxDepth = 15
+
+// cpuState is one CPU's attribution state.
+type cpuState struct {
+	active bool
+	last   int64 // rebased timestamp accounting is complete up to
+	stack  []Phase
+	key    uint64           // stack encoded one nibble per level
+	cells  map[uint64]int64 // folded accounting: stack key → ns
+	cum    PhaseTotals      // leaf-phase totals (snapshotted by the DAG)
+	// buckets is the utilization timeline: bucket index → leaf-phase ns.
+	buckets map[int64]*PhaseTotals
+}
+
+// ContentionProfile is one lock's (or bus call site's) contention record.
+type ContentionProfile struct {
+	// Wait is the distribution of acquisition waits (ns) — for bus sites,
+	// of per-transaction queueing delays behind other CPUs' traffic.
+	Wait *stats.Histogram
+	// Hold is the distribution of hold times (ns); locks only.
+	Hold *stats.Histogram
+	// Contended counts acquisitions that waited (queued transactions for
+	// bus sites); Txns counts bus transactions issued at the site.
+	Contended uint64
+	Txns      uint64
+}
+
+func newContention() *ContentionProfile {
+	return &ContentionProfile{
+		Wait: stats.NewHistogram(100, 1e9, 5),
+		Hold: stats.NewHistogram(100, 1e9, 5),
+	}
+}
+
+// Profiler is the virtual-time profiler. Attach it with
+// machine.SetProfiler / kernel.Config.Profiler; all methods are nil-safe
+// and cost no virtual time.
+type Profiler struct {
+	// BucketNS is the utilization-timeline bucket width; set it before
+	// the first event (0 = DefaultBucketNS).
+	BucketNS int64
+
+	epoch    int64 // added to raw engine timestamps (sequential kernels rebase)
+	maxTS    int64 // latest rebased timestamp observed
+	irqLatNS int64
+
+	cpus  []*cpuState
+	locks map[string]*ContentionProfile
+	bus   map[string]*ContentionProfile
+
+	// causal reconstructor state (shootdown.go)
+	records   []*ShootRecord
+	open      map[int]*ShootRecord  // initiator CPU → record in Sync
+	expecting map[int][]*RespRecord // responder CPU → awaited records
+}
+
+// New creates an empty profiler.
+func New() *Profiler {
+	return &Profiler{
+		locks:     map[string]*ContentionProfile{},
+		bus:       map[string]*ContentionProfile{},
+		open:      map[int]*ShootRecord{},
+		expecting: map[int][]*RespRecord{},
+	}
+}
+
+// SetIRQLatency records the machine's interrupt latency so the causal
+// reconstructor can split a responder's post→deliver wait into hardware
+// latency and masked time. Wired by the kernel from the machine's costs.
+func (p *Profiler) SetIRQLatency(ns int64) {
+	if p == nil {
+		return
+	}
+	p.irqLatNS = ns
+}
+
+// IRQLatencyNS returns the configured interrupt latency.
+func (p *Profiler) IRQLatencyNS() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.irqLatNS
+}
+
+// Rebase starts a new kernel run on a shared session profile: each
+// kernel's engine restarts virtual time at zero, so the profiler shifts
+// its epoch to the latest time seen and resets per-CPU stacks. Phase and
+// contention accounting accumulates across rebases; shootdowns left
+// incomplete by the previous kernel are finalized as-is.
+func (p *Profiler) Rebase() {
+	if p == nil {
+		return
+	}
+	for _, cs := range p.cpus {
+		if cs != nil && cs.active {
+			p.charge(cs, p.maxTS)
+			cs.active = false
+		}
+	}
+	p.open = map[int]*ShootRecord{}
+	p.expecting = map[int][]*RespRecord{}
+	p.epoch = p.maxTS
+}
+
+// FinishAt completes phase accounting up to the given (raw) timestamp;
+// the kernel calls it when a run ends so trailing time is charged.
+func (p *Profiler) FinishAt(ts int64) {
+	if p == nil {
+		return
+	}
+	rts := p.rebased(ts)
+	for _, cs := range p.cpus {
+		if cs != nil && cs.active {
+			p.charge(cs, rts)
+		}
+	}
+}
+
+func (p *Profiler) bucketNS() int64 {
+	if p.BucketNS > 0 {
+		return p.BucketNS
+	}
+	return DefaultBucketNS
+}
+
+func (p *Profiler) rebased(ts int64) int64 {
+	rts := ts + p.epoch
+	if rts > p.maxTS {
+		p.maxTS = rts
+	}
+	return rts
+}
+
+// cpu returns (activating if needed) the state for one CPU.
+func (p *Profiler) cpu(i int) *cpuState {
+	for len(p.cpus) <= i {
+		p.cpus = append(p.cpus, nil)
+	}
+	cs := p.cpus[i]
+	if cs == nil {
+		cs = &cpuState{cells: map[uint64]int64{}, buckets: map[int64]*PhaseTotals{}}
+		p.cpus[i] = cs
+	}
+	if !cs.active {
+		cs.active = true
+		cs.last = p.epoch
+		cs.stack = append(cs.stack[:0], PhaseIdle)
+		cs.rekey()
+	}
+	return cs
+}
+
+func (cs *cpuState) rekey() {
+	var k uint64
+	for i, ph := range cs.stack {
+		if i >= maxDepth {
+			break
+		}
+		k |= uint64(ph+1) << (4 * uint(i))
+	}
+	cs.key = k
+}
+
+// charge attributes the time since the CPU's last event to its current
+// phase stack (folded cell, leaf totals, timeline buckets).
+func (p *Profiler) charge(cs *cpuState, rts int64) {
+	d := rts - cs.last
+	if d <= 0 {
+		return
+	}
+	cs.cells[cs.key] += d
+	leaf := cs.stack[len(cs.stack)-1]
+	cs.cum[leaf] += d
+	bw := p.bucketNS()
+	for t := cs.last; t < rts; {
+		b := t / bw
+		end := (b + 1) * bw
+		if end > rts {
+			end = rts
+		}
+		bt := cs.buckets[b]
+		if bt == nil {
+			bt = &PhaseTotals{}
+			cs.buckets[b] = bt
+		}
+		bt[leaf] += end - t
+		t = end
+	}
+	cs.last = rts
+}
+
+// chargeCPU completes accounting for one CPU up to a rebased timestamp
+// (used by the causal reconstructor before snapshotting leaf totals).
+func (p *Profiler) chargeCPU(cpu int, rts int64) *cpuState {
+	cs := p.cpu(cpu)
+	p.charge(cs, rts)
+	return cs
+}
+
+// SetBase switches a CPU's base phase (idle ↔ run), keeping any overlay
+// phases above it.
+func (p *Profiler) SetBase(ts int64, cpu int, base Phase) {
+	if p == nil {
+		return
+	}
+	cs := p.chargeCPU(cpu, p.rebased(ts))
+	cs.stack[0] = base
+	cs.rekey()
+}
+
+// Push enters an overlay phase on a CPU.
+func (p *Profiler) Push(ts int64, cpu int, ph Phase) {
+	if p == nil {
+		return
+	}
+	cs := p.chargeCPU(cpu, p.rebased(ts))
+	cs.stack = append(cs.stack, ph)
+	cs.rekey()
+}
+
+// Pop leaves an overlay phase: the topmost occurrence of ph is removed
+// (robust to interleaved pops from interrupt entry/exit). A pop with no
+// matching push is ignored.
+func (p *Profiler) Pop(ts int64, cpu int, ph Phase) {
+	if p == nil {
+		return
+	}
+	cs := p.chargeCPU(cpu, p.rebased(ts))
+	for i := len(cs.stack) - 1; i > 0; i-- {
+		if cs.stack[i] == ph {
+			cs.stack = append(cs.stack[:i], cs.stack[i+1:]...)
+			cs.rekey()
+			return
+		}
+	}
+}
+
+// SetMasked records an IPI-mask edge: the machine calls it when a CPU's
+// IPL crosses the shootdown vector's priority in either direction.
+func (p *Profiler) SetMasked(ts int64, cpu int, masked bool) {
+	if p == nil {
+		return
+	}
+	if masked {
+		p.Push(ts, cpu, PhaseMasked)
+	} else {
+		p.Pop(ts, cpu, PhaseMasked)
+	}
+}
+
+// CPUFail marks a processor fail-stopped: whatever it was doing ends and
+// its time is charged to the halted phase until it comes back online.
+func (p *Profiler) CPUFail(ts int64, cpu int) {
+	if p == nil {
+		return
+	}
+	cs := p.chargeCPU(cpu, p.rebased(ts))
+	cs.stack = append(cs.stack[:0], PhaseHalted)
+	cs.rekey()
+}
+
+// CPUOnline marks a failed processor back online (idle until dispatched).
+func (p *Profiler) CPUOnline(ts int64, cpu int) {
+	if p == nil {
+		return
+	}
+	cs := p.chargeCPU(cpu, p.rebased(ts))
+	cs.stack = append(cs.stack[:0], PhaseIdle)
+	cs.rekey()
+}
+
+// LockWait records one lock acquisition's spin wait (0 for uncontended).
+func (p *Profiler) LockWait(name string, ns int64) {
+	if p == nil {
+		return
+	}
+	c := p.locks[name]
+	if c == nil {
+		c = newContention()
+		p.locks[name] = c
+	}
+	c.Wait.Observe(float64(ns))
+	if ns > 0 {
+		c.Contended++
+	}
+}
+
+// LockHold records one lock hold time.
+func (p *Profiler) LockHold(name string, ns int64) {
+	if p == nil {
+		return
+	}
+	c := p.locks[name]
+	if c == nil {
+		c = newContention()
+		p.locks[name] = c
+	}
+	c.Hold.Observe(float64(ns))
+}
+
+// BusTxns counts bus transactions issued from a call site.
+func (p *Profiler) BusTxns(site string, n int) {
+	if p == nil {
+		return
+	}
+	c := p.bus[site]
+	if c == nil {
+		c = newContention()
+		p.bus[site] = c
+	}
+	c.Txns += uint64(n)
+}
+
+// BusWait records one bus transaction's queueing delay behind other
+// processors' traffic (only queued transactions are recorded).
+func (p *Profiler) BusWait(site string, ns int64) {
+	if p == nil {
+		return
+	}
+	c := p.bus[site]
+	if c == nil {
+		c = newContention()
+		p.bus[site] = c
+	}
+	c.Wait.Observe(float64(ns))
+	c.Contended++
+}
+
+// CPUTotals returns one CPU's accumulated leaf-phase nanoseconds.
+func (p *Profiler) CPUTotals(cpu int) PhaseTotals {
+	if p == nil || cpu >= len(p.cpus) || p.cpus[cpu] == nil {
+		return PhaseTotals{}
+	}
+	return p.cpus[cpu].cum
+}
+
+// NumCPUs returns the number of CPUs the profiler has seen.
+func (p *Profiler) NumCPUs() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.cpus)
+}
+
+// Totals returns machine-wide leaf-phase nanoseconds.
+func (p *Profiler) Totals() PhaseTotals {
+	var out PhaseTotals
+	if p == nil {
+		return out
+	}
+	for _, cs := range p.cpus {
+		if cs == nil {
+			continue
+		}
+		for i := range out {
+			out[i] += cs.cum[i]
+		}
+	}
+	return out
+}
+
+// FoldedStacks returns the folded-stack cells ("cpuNN;base;...;leaf" →
+// nanoseconds) sorted by stack string — the flamegraph input, and the
+// byte-identical-per-seed artifact the determinism stage checks.
+type FoldedCell struct {
+	Stack string
+	NS    int64
+}
+
+// Folded returns all folded cells in deterministic order.
+func (p *Profiler) Folded() []FoldedCell {
+	if p == nil {
+		return nil
+	}
+	var out []FoldedCell
+	for i, cs := range p.cpus {
+		if cs == nil {
+			continue
+		}
+		keys := make([]uint64, 0, len(cs.cells))
+		for k := range cs.cells {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, k := range keys {
+			out = append(out, FoldedCell{
+				Stack: fmt.Sprintf("cpu%02d;%s", i, decodeKey(k)),
+				NS:    cs.cells[k],
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Stack < out[b].Stack })
+	return out
+}
+
+func decodeKey(k uint64) string {
+	var parts []string
+	for ; k != 0; k >>= 4 {
+		parts = append(parts, Phase(k&0xf-1).String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// lockNames returns the sorted lock (or bus-site) names of a contention
+// map, for deterministic emission.
+func contentionNames(m map[string]*ContentionProfile) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lock returns the contention profile for one lock (nil if never seen).
+func (p *Profiler) Lock(name string) *ContentionProfile {
+	if p == nil {
+		return nil
+	}
+	return p.locks[name]
+}
+
+// BusSite returns the contention profile for one bus call site.
+func (p *Profiler) BusSite(name string) *ContentionProfile {
+	if p == nil {
+		return nil
+	}
+	return p.bus[name]
+}
+
+// MergedLockWaits aggregates every lock's wait histogram into one
+// distribution (cross-CPU contention summary; uses stats.Histogram.Merge).
+func (p *Profiler) MergedLockWaits() (*stats.Histogram, error) {
+	merged := stats.NewHistogram(100, 1e9, 5)
+	if p == nil {
+		return merged, nil
+	}
+	for _, name := range contentionNames(p.locks) {
+		if err := merged.Merge(p.locks[name].Wait); err != nil {
+			return nil, fmt.Errorf("profile: merging lock %q: %w", name, err)
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,348 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFoldedAttribution drives a synthetic phase schedule and checks that
+// every nanosecond lands on the right stack cell.
+func TestFoldedAttribution(t *testing.T) {
+	p := New()
+	p.SetBase(0, 0, PhaseIdle)  // activates cpu0 at t=0
+	p.SetBase(100, 0, PhaseRun) // 100ns idle
+	p.Push(300, 0, PhaseMasked) // 200ns run
+	p.Push(350, 0, PhaseSpinLock)
+	p.Pop(500, 0, PhaseSpinLock) // 150ns run;ipl-masked;spin-lock
+	p.Pop(600, 0, PhaseMasked)   // 50+100ns run;ipl-masked
+	p.FinishAt(1000)             // 400ns run
+
+	want := map[string]int64{
+		"cpu00;idle":                     100,
+		"cpu00;run":                      200 + 400,
+		"cpu00;run;ipl-masked":           50 + 100,
+		"cpu00;run;ipl-masked;spin-lock": 150,
+	}
+	got := map[string]int64{}
+	var sum int64
+	for _, c := range p.Folded() {
+		got[c.Stack] = c.NS
+		sum += c.NS
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("stack %q = %d ns, want %d", k, got[k], v)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d stacks %v, want %d", len(got), got, len(want))
+	}
+	if sum != 1000 {
+		t.Errorf("total charged %d ns, want 1000 (every tick attributed exactly once)", sum)
+	}
+	tot := p.CPUTotals(0)
+	if tot.Of(PhaseRun) != 600 || tot.Of(PhaseMasked) != 150 || tot.Of(PhaseSpinLock) != 150 || tot.Of(PhaseIdle) != 100 {
+		t.Errorf("leaf totals wrong: %+v", tot)
+	}
+}
+
+// TestTimelineBuckets checks that bucketed timeline cells sum to the same
+// time the folded stacks account for, split at bucket boundaries.
+func TestTimelineBuckets(t *testing.T) {
+	p := New()
+	p.BucketNS = 1000
+	p.SetBase(0, 0, PhaseRun)
+	p.Push(2500, 0, PhaseBusStall) // crosses buckets 2→3
+	p.Pop(3500, 0, PhaseBusStall)
+	p.FinishAt(4000)
+
+	var b bytes.Buffer
+	if err := p.WriteTimeline(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "bucket_start_us,cpu,phase,ns" {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	var runNS, busNS int64
+	for _, l := range lines[1:] {
+		f := strings.Split(l, ",")
+		if len(f) != 4 {
+			t.Fatalf("bad row %q", l)
+		}
+		var ns int64
+		if _, err := fmtSscan(f[3], &ns); err != nil {
+			t.Fatal(err)
+		}
+		switch f[2] {
+		case "run":
+			runNS += ns
+		case "bus-stall":
+			busNS += ns
+		}
+	}
+	if runNS != 3000 || busNS != 1000 {
+		t.Errorf("timeline sums run=%d bus=%d, want 3000/1000", runNS, busNS)
+	}
+}
+
+// fmtSscan keeps the strconv dependency out of the test's way.
+func fmtSscan(s string, v *int64) (int, error) {
+	n := int64(0)
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			break
+		}
+		n = n*10 + int64(r-'0')
+	}
+	*v = n
+	return 1, nil
+}
+
+// TestUnmatchedPopIgnored checks robustness against pops with no matching
+// push (and pops of the base phase).
+func TestUnmatchedPopIgnored(t *testing.T) {
+	p := New()
+	p.SetBase(0, 0, PhaseRun)
+	p.Pop(100, 0, PhaseSpinLock) // no matching push: ignored
+	p.Pop(200, 0, PhaseRun)      // base phase is not poppable
+	p.FinishAt(300)
+	tot := p.CPUTotals(0)
+	if tot.Of(PhaseRun) != 300 {
+		t.Errorf("run = %d, want 300", tot.Of(PhaseRun))
+	}
+}
+
+// TestMaskedEdges checks SetMasked is edge-triggered and idempotent per
+// direction.
+func TestMaskedEdges(t *testing.T) {
+	p := New()
+	p.SetBase(0, 0, PhaseRun)
+	p.SetMasked(100, 0, true)
+	p.SetMasked(400, 0, false)
+	p.SetMasked(500, 0, false) // redundant unmask: no effect
+	p.FinishAt(600)
+	tot := p.CPUTotals(0)
+	if tot.Of(PhaseMasked) != 300 {
+		t.Errorf("masked = %d, want 300", tot.Of(PhaseMasked))
+	}
+	if tot.Of(PhaseRun) != 300 {
+		t.Errorf("run = %d, want 300", tot.Of(PhaseRun))
+	}
+}
+
+// TestRebaseIsolatesKernels checks that sequential kernel runs occupy
+// disjoint stretches of one session profile, and that CPUs of a finished
+// kernel stop accumulating idle time.
+func TestRebaseIsolatesKernels(t *testing.T) {
+	p := New()
+	p.SetBase(0, 0, PhaseRun)
+	p.SetBase(0, 1, PhaseIdle)
+	p.FinishAt(1000)
+	p.Rebase()
+	// Second kernel uses only cpu0, starting its local clock at 0.
+	p.SetBase(0, 0, PhaseRun)
+	p.FinishAt(500)
+
+	if got := p.CPUTotals(0).Of(PhaseRun); got != 1500 {
+		t.Errorf("cpu0 run = %d, want 1500", got)
+	}
+	// cpu1 must not have accumulated anything past the first kernel.
+	if got := p.CPUTotals(1); got.Of(PhaseIdle) != 1000 {
+		t.Errorf("cpu1 idle = %d, want 1000 (no phantom time after rebase)", got.Of(PhaseIdle))
+	}
+}
+
+// TestContentionProfiles checks the lock/bus histograms and the merged
+// view.
+func TestContentionProfiles(t *testing.T) {
+	p := New()
+	p.LockWait("pmap:1", 0)
+	p.LockWait("pmap:1", 5000)
+	p.LockHold("pmap:1", 2000)
+	p.LockWait("sched", 3000)
+	p.BusTxns("store", 4)
+	p.BusWait("store", 1200)
+
+	l := p.Lock("pmap:1")
+	if l == nil || l.Contended != 1 {
+		t.Fatalf("pmap:1 profile wrong: %+v", l)
+	}
+	if l.Wait.Count() != 2 || l.Hold.Count() != 1 {
+		t.Errorf("pmap:1 wait/hold counts = %d/%d, want 2/1", l.Wait.Count(), l.Hold.Count())
+	}
+	b := p.BusSite("store")
+	if b == nil || b.Txns != 4 || b.Contended != 1 {
+		t.Fatalf("store bus profile wrong: %+v", b)
+	}
+	merged, err := p.MergedLockWaits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count() != 3 {
+		t.Errorf("merged lock waits = %d observations, want 3", merged.Count())
+	}
+}
+
+// TestCausalReconstruction drives the full hook sequence of one two-
+// responder shootdown and checks the DAG, attribution, and critical path.
+func TestCausalReconstruction(t *testing.T) {
+	p := New()
+	p.SetIRQLatency(8)
+	for cpu := 0; cpu < 3; cpu++ {
+		p.SetBase(0, cpu, PhaseRun)
+	}
+
+	p.ShootBegin(100, 0, false, 3)
+	p.ShootExpect(150, 0, []int{1, 2})
+	p.IPIPosted(150, 1, false)
+	p.IPIPosted(150, 2, true) // cpu2 had IPIs masked at post time
+	p.ShootWait(160, 0)
+
+	// cpu1 responds quickly: 8ns irq latency, then masked dispatch.
+	p.SetMasked(158, 1, true)
+	p.IRQEnter(158, 1)
+	p.RespondAck(200, 1)
+	// cpu2 was masked for 92ns before delivery.
+	p.SetMasked(242, 2, true)
+	p.IRQEnter(242, 2)
+	p.RespondAck(300, 2)
+
+	p.ShootEnd(310, 0)
+	p.RespondDone(320, 1)
+	p.SetMasked(320, 1, false)
+	p.RespondDone(330, 2)
+	p.SetMasked(330, 2, false)
+	p.FinishAt(400)
+
+	recs := p.Shootdowns()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.CPU != 0 || r.Kernel || r.Pages != 3 || r.StartT != 100 || r.SendT != 150 || r.WaitT != 160 || r.EndT != 310 {
+		t.Fatalf("record wrong: %+v", r)
+	}
+	if len(r.Resp) != 2 {
+		t.Fatalf("got %d responders, want 2", len(r.Resp))
+	}
+	last := r.LastResponder()
+	if last == nil || last.CPU != 2 {
+		t.Fatalf("last responder = %+v, want cpu2", last)
+	}
+	if !last.MaskedAtPost || last.DeliverT != 242 || last.AckT != 300 || last.FlushT != 330 {
+		t.Fatalf("cpu2 record wrong: %+v", last)
+	}
+	comp := last.Attribution(p.IRQLatencyNS())
+	if comp.IRQNS != 8 {
+		t.Errorf("irq = %d, want 8", comp.IRQNS)
+	}
+	if comp.PendNS != 242-150-8 {
+		t.Errorf("pend = %d, want %d", comp.PendNS, 242-150-8)
+	}
+	if comp.DispatchNS != 300-242 {
+		t.Errorf("dispatch = %d, want %d", comp.DispatchNS, 300-242)
+	}
+	if comp.Why != "masked" {
+		t.Errorf("why = %q, want masked", comp.Why)
+	}
+	if got := comp.TotalNS(); got != last.AckT-last.PostT {
+		t.Errorf("components sum to %d, want %d", got, last.AckT-last.PostT)
+	}
+
+	cps := p.CriticalPaths()
+	if len(cps) != 1 {
+		t.Fatalf("got %d critical paths, want 1", len(cps))
+	}
+	cp := cps[0]
+	if cp.SetupNS != 50 || cp.SendNS != 10 || cp.WaitNS != 140 || cp.FinishNS != 10 {
+		t.Errorf("critical path wrong: %+v", cp)
+	}
+	if cp.SyncNS() != cp.SetupNS+cp.SendNS+cp.WaitNS+cp.FinishNS {
+		t.Errorf("critical path does not cover the sync: %+v", cp)
+	}
+}
+
+// TestLateAckIgnoredForLast checks that a responder acking after the
+// initiator already returned (lazy release) is not reported as the
+// responder the initiator waited for.
+func TestLateAckIgnoredForLast(t *testing.T) {
+	p := New()
+	p.ShootBegin(0, 0, false, 1)
+	p.ShootExpect(10, 0, []int{1, 2})
+	p.IPIPosted(10, 1, false)
+	p.IPIPosted(10, 2, false)
+	p.IRQEnter(20, 1)
+	p.RespondAck(50, 1)
+	p.ShootEnd(60, 0) // initiator returns; cpu2 never acked in time
+	p.IRQEnter(70, 2)
+	p.RespondAck(80, 2) // late ack
+	last := p.Shootdowns()[0].LastResponder()
+	if last == nil || last.CPU != 1 {
+		t.Fatalf("last responder = %+v, want cpu1 (cpu2 acked after the initiator returned)", last)
+	}
+}
+
+// TestNilProfilerSafe checks every hook is a no-op on a nil receiver, so
+// instrumentation sites need no guards.
+func TestNilProfilerSafe(t *testing.T) {
+	var p *Profiler
+	p.SetBase(0, 0, PhaseRun)
+	p.Push(0, 0, PhaseMasked)
+	p.Pop(0, 0, PhaseMasked)
+	p.SetMasked(0, 0, true)
+	p.CPUFail(0, 0)
+	p.CPUOnline(0, 0)
+	p.LockWait("x", 1)
+	p.LockHold("x", 1)
+	p.BusTxns("x", 1)
+	p.BusWait("x", 1)
+	p.ShootBegin(0, 0, false, 0)
+	p.ShootExpect(0, 0, nil)
+	p.ShootWait(0, 0)
+	p.ShootEnd(0, 0)
+	p.IPIPosted(0, 0, false)
+	p.IRQEnter(0, 0)
+	p.RespondAck(0, 0)
+	p.RespondDone(0, 0)
+	p.Rebase()
+	p.FinishAt(0)
+	p.SetIRQLatency(1)
+	if p.NumCPUs() != 0 || p.IRQLatencyNS() != 0 || p.Shootdowns() != nil || p.Folded() != nil {
+		t.Error("nil profiler reads must return zero values")
+	}
+}
+
+// TestFoldedDeterministicOrder checks Folded emits a stable, sorted order
+// regardless of map iteration.
+func TestFoldedDeterministicOrder(t *testing.T) {
+	build := func() string {
+		p := New()
+		for cpu := 0; cpu < 4; cpu++ {
+			p.SetBase(0, cpu, PhaseRun)
+			p.Push(int64(10*cpu+10), cpu, PhaseMasked)
+			p.Pop(int64(10*cpu+20), cpu, PhaseMasked)
+			p.Push(int64(10*cpu+30), cpu, PhaseBusStall)
+			p.Pop(int64(10*cpu+40), cpu, PhaseBusStall)
+		}
+		p.FinishAt(500)
+		var b bytes.Buffer
+		if err := p.WriteFolded(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("folded output not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	lines := strings.Split(strings.TrimSpace(a), "\n")
+	for i := 1; i < len(lines); i++ {
+		ka := lines[i-1][:strings.LastIndexByte(lines[i-1], ' ')]
+		kb := lines[i][:strings.LastIndexByte(lines[i], ' ')]
+		if ka >= kb {
+			t.Fatalf("folded stacks not sorted: %q before %q", ka, kb)
+		}
+	}
+}

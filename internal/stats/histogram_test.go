@@ -78,6 +78,90 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(1, 1000, 5)
+	b := NewHistogram(1, 1000, 5)
+	a.ObserveAll(5, 50, 500)
+	b.ObserveAll(1, 2, 900, 5000) // includes an overflow observation
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", a.Count())
+	}
+	if a.Sum() != 5+50+500+1+2+900+5000 {
+		t.Fatalf("Sum = %g", a.Sum())
+	}
+	if a.Min() != 1 || a.Max() != 5000 {
+		t.Fatalf("Min/Max = %g/%g", a.Min(), a.Max())
+	}
+	// The merged cumulative counts must equal observing everything into one
+	// histogram directly.
+	c := NewHistogram(1, 1000, 5)
+	c.ObserveAll(5, 50, 500, 1, 2, 900, 5000)
+	got, want := a.Buckets(), c.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	// Merging empty and nil histograms is a no-op.
+	before := a.Count()
+	if err := a.Merge(NewHistogram(1, 1000, 5)); err != nil {
+		t.Fatalf("Merge(empty): %v", err)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("Merge(nil): %v", err)
+	}
+	if a.Count() != before {
+		t.Fatal("no-op merges changed the count")
+	}
+}
+
+func TestHistogramMergeRejectsMismatchedLayout(t *testing.T) {
+	a := NewHistogram(1, 1000, 5)
+	b := NewHistogram(1, 1000, 10)
+	b.Observe(10)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging different bucket counts should fail")
+	}
+	// Same bucket count (same decade span and resolution) but shifted
+	// bounds: must still be rejected.
+	c := NewHistogram(2, 2000, 5)
+	c.Observe(10)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merging different bounds should fail")
+	}
+}
+
+func TestHistogramQuantileInterpolates(t *testing.T) {
+	// All mass in one bucket: the interpolated quantile must move smoothly
+	// between that bucket's effective bounds rather than snapping to an edge.
+	h := NewHistogram(1, 1000, 1)
+	for i := 0; i < 100; i++ {
+		h.Observe(55)
+	}
+	if got := h.Quantile(0.5); got != 55 {
+		t.Fatalf("single-valued Quantile(0.5) = %g, want clamped to 55", got)
+	}
+	// Uniform 1..1000: quantiles must be strictly increasing in q.
+	u := NewHistogram(1, 100_000, 10)
+	for i := 1; i <= 1000; i++ {
+		u.Observe(float64(i))
+	}
+	prev := -1.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		v := u.Quantile(q)
+		if v <= prev {
+			t.Fatalf("Quantile(%g) = %g not increasing (prev %g)", q, v, prev)
+		}
+		prev = v
+	}
+}
+
 func TestHistogramInvalidRangePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

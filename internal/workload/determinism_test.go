@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"shootdown/internal/kernel"
+	"shootdown/internal/profile"
 	"shootdown/internal/trace"
 )
 
@@ -41,6 +42,40 @@ func TestTracingIsPerturbationFree(t *testing.T) {
 	for _, cat := range []trace.Category{trace.CatMachine, trace.CatShootdown, trace.CatTLB, trace.CatKernel} {
 		if len(tr.Select(cat)) == 0 {
 			t.Fatalf("no %v events in the traced run", cat)
+		}
+	}
+}
+
+// TestProfilingIsPerturbationFree extends the §6.1 guarantee to the
+// virtual-time profiler: attribution hooks charge no virtual time and
+// consume no simulation randomness, so a profiled run is bit-identical to
+// an unprofiled one.
+func TestProfilingIsPerturbationFree(t *testing.T) {
+	run := func(p *profile.Profiler) TesterResult {
+		t.Helper()
+		cfg := TesterConfig{NCPUs: 8, Children: 4, Seed: 7}
+		cfg.App.Profiler = p
+		res, err := RunTester(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	p := profile.New()
+	profiled := run(p)
+	if !reflect.DeepEqual(plain, profiled) {
+		t.Fatalf("profiling perturbed the run:\n  off: %+v\n  on:  %+v", plain, profiled)
+	}
+	// The profiled run must have exercised the instrumented layers, or the
+	// guarantee is vacuous.
+	if p.NumCPUs() == 0 || len(p.Shootdowns()) == 0 {
+		t.Fatal("profiler recorded nothing")
+	}
+	tot := p.Totals()
+	for _, ph := range []profile.Phase{profile.PhaseRun, profile.PhaseIdle, profile.PhaseMasked, profile.PhaseBusStall} {
+		if tot.Of(ph) == 0 {
+			t.Fatalf("no %v time attributed in the profiled run", ph)
 		}
 	}
 }

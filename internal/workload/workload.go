@@ -30,6 +30,7 @@ import (
 	"shootdown/internal/fault"
 	"shootdown/internal/kernel"
 	"shootdown/internal/machine"
+	"shootdown/internal/profile"
 	"shootdown/internal/sim"
 	"shootdown/internal/stats"
 	"shootdown/internal/tlb"
@@ -85,6 +86,11 @@ type AppConfig struct {
 	// (a hot-plugged CPU skips its hardware TLB reset) so chaos campaigns
 	// can prove the oracle catches it and the shrinker minimizes it.
 	BugSkipReviveFlush bool
+	// Profiler, when set, attaches the virtual-time profiler (phase
+	// attribution, per-shootdown critical paths, contention histograms).
+	// Recording charges no virtual time, so results are bit-identical
+	// with and without it.
+	Profiler *profile.Profiler
 	// Observe, when set, is called with the kernel after the run completes
 	// (metrics harvesting).
 	Observe func(*kernel.Kernel)
@@ -141,6 +147,7 @@ func (c AppConfig) newKernel() (*kernel.Kernel, error) {
 		MaxTime:          c.MaxVirtualTime,
 		Tracer:           c.Tracer,
 		Oracle:           c.Oracle,
+		Profiler:         c.Profiler,
 	})
 	if err != nil {
 		return nil, err

@@ -201,6 +201,58 @@ func TestDroppedSurvivesUntilReset(t *testing.T) {
 	}
 }
 
+// TestSustainedOverflowWithConsumer keeps logging well past capacity while
+// a profiler-style consumer reads the buffer mid-stream. Reads must not
+// perturb the ring (no double-counted drops, no resurrected records), and
+// the final count must equal exactly total minus capacity.
+func TestSustainedOverflowWithConsumer(t *testing.T) {
+	const size = 8
+	b := New(size)
+	total := 0
+	for round := 0; round < 3; round++ {
+		for i := 0; i < size; i++ {
+			b.LogResponder(sim.Time(total), total%5, sim.Time(total)*10)
+			total++
+			if total%3 == 0 {
+				// Mid-stream consumer: snapshot, filter, and check the
+				// drop counter — all read-only.
+				if n := len(b.Events()); n != b.Len() {
+					t.Fatalf("Events len %d != Len %d mid-stream", n, b.Len())
+				}
+				_ = b.Select(EvResponder)
+				if want := uint64(max(total-size, 0)); b.Dropped() != want {
+					t.Fatalf("after %d logs Dropped = %d, want %d", total, b.Dropped(), want)
+				}
+			}
+		}
+	}
+	want := uint64(total - size)
+	if b.Dropped() != want {
+		t.Errorf("Dropped = %d, want %d (each overflow counted exactly once)", b.Dropped(), want)
+	}
+	if b.Len() != size {
+		t.Errorf("Len = %d, want %d", b.Len(), size)
+	}
+	evs := b.Events()
+	if len(evs) != size {
+		t.Fatalf("Events returned %d records, want %d", len(evs), size)
+	}
+	for i, ev := range evs {
+		if wantT := sim.Time(total - size + i); ev.Time != wantT {
+			t.Fatalf("evs[%d].Time = %d, want %d (newest records, oldest first)", i, ev.Time, wantT)
+		}
+	}
+	// Repeated reads are idempotent on the drop accounting.
+	for i := 0; i < 4; i++ {
+		_ = b.Events()
+		_ = b.Select(EvResponder)
+	}
+	if b.Dropped() != want || b.Len() != size {
+		t.Errorf("reads changed accounting: Dropped = %d Len = %d, want %d/%d",
+			b.Dropped(), b.Len(), want, size)
+	}
+}
+
 func TestEventIDString(t *testing.T) {
 	for _, id := range []EventID{EvInitiator, EvResponder, EvUser, EventID(42)} {
 		if id.String() == "" {

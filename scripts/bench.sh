@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Benchmark runner (`make bench`): executes the paper-artifact benchmarks
+# and the Figure 2 sweep, then assembles both into the next free
+# BENCH_<n>.json at the repo root so successive changes leave a comparable
+# trajectory of headline numbers.
+#
+# Env knobs: BENCH_SEED (default 42), BENCH_RUNS (runs per Figure 2 point,
+# default 3).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seed="${BENCH_SEED:-42}"
+runs="${BENCH_RUNS:-3}"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== go test -bench (paper artifacts)"
+go test -bench=. -benchmem -run='^$' . | tee "$tmp/bench.txt"
+
+echo "== Figure 2 sweep (seed $seed, $runs runs/point)"
+go run ./cmd/shootdownsim -seed "$seed" -runs "$runs" -format json fig2 > "$tmp/fig2.json"
+
+n=0
+while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+out="BENCH_${n}.json"
+go run ./scripts/benchreport "$tmp/bench.txt" "$tmp/fig2.json" > "$out"
+echo "wrote $out"

@@ -1,0 +1,96 @@
+// Command benchreport assembles one machine-readable benchmark report from
+// `go test -bench` text output and shootdownsim's Figure 2 JSON envelope.
+// scripts/bench.sh runs both producers and routes them through here into
+// the repo's BENCH_<n>.json trajectory.
+//
+// Usage:
+//
+//	benchreport <bench.txt> <fig2.json> > BENCH_n.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// benchLine is one parsed benchmark result. Metrics holds every value-unit
+// pair the line reported: ns/op, B/op, allocs/op, and the benchmarks'
+// custom paper metrics (intercept_us, slope_us, ...).
+type benchLine struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iterations"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// parseBench extracts result lines from `go test -bench` output.
+func parseBench(path string) ([]benchLine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []benchLine
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		bl := benchLine{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			bl.Metrics[fields[i+1]] = v
+		}
+		out = append(out, bl)
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: benchreport <bench.txt> <fig2.json>\n")
+		os.Exit(2)
+	}
+	benches, err := parseBench(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: no benchmark results in %s\n", os.Args[1])
+		os.Exit(1)
+	}
+	fig2, err := os.ReadFile(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	if !json.Valid(fig2) {
+		fmt.Fprintf(os.Stderr, "benchreport: %s is not valid JSON\n", os.Args[2])
+		os.Exit(1)
+	}
+	doc := struct {
+		GoVersion  string          `json:"go_version"`
+		Benchmarks []benchLine     `json:"benchmarks"`
+		Fig2       json.RawMessage `json:"fig2"`
+	}{runtime.Version(), benches, json.RawMessage(fig2)}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+}

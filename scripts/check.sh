@@ -7,8 +7,9 @@
 # simconcurrency analyzer enforces that everything else stays in virtual
 # time), plus the chaos-campaign survival tests and a replay of every
 # committed fault-schedule reproducer. The smoke stage exercises the
-# observability layer end to end and checks that the fault-injection and
-# chaos campaigns are deterministic (same seed, byte-identical output).
+# observability layer end to end and checks that the virtual-time profiler
+# and the fault-injection and chaos campaigns are deterministic (same seed,
+# byte-identical output).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -23,6 +24,9 @@ go vet ./...
 
 echo "== tier 1: shootdownlint ./..."
 go run ./cmd/shootdownlint ./...
+
+echo "== tier 1: shootdownlint ./internal/profile (profiler stays deterministic)"
+go run ./cmd/shootdownlint ./internal/profile
 
 echo "== tier 2: go test -race ./internal/sim/... ./internal/trace/..."
 go test -race ./internal/sim/... ./internal/trace/...
@@ -42,6 +46,17 @@ grep -q '^# TYPE shootdown_initiator_microseconds histogram' "$tmp/m.txt"
 echo "== smoke: tlbtest trace/json"
 go run ./cmd/tlbtest -children 4 -trace "$tmp/tt.json" -format json >"$tmp/tt-result.json"
 go run ./scripts/validatetrace "$tmp/tt.json"
+
+echo "== smoke: profiles are deterministic (same seed, byte-identical folded stacks)"
+go run ./cmd/shootdownsim -seed 7 -runs 1 -format json -profile "$tmp/p1" profile >"$tmp/profile1.json"
+go run ./cmd/shootdownsim -seed 7 -runs 1 -format json -profile "$tmp/p2" profile >"$tmp/profile2.json"
+cmp "$tmp/profile1.json" "$tmp/profile2.json"
+cmp "$tmp/p1/folded.txt" "$tmp/p2/folded.txt"
+cmp "$tmp/p1/critical.txt" "$tmp/p2/critical.txt"
+cmp "$tmp/p1/timeline.csv" "$tmp/p2/timeline.csv"
+cmp "$tmp/p1/locks.txt" "$tmp/p2/locks.txt"
+grep -q 'ipl-masked' "$tmp/p1/folded.txt"
+grep -q 'critical-path report' "$tmp/p1/critical.txt"
 
 echo "== smoke: fault campaign is deterministic (same seed, identical bytes)"
 go run ./cmd/shootdownsim -seed 7 -format json faults >"$tmp/faults1.json"
