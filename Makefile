@@ -44,7 +44,7 @@ bench: ## paper-artifact benchmarks + Figure 2 sweep → next free BENCH_<n>.jso
 
 smoke: build
 	$(GO) run ./cmd/shootdownsim -runs 1 -trace /tmp/shootdown-trace.json fig2
-	$(GO) run ./scripts/validatetrace /tmp/shootdown-trace.json
+	$(GO) run ./cmd/tlbtrace validate /tmp/shootdown-trace.json
 
 chaos: ## bounded fail-stop/hot-plug campaign with schedule shrinking
 	$(GO) run ./cmd/shootdownsim chaos

@@ -48,6 +48,7 @@ var (
 	failstop = flag.Bool("failstop", false, `processor fail-stop faults in every kernel (shorthand for -faults "failstop=0.9,failby=8ms"); failed CPUs stay down`)
 	hotplug  = flag.Bool("hotplug", false, `fail-stop plus hot-plug: failed CPUs revive with a cold TLB (shorthand for -faults "failstop=0.9,failby=8ms,revive=1,reviveafter=4ms")`)
 	repro    = flag.String("repro", "", "replay a minimized chaos reproducer JSON file (from the chaos experiment or testdata corpus) and exit; exits non-zero if the replay diverges from the recorded verdict")
+	chaosbug = flag.Bool("chaosbug", false, "plant the intentional stale-TLB-after-revive bug in the chaos experiment's runs, so the campaign fails on purpose (pair with -flight to exercise the black-box path end to end)")
 )
 
 // cli carries the shared -trace/-tracebuf/-metrics/-profile plumbing.
@@ -257,7 +258,8 @@ func main() {
 			return r, r.Render(), err
 		}},
 		{"chaos", func() (any, string, error) {
-			r, err := experiments.ChaosCampaign(*seed, experiments.ChaosOptions{Shrink: true}, in)
+			r, err := experiments.ChaosCampaign(*seed,
+				experiments.ChaosOptions{Shrink: true, PlantBug: *chaosbug}, in)
 			return r, r.Render(), err
 		}},
 		{"profile", func() (any, string, error) {

@@ -1,0 +1,264 @@
+// Package artifact reads and validates the repo's run artifacts — Chrome
+// trace-event files, shootdownsim -format json results, flight-recorder
+// black boxes, and the profiler's per-shootdown DAG export — behind one
+// set of loaders that cmd/tlbtrace (and tests) share. Every artifact is
+// self-describing JSON; the loaders sniff the format, so the CLI accepts
+// a black box anywhere a trace or a DAG export is expected and pulls the
+// embedded section out.
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"shootdown/internal/profile"
+	"shootdown/internal/trace"
+)
+
+// TraceEvent is one Chrome trace-event entry (the subset the tools use).
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // virtual microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceDoc is a loaded event timeline plus its completeness counters.
+type TraceDoc struct {
+	Events   []TraceEvent
+	Dropped  uint64
+	Retained int64
+}
+
+// chromeDoc mirrors the trace file's envelope.
+type chromeDoc struct {
+	TraceEvents []TraceEvent   `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData"`
+}
+
+// LoadEvents loads an event timeline from either a Chrome trace-event file
+// or a flight-recorder black box (whose ring becomes the timeline).
+func LoadEvents(path string) (*TraceDoc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if isBlackBox(raw) {
+		box, err := decodeBlackBox(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return boxEvents(box), nil
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: not valid trace JSON: %w", path, err)
+	}
+	out := &TraceDoc{Events: doc.TraceEvents}
+	if v, ok := doc.OtherData["dropped"].(float64); ok {
+		out.Dropped = uint64(v)
+	}
+	if v, ok := doc.OtherData["retained"].(float64); ok {
+		out.Retained = int64(v)
+	}
+	return out, nil
+}
+
+// isBlackBox sniffs the flight-recorder format marker.
+func isBlackBox(raw []byte) bool {
+	var probe struct {
+		Format string `json:"format"`
+	}
+	return json.Unmarshal(raw, &probe) == nil && probe.Format == trace.BlackBoxFormat
+}
+
+// decodeBlackBox parses and format-checks one black box.
+func decodeBlackBox(raw []byte) (*trace.BlackBox, error) {
+	var box trace.BlackBox
+	if err := json.Unmarshal(raw, &box); err != nil {
+		return nil, fmt.Errorf("not valid black-box JSON: %w", err)
+	}
+	if box.Format != trace.BlackBoxFormat {
+		return nil, fmt.Errorf("format %q, want %q", box.Format, trace.BlackBoxFormat)
+	}
+	return &box, nil
+}
+
+// LoadBlackBox loads and format-checks a flight-recorder black box.
+func LoadBlackBox(path string) (*trace.BlackBox, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	box, err := decodeBlackBox(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return box, nil
+}
+
+// boxEvents converts a black box's ring into a TraceDoc. Ring timestamps
+// are virtual ns; the trace convention is µs.
+func boxEvents(box *trace.BlackBox) *TraceDoc {
+	out := &TraceDoc{Dropped: box.Ring.Dropped, Retained: int64(box.Ring.Retained)}
+	for _, ev := range box.Ring.Events {
+		te := TraceEvent{
+			Name: ev.Name, Cat: ev.Cat, Ph: ev.Ph,
+			TS: float64(ev.TS) / 1e3,
+		}
+		// Mirror the Chrome exporter's row assignment (chrome.go): sim
+		// events on the proc rows, everything else on the CPU rows.
+		if ev.Cat == "sim" {
+			te.Pid, te.Tid = 1, int(ev.CPU)
+		} else if ev.CPU < 0 {
+			te.Pid, te.Tid = 0, 9999
+		} else {
+			te.Pid, te.Tid = 0, int(ev.CPU)
+		}
+		out.Events = append(out.Events, te)
+	}
+	return out
+}
+
+// Validate checks the invariants the CI smoke test relies on: events from
+// every instrumented layer and balanced begin/end spans. It returns a
+// one-line summary on success.
+func (d *TraceDoc) Validate() (string, error) {
+	if len(d.Events) == 0 {
+		return "", fmt.Errorf("no trace events")
+	}
+	cats := map[string]bool{}
+	phases := map[string]int{}
+	for _, ev := range d.Events {
+		if ev.Cat != "" {
+			cats[ev.Cat] = true
+		}
+		phases[ev.Ph]++
+	}
+	for _, want := range []string{"sim", "machine", "shootdown", "tlb"} {
+		if !cats[want] {
+			return "", fmt.Errorf("no %q events (categories seen: %v)", want, sortedKeys(cats))
+		}
+	}
+	if phases["B"] == 0 || phases["B"] != phases["E"] {
+		return "", fmt.Errorf("unbalanced spans: %d begin vs %d end", phases["B"], phases["E"])
+	}
+	return fmt.Sprintf("%d events, categories %v, %d spans, %d dropped",
+		len(d.Events), sortedKeys(cats), phases["B"], d.Dropped), nil
+}
+
+// ValidateBlackBox checks a black box's internal consistency: format
+// marker, ring accounting, and named provider sections. It returns a
+// one-line summary on success.
+func ValidateBlackBox(box *trace.BlackBox) (string, error) {
+	if box.Format != trace.BlackBoxFormat {
+		return "", fmt.Errorf("format %q, want %q", box.Format, trace.BlackBoxFormat)
+	}
+	if box.Reason == "" {
+		return "", fmt.Errorf("black box has no trip reason")
+	}
+	if got := len(box.Ring.Events); got != box.Ring.Retained {
+		return "", fmt.Errorf("ring claims %d retained events but carries %d", box.Ring.Retained, got)
+	}
+	if box.Ring.Retained > box.Ring.Capacity {
+		return "", fmt.Errorf("ring retains %d events over capacity %d", box.Ring.Retained, box.Ring.Capacity)
+	}
+	names := make([]string, 0, len(box.State))
+	for _, st := range box.State {
+		if st.Name == "" {
+			return "", fmt.Errorf("state section without a name")
+		}
+		if len(st.Data) == 0 {
+			return "", fmt.Errorf("state section %q is empty", st.Name)
+		}
+		names = append(names, st.Name)
+	}
+	return fmt.Sprintf("trip %d (%s) at %dns: %d ring events (%d dropped), state %v",
+		box.Trip, box.Reason, box.VirtualNS, box.Ring.Retained, box.Ring.Dropped, names), nil
+}
+
+// ValidateResults checks a shootdownsim -format json results file: valid
+// JSON, at least one experiment, every entry named with a result.
+func ValidateResults(path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var doc struct {
+		Experiments []struct {
+			Name   string          `json:"name"`
+			Result json.RawMessage `json:"result"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return "", fmt.Errorf("not valid results JSON: %w", err)
+	}
+	if len(doc.Experiments) == 0 {
+		return "", fmt.Errorf("no experiments in results file")
+	}
+	for _, e := range doc.Experiments {
+		if e.Name == "" || len(e.Result) == 0 {
+			return "", fmt.Errorf("experiment entry missing name or result")
+		}
+	}
+	return fmt.Sprintf("%d experiments", len(doc.Experiments)), nil
+}
+
+// LoadShootdowns loads a per-shootdown DAG export from any of its
+// carriers: a shootdowns.json file, a -profile output directory, or a
+// flight-recorder black box (its "dags" provider section).
+func LoadShootdowns(path string) (*profile.ShootdownsExport, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		path = filepath.Join(path, "shootdowns.json")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if isBlackBox(raw) {
+		box, err := decodeBlackBox(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		for _, st := range box.State {
+			if st.Name != "dags" {
+				continue
+			}
+			var exp profile.ShootdownsExport
+			if err := json.Unmarshal(st.Data, &exp); err != nil {
+				return nil, fmt.Errorf("%s: dags section: %w", path, err)
+			}
+			return checkExport(path, &exp)
+		}
+		return nil, fmt.Errorf("%s: black box has no \"dags\" section (run was not profiled)", path)
+	}
+	var exp profile.ShootdownsExport
+	if err := json.Unmarshal(raw, &exp); err != nil {
+		return nil, fmt.Errorf("%s: not valid shootdown-profile JSON: %w", path, err)
+	}
+	return checkExport(path, &exp)
+}
+
+// checkExport verifies the DAG export's format marker.
+func checkExport(path string, exp *profile.ShootdownsExport) (*profile.ShootdownsExport, error) {
+	if exp.Format != profile.ShootdownExportFormat {
+		return nil, fmt.Errorf("%s: format %q, want %q", path, exp.Format, profile.ShootdownExportFormat)
+	}
+	return exp, nil
+}
+
+// sortedKeys returns m's keys sorted (deterministic diagnostics).
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,292 @@
+package artifact
+
+// Per-shootdown DAG edges, rendering for `tlbtrace dag`, and the cross-run
+// diff for `tlbtrace diff`: align two profiled runs by shootdown identity
+// and attribute the virtual-time delta to DAG edges, so "the run got 12%
+// slower" becomes "the wait edge grew, and the last responder's growth is
+// bus stall".
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"shootdown/internal/profile"
+)
+
+// Edges is one shootdown's critical-path edge durations in virtual ns.
+// Zero-valued edges mean the shootdown never reached that node (local-only
+// shootdown, or the run ended mid-flight).
+type Edges struct {
+	// SetupNS: Sync entry → IPIs out. SendNS: IPIs out → spin entry.
+	// WaitNS: spin entry → last ack. FinishNS: last ack → Sync return.
+	SetupNS, SendNS, WaitNS, FinishNS int64
+	// Last-responder post→ack attribution (zero when no responder acked).
+	PendNS, IRQNS, DispatchNS, BusNS, SpinNS, OtherNS int64
+}
+
+// SyncNS is the end-to-end latency covered by the edges.
+func (e Edges) SyncNS() int64 { return e.SetupNS + e.SendNS + e.WaitNS + e.FinishNS }
+
+// EdgesOf computes a record's critical-path edges. Records that never
+// completed (EndNS 0) or never sent IPIs yield partial edges.
+func EdgesOf(r profile.ShootExport) Edges {
+	var e Edges
+	if r.SendNS > 0 {
+		e.SetupNS = r.SendNS - r.StartNS
+	} else if r.EndNS > 0 {
+		e.SetupNS = r.EndNS - r.StartNS // local-only: the whole sync is setup
+		return e
+	}
+	if r.WaitNS > 0 && r.SendNS > 0 {
+		e.SendNS = r.WaitNS - r.SendNS
+	}
+	lastAck := int64(0)
+	for _, resp := range r.Responders {
+		if resp.CPU == r.LastCPU && resp.AckNS > 0 {
+			lastAck = resp.AckNS
+			e.PendNS, e.IRQNS, e.DispatchNS = resp.PendNS, resp.IRQNS, resp.DispatchNS
+			e.BusNS, e.SpinNS, e.OtherNS = resp.BusNS, resp.SpinNS, resp.OtherNS
+		}
+	}
+	if lastAck > 0 && r.WaitNS > 0 {
+		e.WaitNS = lastAck - r.WaitNS
+		if e.WaitNS < 0 {
+			e.WaitNS = 0
+		}
+		if r.EndNS > 0 {
+			e.FinishNS = r.EndNS - lastAck
+		}
+	} else if r.EndNS > 0 && r.WaitNS > 0 {
+		e.WaitNS = r.EndNS - r.WaitNS
+	}
+	return e
+}
+
+// FormatDAG renders one shootdown's DAG: the initiator's edge chain and
+// every responder leg with its attribution.
+func FormatDAG(exp *profile.ShootdownsExport, r profile.ShootExport) string {
+	var b strings.Builder
+	kind := "user"
+	if r.Kernel {
+		kind = "kernel"
+	}
+	e := EdgesOf(r)
+	fmt.Fprintf(&b, "shootdown #%d: initiator cpu%d, %s pmap, %d page(s), sync %.1fus\n",
+		r.Seq, r.CPU, kind, r.Pages, float64(e.SyncNS())/1e3)
+	fmt.Fprintf(&b, "  setup %.1fus -> send %.1fus -> wait %.1fus -> finish %.1fus\n",
+		float64(e.SetupNS)/1e3, float64(e.SendNS)/1e3, float64(e.WaitNS)/1e3, float64(e.FinishNS)/1e3)
+	for _, resp := range r.Responders {
+		mark := " "
+		if resp.CPU == r.LastCPU {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "  %s cpu%-3d post=%.1fus deliver=%.1fus ack=%.1fus flush=%.1fus",
+			mark, resp.CPU, float64(resp.PostNS)/1e3, float64(resp.DeliverNS)/1e3,
+			float64(resp.AckNS)/1e3, float64(resp.FlushNS)/1e3)
+		if resp.Why != "" {
+			fmt.Fprintf(&b, "  [pend %.1f irq %.1f dispatch %.1f bus %.1f spin %.1f other %.1f us, why=%s]",
+				float64(resp.PendNS)/1e3, float64(resp.IRQNS)/1e3, float64(resp.DispatchNS)/1e3,
+				float64(resp.BusNS)/1e3, float64(resp.SpinNS)/1e3, float64(resp.OtherNS)/1e3, resp.Why)
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.Responders) > 0 {
+		b.WriteString("  (* = last responder: its ack completed the shootdown)\n")
+	}
+	return b.String()
+}
+
+// identity aligns shootdowns across runs: same initiator, same pmap kind,
+// same page count — the nth such shootdown in one run is compared to the
+// nth in the other. Sequence numbers are deliberately not used: an extra
+// early shootdown in one run would shift every later seq.
+type identity struct {
+	CPU    int
+	Kernel bool
+	Pages  int
+	Nth    int
+}
+
+// byIdentity indexes an export's records.
+func byIdentity(exp *profile.ShootdownsExport) map[identity]profile.ShootExport {
+	nth := map[identity]int{}
+	out := map[identity]profile.ShootExport{}
+	for _, r := range exp.Records {
+		base := identity{CPU: r.CPU, Kernel: r.Kernel, Pages: r.Pages}
+		key := base
+		key.Nth = nth[base]
+		nth[base]++
+		out[key] = r
+	}
+	return out
+}
+
+// EdgeDelta is one DAG edge's aggregate across every matched shootdown.
+type EdgeDelta struct {
+	Edge    string
+	OldNS   int64
+	NewNS   int64
+	DeltaNS int64
+}
+
+// DiffReport is the outcome of aligning two profiled runs.
+type DiffReport struct {
+	Matched int
+	OldOnly int
+	NewOnly int
+	// OldSyncNS/NewSyncNS total the matched shootdowns' end-to-end time.
+	OldSyncNS, NewSyncNS int64
+	// Edges aggregates the initiator's critical-path edges; RespEdges the
+	// last responder's post→ack attribution (a decomposition of wait).
+	Edges     []EdgeDelta
+	RespEdges []EdgeDelta
+	// Verdict names the initiator edge that grew the most, qualified by
+	// the dominant responder component when that edge is the wait.
+	Verdict string
+}
+
+// DiffShootdowns aligns two runs by shootdown identity and attributes the
+// virtual-time delta to DAG edges. Old records are walked in begin order
+// (not map order), so the report is deterministic.
+func DiffShootdowns(oldExp, newExp *profile.ShootdownsExport) *DiffReport {
+	newBy := byIdentity(newExp)
+	rep := &DiffReport{}
+	var oldSum, newSum Edges
+	nth := map[identity]int{}
+	for _, oldRec := range oldExp.Records {
+		base := identity{CPU: oldRec.CPU, Kernel: oldRec.Kernel, Pages: oldRec.Pages}
+		key := base
+		key.Nth = nth[base]
+		nth[base]++
+		newRec, ok := newBy[key]
+		if !ok {
+			rep.OldOnly++
+			continue
+		}
+		rep.Matched++
+		oe, ne := EdgesOf(oldRec), EdgesOf(newRec)
+		addEdges(&oldSum, oe)
+		addEdges(&newSum, ne)
+		rep.OldSyncNS += oe.SyncNS()
+		rep.NewSyncNS += ne.SyncNS()
+	}
+	rep.NewOnly = len(newBy) - rep.Matched
+	rep.Edges = []EdgeDelta{
+		edgeDelta("setup", oldSum.SetupNS, newSum.SetupNS),
+		edgeDelta("send", oldSum.SendNS, newSum.SendNS),
+		edgeDelta("wait", oldSum.WaitNS, newSum.WaitNS),
+		edgeDelta("finish", oldSum.FinishNS, newSum.FinishNS),
+	}
+	rep.RespEdges = []EdgeDelta{
+		edgeDelta("pend", oldSum.PendNS, newSum.PendNS),
+		edgeDelta("irq", oldSum.IRQNS, newSum.IRQNS),
+		edgeDelta("dispatch", oldSum.DispatchNS, newSum.DispatchNS),
+		edgeDelta("bus", oldSum.BusNS, newSum.BusNS),
+		edgeDelta("spin", oldSum.SpinNS, newSum.SpinNS),
+		edgeDelta("other", oldSum.OtherNS, newSum.OtherNS),
+	}
+	rep.Verdict = verdict(rep)
+	return rep
+}
+
+// addEdges accumulates e into sum.
+func addEdges(sum *Edges, e Edges) {
+	sum.SetupNS += e.SetupNS
+	sum.SendNS += e.SendNS
+	sum.WaitNS += e.WaitNS
+	sum.FinishNS += e.FinishNS
+	sum.PendNS += e.PendNS
+	sum.IRQNS += e.IRQNS
+	sum.DispatchNS += e.DispatchNS
+	sum.BusNS += e.BusNS
+	sum.SpinNS += e.SpinNS
+	sum.OtherNS += e.OtherNS
+}
+
+func edgeDelta(name string, oldNS, newNS int64) EdgeDelta {
+	return EdgeDelta{Edge: name, OldNS: oldNS, NewNS: newNS, DeltaNS: newNS - oldNS}
+}
+
+// verdict names the edge with the largest absolute delta; a wait-edge
+// verdict is qualified by the largest-moving responder component. Ties
+// break by edge order, so the verdict is deterministic.
+func verdict(rep *DiffReport) string {
+	if rep.Matched == 0 {
+		return "no shootdowns aligned between the two runs"
+	}
+	top := rep.Edges[0]
+	for _, e := range rep.Edges[1:] {
+		if abs64(e.DeltaNS) > abs64(top.DeltaNS) {
+			top = e
+		}
+	}
+	if top.DeltaNS == 0 {
+		return "no virtual-time movement on any DAG edge"
+	}
+	dir := "grew"
+	if top.DeltaNS < 0 {
+		dir = "shrank"
+	}
+	v := fmt.Sprintf("%s edge %s by %.1fus across %d matched shootdowns",
+		top.Edge, dir, float64(abs64(top.DeltaNS))/1e3, rep.Matched)
+	if top.Edge == "wait" {
+		comp := rep.RespEdges[0]
+		for _, e := range rep.RespEdges[1:] {
+			if abs64(e.DeltaNS) > abs64(comp.DeltaNS) {
+				comp = e
+			}
+		}
+		if comp.DeltaNS != 0 {
+			v += fmt.Sprintf("; last-responder movement is dominated by %s (%+.1fus)",
+				comp.Edge, float64(comp.DeltaNS)/1e3)
+		}
+	}
+	return v
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Format renders the diff report.
+func (rep *DiffReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "aligned %d shootdowns (%d only in old run, %d only in new)\n",
+		rep.Matched, rep.OldOnly, rep.NewOnly)
+	fmt.Fprintf(&b, "total sync time: old %.1fus, new %.1fus (%+.1fus)\n\n",
+		float64(rep.OldSyncNS)/1e3, float64(rep.NewSyncNS)/1e3,
+		float64(rep.NewSyncNS-rep.OldSyncNS)/1e3)
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s\n", "edge", "old_us", "new_us", "delta_us")
+	for _, e := range rep.Edges {
+		fmt.Fprintf(&b, "%-10s %12.1f %12.1f %+12.1f\n",
+			e.Edge, float64(e.OldNS)/1e3, float64(e.NewNS)/1e3, float64(e.DeltaNS)/1e3)
+	}
+	fmt.Fprintf(&b, "\nlast-responder attribution (decomposes wait):\n")
+	for _, e := range rep.RespEdges {
+		fmt.Fprintf(&b, "%-10s %12.1f %12.1f %+12.1f\n",
+			e.Edge, float64(e.OldNS)/1e3, float64(e.NewNS)/1e3, float64(e.DeltaNS)/1e3)
+	}
+	fmt.Fprintf(&b, "\nverdict: %s\n", rep.Verdict)
+	return b.String()
+}
+
+// SlowestShootdown returns the record with the largest end-to-end sync
+// time (ties toward the lower seq), for `tlbtrace dag` without -seq.
+func SlowestShootdown(exp *profile.ShootdownsExport) (profile.ShootExport, bool) {
+	var best profile.ShootExport
+	found := false
+	var bestNS int64 = -1
+	recs := append([]profile.ShootExport(nil), exp.Records...)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	for _, r := range recs {
+		ns := EdgesOf(r).SyncNS()
+		if ns > bestNS {
+			best, bestNS, found = r, ns, true
+		}
+	}
+	return best, found
+}

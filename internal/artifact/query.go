@@ -1,0 +1,219 @@
+package artifact
+
+// Span building and aggregation for `tlbtrace query`: pair begin/end
+// events into spans, filter by CPU/category/name/time window, and
+// aggregate durations per span name with quantiles and a log2 histogram.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span is one matched begin/end pair on a timeline.
+type Span struct {
+	Name string
+	Cat  string
+	Pid  int
+	Tid  int // CPU row for pid 0, sim proc row for pid 1
+	// StartUS/DurUS are virtual microseconds.
+	StartUS float64
+	DurUS   float64
+}
+
+// Spans pairs B/E events per (pid, tid, name) timeline, in arrival order.
+// A ring that wrapped mid-span leaves unmatched begins or ends; those are
+// dropped (the trace validator separately insists sessions are balanced).
+func Spans(d *TraceDoc) []Span {
+	type key struct {
+		pid, tid int
+		name     string
+	}
+	open := map[key][]TraceEvent{}
+	var out []Span
+	for _, ev := range d.Events {
+		k := key{ev.Pid, ev.Tid, ev.Name}
+		switch ev.Ph {
+		case "B":
+			open[k] = append(open[k], ev)
+		case "E":
+			stack := open[k]
+			if len(stack) == 0 {
+				continue // end without begin: ring wrapped
+			}
+			b := stack[len(stack)-1]
+			open[k] = stack[:len(stack)-1]
+			out = append(out, Span{
+				Name: ev.Name, Cat: b.Cat, Pid: ev.Pid, Tid: ev.Tid,
+				StartUS: b.TS, DurUS: ev.TS - b.TS,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].StartUS < out[j].StartUS })
+	return out
+}
+
+// Filter selects spans for a query. Zero values match everything.
+type Filter struct {
+	// CPU restricts to one CPU timeline (-1 = all). Sim-proc rows are
+	// excluded when a CPU is given, since their tids are proc ids.
+	CPU int
+	// Cat is an exact category match ("" = all).
+	Cat string
+	// Name is a substring match on the span name ("" = all).
+	Name string
+	// FromUS/ToUS clip to spans overlapping [FromUS, ToUS) (ToUS 0 = open).
+	FromUS, ToUS float64
+}
+
+// Match reports whether a span passes the filter.
+func (f Filter) Match(s Span) bool {
+	if f.CPU >= 0 && (s.Pid != 0 || s.Tid != f.CPU) {
+		return false
+	}
+	if f.Cat != "" && s.Cat != f.Cat {
+		return false
+	}
+	if f.Name != "" && !strings.Contains(s.Name, f.Name) {
+		return false
+	}
+	if s.StartUS+s.DurUS < f.FromUS {
+		return false
+	}
+	if f.ToUS > 0 && s.StartUS >= f.ToUS {
+		return false
+	}
+	return true
+}
+
+// Select returns the spans passing the filter, in start order.
+func (f Filter) Select(spans []Span) []Span {
+	var out []Span
+	for _, s := range spans {
+		if f.Match(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Agg is the duration aggregate for one span name.
+type Agg struct {
+	Name  string
+	Count int
+	// Durations in virtual microseconds.
+	TotalUS, MeanUS, MinUS, MaxUS, P50US, P90US, P99US float64
+}
+
+// Aggregate groups spans by name and computes duration aggregates, sorted
+// by descending total time (ties by name, so output is deterministic).
+func Aggregate(spans []Span) []Agg {
+	byName := map[string][]float64{}
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s.DurUS)
+	}
+	out := make([]Agg, 0, len(byName))
+	for name, durs := range byName {
+		sort.Float64s(durs)
+		a := Agg{Name: name, Count: len(durs), MinUS: durs[0], MaxUS: durs[len(durs)-1]}
+		for _, d := range durs {
+			a.TotalUS += d
+		}
+		a.MeanUS = a.TotalUS / float64(len(durs))
+		a.P50US = quantile(durs, 0.50)
+		a.P90US = quantile(durs, 0.90)
+		a.P99US = quantile(durs, 0.99)
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalUS != out[j].TotalUS {
+			return out[i].TotalUS > out[j].TotalUS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// quantile returns the q-quantile of an ascending-sorted slice (nearest
+// rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// HistBucket is one power-of-two duration bucket.
+type HistBucket struct {
+	// [LoUS, HiUS) in virtual microseconds.
+	LoUS, HiUS float64
+	Count      int
+}
+
+// Histogram buckets span durations into powers of two microseconds,
+// starting at [0,1). Empty buckets between occupied ones are retained so
+// the shape reads correctly.
+func Histogram(spans []Span) []HistBucket {
+	if len(spans) == 0 {
+		return nil
+	}
+	counts := map[int]int{}
+	maxB := 0
+	for _, s := range spans {
+		b := 0
+		for hi := 1.0; s.DurUS >= hi; hi *= 2 {
+			b++
+		}
+		counts[b]++
+		if b > maxB {
+			maxB = b
+		}
+	}
+	out := make([]HistBucket, 0, maxB+1)
+	lo := 0.0
+	hi := 1.0
+	for b := 0; b <= maxB; b++ {
+		out = append(out, HistBucket{LoUS: lo, HiUS: hi, Count: counts[b]})
+		lo = hi
+		hi *= 2
+	}
+	return out
+}
+
+// FormatAggTable renders the aggregate table the query subcommand prints.
+func FormatAggTable(aggs []Agg) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %7s %12s %10s %10s %10s %10s\n",
+		"name", "count", "total_us", "mean_us", "p50_us", "p99_us", "max_us")
+	for _, a := range aggs {
+		fmt.Fprintf(&b, "%-28s %7d %12.1f %10.2f %10.2f %10.2f %10.2f\n",
+			a.Name, a.Count, a.TotalUS, a.MeanUS, a.P50US, a.P99US, a.MaxUS)
+	}
+	return b.String()
+}
+
+// FormatHistogram renders the log2 duration histogram.
+func FormatHistogram(h []HistBucket) string {
+	var b strings.Builder
+	total := 0
+	maxCount := 0
+	for _, bk := range h {
+		total += bk.Count
+		if bk.Count > maxCount {
+			maxCount = bk.Count
+		}
+	}
+	fmt.Fprintf(&b, "duration histogram (%d spans):\n", total)
+	for _, bk := range h {
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", bk.Count*40/maxCount)
+		}
+		fmt.Fprintf(&b, "  [%8.0f, %8.0f) us %7d %s\n", bk.LoUS, bk.HiUS, bk.Count, bar)
+	}
+	return b.String()
+}

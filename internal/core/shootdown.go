@@ -266,6 +266,12 @@ type Shootdown struct {
 	// compute its critical path (nil-safe; charges no virtual time).
 	Prof *profile.Profiler
 
+	// Flight, when set, is tripped on watchdog escalation — the moment a
+	// responder has missed every retry and the initiator falls back to the
+	// full-flush path, the recorder dumps a black box with the protocol
+	// state that led there (nil-safe; charges no virtual time).
+	Flight *trace.Recorder
+
 	stats Stats
 	// recoveryUS records, for every wait the watchdog had to rescue, the
 	// virtual microseconds from the first timeout to quiescence.
@@ -331,6 +337,41 @@ func (s *Shootdown) Idle(cpu int) bool { return s.idle[cpu] }
 
 // ActionNeeded reports whether a CPU has unprocessed consistency actions.
 func (s *Shootdown) ActionNeeded(cpu int) bool { return s.actionNeeded[cpu] }
+
+// CPUSnap is one processor's protocol-side state in wire form, for the
+// flight recorder's black boxes (DESIGN.md §13).
+type CPUSnap struct {
+	CPU          int  `json:"cpu"`
+	Active       bool `json:"active"`
+	Idle         bool `json:"idle"`
+	ActionNeeded bool `json:"action_needed"`
+	QueueLen     int  `json:"queue_len"`
+	Overflow     bool `json:"overflow"`
+}
+
+// Snap is the whole protocol state in wire form: the Section 4 data
+// structures per CPU plus the cumulative counters.
+type Snap struct {
+	Stats Stats     `json:"stats"`
+	CPUs  []CPUSnap `json:"cpus"`
+}
+
+// Snapshot captures the active/idle sets, action queues, and counters for
+// post-mortems. Output is deterministic: CPUs in id order.
+func (s *Shootdown) Snapshot() Snap {
+	snap := Snap{Stats: s.stats}
+	for cpu := range s.active {
+		snap.CPUs = append(snap.CPUs, CPUSnap{
+			CPU:          cpu,
+			Active:       s.active[cpu],
+			Idle:         s.idle[cpu],
+			ActionNeeded: s.actionNeeded[cpu],
+			QueueLen:     len(s.queues[cpu]),
+			Overflow:     s.overflow[cpu],
+		})
+	}
+	return snap
+}
 
 // Begin starts an initiator-side critical section: disable all interrupts
 // and leave the active set, so a concurrent initiator shooting at us does
@@ -508,6 +549,8 @@ func (s *Shootdown) waitForResponder(ex *machine.Exec, p Pmap, w waiter, start, 
 			escalated = true
 			s.stats.WatchdogEscalations++
 			s.Span.Instant(int64(ex.Now()), me, trace.CatShootdown, "watchdog-escalate", int64(cpu), 0)
+			s.Flight.Trip(int64(ex.Now()), "watchdog",
+				fmt.Sprintf("cpu%d escalated to full flush after %d retries waiting on cpu%d", me, retry, cpu))
 			lprev := s.actionLocks[cpu].Lock(ex)
 			s.overflow[cpu] = true
 			s.queues[cpu] = s.queues[cpu][:0]

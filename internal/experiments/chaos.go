@@ -11,6 +11,7 @@ import (
 	"shootdown/internal/fault/shrink"
 	"shootdown/internal/kernel"
 	"shootdown/internal/sim"
+	"shootdown/internal/trace"
 	"shootdown/internal/workload"
 )
 
@@ -56,7 +57,9 @@ func classify(err error) string {
 
 // chaosCell is one deterministic churn run under a fault config: the
 // fixture both the campaign and the shrinker's test function re-execute.
-func chaosCell(seed int64, ncpus int, fc fault.Config, bug bool, obs func(*kernel.Kernel)) (verdict, detail string, events []fault.Event) {
+// fr arms the flight recorder for the run; the shrinker passes nil so its
+// dozens of re-executions don't each dump a black box.
+func chaosCell(seed int64, ncpus int, fc fault.Config, bug bool, fr *trace.Recorder, obs func(*kernel.Kernel)) (verdict, detail string, events []fault.Event) {
 	fcCopy := fc
 	app := workload.AppConfig{
 		NCPUs:              ncpus,
@@ -67,6 +70,7 @@ func chaosCell(seed int64, ncpus int, fc fault.Config, bug bool, obs func(*kerne
 		BugSkipReviveFlush: bug,
 		MaxVirtualTime:     30_000_000_000,
 		Faults:             &fcCopy,
+		Flight:             fr,
 	}
 	app.Observe = func(k *kernel.Kernel) {
 		events = k.M.Faults().Events()
@@ -178,7 +182,7 @@ func ChaosCampaign(seed int64, opt ChaosOptions, ins ...Instrument) (ChaosResult
 				row.Violations = ost.Violations
 			}
 		}
-		verdict, detail, events := chaosCell(seed, opt.NCPUs, fc, opt.PlantBug, obs)
+		verdict, detail, events := chaosCell(seed, opt.NCPUs, fc, opt.PlantBug, in.Flight, obs)
 		row.Verdict, row.Err = verdict, detail
 		if verdict != VerdictOK && opt.Shrink {
 			row.ScheduleLen = len(events)
@@ -200,7 +204,7 @@ func shrinkFailure(seed int64, ncpus int, fc fault.Config, bug bool, verdict str
 	return shrink.Minimize(all, func(keep []fault.EventID) bool {
 		cfg := fc
 		cfg.Mask = append(append([]fault.EventID(nil), fc.Mask...), shrink.MaskFor(all, keep)...)
-		v, _, _ := chaosCell(seed, ncpus, cfg, bug, nil)
+		v, _, _ := chaosCell(seed, ncpus, cfg, bug, nil, nil)
 		return v == verdict
 	}, maxRuns)
 }
@@ -250,7 +254,7 @@ func ReplayRepro(r shrink.Repro, ins ...Instrument) (string, string, error) {
 		return "", "", fmt.Errorf("experiments: repro workload %q not supported", r.Workload)
 	}
 	in := pick(ins)
-	verdict, detail, _ := chaosCell(r.Seed, r.NCPUs, r.Faults, r.Bug == "skip-revive-flush", in.Observe)
+	verdict, detail, _ := chaosCell(r.Seed, r.NCPUs, r.Faults, r.Bug == "skip-revive-flush", in.Flight, in.Observe)
 	return verdict, detail, nil
 }
 

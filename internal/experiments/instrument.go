@@ -40,6 +40,12 @@ type Instrument struct {
 	// charges no virtual time, so profiled results are bit-identical to
 	// unprofiled ones.
 	Profiler *profile.Profiler
+	// Flight attaches the flight recorder to every kernel the experiment
+	// builds: watchdog escalations, oracle violations, and run-killing
+	// errors dump a black box of recent events and per-layer state into
+	// the recorder's directory. Like the other hooks it charges no virtual
+	// time, so results are bit-identical with and without it.
+	Flight *trace.Recorder
 }
 
 // pick flattens the optional variadic instrument parameter.
@@ -70,6 +76,7 @@ func (in Instrument) app(c workload.AppConfig) workload.AppConfig {
 	c.Faults = in.Faults
 	c.Oracle = in.Oracle
 	c.Profiler = in.Profiler
+	c.Flight = in.Flight
 	if in.Faults != nil && in.Faults.Enabled() && c.ShootdownOptions.WatchdogTimeout == 0 {
 		c.ShootdownOptions.WatchdogTimeout = defaultWatchdog.WatchdogTimeout
 		c.ShootdownOptions.WatchdogMaxRetries = defaultWatchdog.WatchdogMaxRetries
@@ -84,6 +91,7 @@ func (in Instrument) config(c kernel.Config) kernel.Config {
 	c.Tracer = in.Tracer
 	c.Oracle = in.Oracle
 	c.Profiler = in.Profiler
+	c.Flight = in.Flight
 	if in.Faults != nil && in.Faults.Enabled() {
 		c.Machine.Faults = fault.New(*in.Faults)
 		if c.Shootdown.WatchdogTimeout == 0 {
@@ -117,6 +125,7 @@ type CLI struct {
 	TraceBuf int
 	Metrics  string
 	Profile  string
+	Flight   string
 
 	in          Instrument
 	lastMetrics *trace.MetricSet
@@ -135,7 +144,14 @@ func (c *CLI) RegisterFlags(fs *flag.FlagSet, traceBufDefault int) {
 		"write a Prometheus-style metrics snapshot of the last kernel run")
 	fs.StringVar(&c.Profile, "profile", "",
 		"write virtual-time profiles (folded stacks, phase timeline, contention, per-shootdown critical paths) into this directory")
+	fs.StringVar(&c.Flight, "flight", "",
+		"arm the flight recorder: dump black boxes (recent events + per-layer state) into this directory when a watchdog escalates, the oracle flags a divergence, or a run dies")
 }
+
+// flightRingSize is the -flight recorder's event-ring capacity: enough
+// recent context for a post-mortem, bounded so an always-on recorder stays
+// cheap. (With -trace the session tracer's ring is used instead.)
+const flightRingSize = 1 << 16
 
 // Instrument builds the hooks the parsed flags ask for and returns the
 // instrument to thread through the run. The pointer aliases the CLI's own
@@ -151,6 +167,14 @@ func (c *CLI) Instrument() (*Instrument, error) {
 	}
 	if c.Profile != "" {
 		c.in.Profiler = profile.New()
+	}
+	if c.Flight != "" {
+		fr, err := trace.NewRecorder(flightRingSize)
+		if err != nil {
+			return nil, fmt.Errorf("-flight: %w", err)
+		}
+		fr.SetDir(c.Flight)
+		c.in.Flight = fr
 	}
 	if c.Metrics != "" {
 		c.in.Observe = func(k *kernel.Kernel) {
@@ -191,8 +215,13 @@ func (c *CLI) Finish() error {
 			return fmt.Errorf("profile: %w", err)
 		}
 		fmt.Fprintf(os.Stderr,
-			"%s: wrote virtual-time profile (folded.txt, timeline.csv, locks.txt, critical.txt) to %s\n",
+			"%s: wrote virtual-time profile (folded.txt, timeline.csv, locks.txt, critical.txt, shootdowns.json) to %s\n",
 			c.Tool, c.Profile)
+	}
+	if c.Flight != "" {
+		fr := c.in.Flight
+		fmt.Fprintf(os.Stderr, "%s: flight recorder tripped %d times, wrote %d black boxes to %s\n",
+			c.Tool, len(fr.Trips()), fr.Dumped(), c.Flight)
 	}
 	return nil
 }

@@ -7,9 +7,12 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"shootdown/internal/core"
+	"shootdown/internal/fault"
 	"shootdown/internal/machine"
 	"shootdown/internal/oracle"
 	"shootdown/internal/pmap"
@@ -66,6 +69,13 @@ type Config struct {
 	// and lock/bus contention histograms. Like the tracer it charges no
 	// virtual time and consumes no simulation randomness.
 	Profiler *profile.Profiler
+	// Flight, when set, attaches the flight recorder (DESIGN.md §13): a
+	// bounded ring of recent events plus state providers for every layer,
+	// dumped as a black box when the watchdog escalates, the oracle flags
+	// a divergence, or the run dies (deadlock / virtual-time bound). When
+	// no Tracer is configured the recorder's own ring becomes the kernel's
+	// tracer, so black boxes always carry recent events.
+	Flight *trace.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +123,16 @@ type Kernel struct {
 // New builds a kernel over a fresh machine.
 func New(cfg Config) (*Kernel, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Flight != nil {
+		// New kernel, new providers; the recorder's trip/dump sequence
+		// persists across a session's sequential kernels.
+		cfg.Flight.BeginRun()
+		if cfg.Tracer == nil {
+			cfg.Tracer = cfg.Flight.Ring()
+		} else {
+			cfg.Flight.AttachRing(cfg.Tracer)
+		}
+	}
 	engOpts := []sim.Option{sim.WithMaxTime(cfg.MaxTime)}
 	if cfg.ChaosSeed != 0 {
 		engOpts = append(engOpts, sim.WithChaos(cfg.ChaosSeed))
@@ -184,7 +204,61 @@ func New(cfg Config) (*Kernel, error) {
 	m.SetHandler(machine.VecTimer, func(ex *machine.Exec, _ machine.Vector) {
 		k.timerTick(ex)
 	})
+	if cfg.Flight != nil {
+		k.registerFlight(cfg.Flight)
+	}
 	return k, nil
+}
+
+// oracleSnap is the oracle's black-box provider payload.
+type oracleSnap struct {
+	Stats      oracle.Stats       `json:"stats"`
+	Violations []oracle.Violation `json:"violations,omitempty"`
+}
+
+// faultSnap is the fault injector's black-box provider payload: the spec
+// that seeded the campaign plus every event fired so far — exactly the
+// reproducer context the chaos shrinker consumes.
+type faultSnap struct {
+	Spec   string        `json:"spec"`
+	Seed   int64         `json:"seed"`
+	Stats  fault.Stats   `json:"stats"`
+	Events []fault.Event `json:"events,omitempty"`
+}
+
+// registerFlight points the flight recorder's trip sources and state
+// providers at this kernel. Providers are snapshotted in registration
+// order at trip time, so the order here is part of the black-box format:
+// engine, cpus, shootdown, sched, oracle, faults, dags.
+func (k *Kernel) registerFlight(fr *trace.Recorder) {
+	if k.Shoot != nil {
+		k.Shoot.Flight = fr
+	}
+	if k.Oracle != nil {
+		k.Oracle.OnViolation = func(v oracle.Violation) {
+			fr.Trip(int64(v.Time), "oracle", v.String())
+		}
+	}
+	fr.Register("engine", func() any { return k.Eng.Snapshot() })
+	fr.Register("cpus", func() any { return k.M.Snapshot() })
+	if k.Shoot != nil {
+		fr.Register("shootdown", func() any { return k.Shoot.Snapshot() })
+	}
+	fr.Register("sched", func() any { return k.SchedSnapshot() })
+	if k.Oracle != nil {
+		fr.Register("oracle", func() any {
+			return oracleSnap{Stats: k.Oracle.Stats(), Violations: k.Oracle.Violations()}
+		})
+	}
+	if inj := k.M.Faults(); inj != nil {
+		fr.Register("faults", func() any {
+			cfg := inj.Config()
+			return faultSnap{Spec: cfg.Spec(), Seed: cfg.Seed, Stats: inj.Stats(), Events: inj.Events()}
+		})
+	}
+	if p := k.cfg.Profiler; p != nil {
+		fr.Register("dags", func() any { return profile.ExportShootdowns(p) })
+	}
 }
 
 // tickHook lets a consistency strategy piggyback on the clock interrupt
@@ -233,6 +307,16 @@ func (k *Kernel) Run() error {
 	err := k.Eng.Run()
 	k.closeOpenSpans()
 	k.cfg.Profiler.FinishAt(int64(k.Eng.Now()))
+	if err != nil && k.cfg.Flight != nil {
+		reason := "error"
+		switch {
+		case errors.Is(err, sim.ErrDeadlock):
+			reason = "deadlock"
+		case strings.Contains(err.Error(), "virtual time limit"):
+			reason = "timeout"
+		}
+		k.cfg.Flight.Trip(int64(k.Eng.Now()), reason, err.Error())
+	}
 	if err == nil {
 		k.Oracle.Check()
 		err = k.Oracle.Err()
@@ -357,6 +441,47 @@ func (k *Kernel) wakeIdle(cpu int) {
 		panic(fmt.Sprintf("kernel: idle proc for cpu %d not blocked (state %v)",
 			cpu, k.idleProcs[cpu].State()))
 	}
+}
+
+// CPUSchedSnap is one CPU's scheduler state in wire form.
+type CPUSchedSnap struct {
+	CPU int `json:"cpu"`
+	// Current is the dispatched thread ("" = idle).
+	Current string `json:"current,omitempty"`
+	// ThreadState is the dispatched thread's lifecycle state.
+	ThreadState string `json:"thread_state,omitempty"`
+	// IdleProc is the idle proc's engine state.
+	IdleProc string `json:"idle_proc"`
+}
+
+// SchedSnap is the scheduler's state in wire form, for the flight
+// recorder's black boxes (the structured sibling of DebugState).
+type SchedSnap struct {
+	CPUs []CPUSchedSnap `json:"cpus"`
+	Runq []string       `json:"runq,omitempty"`
+	Live int            `json:"live"`
+}
+
+// SchedSnapshot captures per-CPU dispatch state and the run queue for
+// post-mortems. Output is deterministic: CPUs in id order, the run queue
+// in queue order.
+func (k *Kernel) SchedSnapshot() SchedSnap {
+	snap := SchedSnap{Live: k.live}
+	for cpu := range k.current {
+		cs := CPUSchedSnap{CPU: cpu}
+		if t := k.current[cpu]; t != nil {
+			cs.Current = t.name
+			cs.ThreadState = t.state.String()
+		}
+		if k.idleProcs != nil && k.idleProcs[cpu] != nil {
+			cs.IdleProc = k.idleProcs[cpu].State().String()
+		}
+		snap.CPUs = append(snap.CPUs, cs)
+	}
+	for _, t := range k.runq {
+		snap.Runq = append(snap.Runq, t.name)
+	}
+	return snap
 }
 
 // DebugState dumps scheduler state for diagnosing stuck simulations.

@@ -52,6 +52,21 @@ const (
 	threadDone
 )
 
+func (s threadState) String() string {
+	switch s {
+	case threadReady:
+		return "ready"
+	case threadRunning:
+		return "running"
+	case threadBlocked:
+		return "blocked"
+	case threadDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
 // Thread is one flow of control within a task. The body function runs on a
 // sim proc; all interaction with simulated hardware goes through the
 // thread's methods so virtual time is charged and faults are serviced.

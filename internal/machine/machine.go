@@ -346,6 +346,45 @@ func (m *Machine) PostAfter(target int, v Vector, delay sim.Time) (wasPending bo
 // Faults returns the machine's fault injector (possibly nil).
 func (m *Machine) Faults() *fault.Injector { return m.faults }
 
+// CPUSnap is one processor's state in wire form, for the flight recorder's
+// black boxes (DESIGN.md §13).
+type CPUSnap struct {
+	ID          int      `json:"id"`
+	State       string   `json:"state"`
+	Incarnation uint64   `json:"incarnation"`
+	IPL         int      `json:"ipl"`
+	Pending     []string `json:"pending,omitempty"`
+}
+
+// Snap is the machine's processor and membership state in wire form.
+type Snap struct {
+	Epoch      uint64    `json:"epoch"`
+	LockBreaks uint64    `json:"lock_breaks"`
+	CPUs       []CPUSnap `json:"cpus"`
+}
+
+// Snapshot captures every CPU's lifecycle state, IPL, and pending vectors
+// for post-mortems. Output is deterministic: CPUs in id order, vectors in
+// vector order.
+func (m *Machine) Snapshot() Snap {
+	snap := Snap{Epoch: m.epoch, LockBreaks: m.lockBreaks}
+	for _, c := range m.cpus {
+		cs := CPUSnap{
+			ID:          c.id,
+			State:       c.state.String(),
+			Incarnation: c.incarnation,
+			IPL:         int(c.ipl),
+		}
+		for v := Vector(0); v < numVectors; v++ {
+			if c.pending[v] {
+				cs.Pending = append(cs.Pending, v.String())
+			}
+		}
+		snap.CPUs = append(snap.CPUs, cs)
+	}
+	return snap
+}
+
 // Epoch returns the membership epoch: the number of CPU lifecycle
 // transitions (fail or online) so far.
 func (m *Machine) Epoch() uint64 { return m.epoch }

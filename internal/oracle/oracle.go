@@ -97,6 +97,11 @@ type Oracle struct {
 	byASID     map[tlb.ASID]*shadow
 	stats      Stats
 	violations []Violation
+
+	// OnViolation, when set, is called with each violation as it is
+	// recorded (the flight recorder trips on it). It must not perturb the
+	// simulation: no virtual time, no randomness.
+	OnViolation func(Violation)
 }
 
 var _ machine.MMUObserver = (*Oracle)(nil)
@@ -183,6 +188,9 @@ func (o *Oracle) record(v Violation) {
 	o.stats.Violations++
 	if len(o.violations) < maxViolations {
 		o.violations = append(o.violations, v)
+	}
+	if o.OnViolation != nil {
+		o.OnViolation(v)
 	}
 }
 

@@ -198,6 +198,7 @@ func WriteDir(p *Profiler, dir string) error {
 		{"timeline.csv", p.WriteTimeline},
 		{"locks.txt", p.WriteLocks},
 		{"critical.txt", p.WriteCriticalPath},
+		{"shootdowns.json", p.WriteShootdowns},
 	}
 	for _, f := range files {
 		fh, err := os.Create(filepath.Join(dir, f.name))

@@ -445,6 +445,61 @@ func (e *Engine) Wake(p *Proc) bool {
 	return true
 }
 
+// ProcSnap is one proc's scheduling state in wire form, for the flight
+// recorder's black boxes (DESIGN.md §13).
+type ProcSnap struct {
+	ID      int    `json:"id"`
+	Name    string `json:"name"`
+	State   string `json:"state"`
+	ClockNS int64  `json:"clock_ns"`
+	// WakeNS is the scheduled wake time while sleeping (0 otherwise).
+	WakeNS     int64    `json:"wake_ns,omitempty"`
+	WaitReason string   `json:"wait_reason,omitempty"`
+	WaitOn     []string `json:"wait_on,omitempty"`
+}
+
+// EngineSnap is the engine's scheduling state in wire form: every live
+// proc, plus any wait cycle among the blocked ones (the same cycle the
+// deadlock diagnostic renders).
+type EngineSnap struct {
+	NowNS     int64      `json:"now_ns"`
+	Procs     []ProcSnap `json:"procs"`
+	WaitCycle []string   `json:"wait_cycle,omitempty"`
+}
+
+// Snapshot captures the engine's scheduling state for post-mortems. Procs
+// appear in spawn order (deterministic), finished procs are skipped.
+func (e *Engine) Snapshot() EngineSnap {
+	snap := EngineSnap{NowNS: int64(e.now)}
+	var blocked []*Proc
+	for _, p := range e.procs {
+		if p.state == StateDone {
+			continue
+		}
+		ps := ProcSnap{
+			ID:         p.id,
+			Name:       p.name,
+			State:      p.state.String(),
+			ClockNS:    int64(p.clock),
+			WaitReason: p.waitReason,
+		}
+		if p.state == StateSleeping {
+			ps.WakeNS = int64(p.wake)
+		}
+		for _, d := range p.waitOn {
+			ps.WaitOn = append(ps.WaitOn, d.name)
+		}
+		snap.Procs = append(snap.Procs, ps)
+		if p.state == StateBlocked || p.waitReason != "" {
+			blocked = append(blocked, p)
+		}
+	}
+	for _, p := range findWaitCycle(blocked) {
+		snap.WaitCycle = append(snap.WaitCycle, p.name)
+	}
+	return snap
+}
+
 // WaitGraph renders a readable report of every live proc that is blocked or
 // carries a wait annotation: one line per proc with its state, reason, and
 // dependencies, followed by any wait cycle found among the dependencies.

@@ -91,6 +91,11 @@ type AppConfig struct {
 	// Recording charges no virtual time, so results are bit-identical
 	// with and without it.
 	Profiler *profile.Profiler
+	// Flight, when set, attaches the flight recorder: a black box of
+	// recent events and per-layer state dumped when the run fails or the
+	// watchdog escalates. Recording charges no virtual time, so results
+	// are bit-identical with and without it.
+	Flight *trace.Recorder
 	// Observe, when set, is called with the kernel after the run completes
 	// (metrics harvesting).
 	Observe func(*kernel.Kernel)
@@ -148,6 +153,7 @@ func (c AppConfig) newKernel() (*kernel.Kernel, error) {
 		Tracer:           c.Tracer,
 		Oracle:           c.Oracle,
 		Profiler:         c.Profiler,
+		Flight:           c.Flight,
 	})
 	if err != nil {
 		return nil, err

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Benchmark runner (`make bench`): executes the paper-artifact benchmarks
-# and the Figure 2 sweep, then assembles both into the next free
-# BENCH_<n>.json at the repo root so successive changes leave a comparable
-# trajectory of headline numbers.
+# and the Figure 2 sweep, assembles both into the next free BENCH_<n>.json
+# at the repo root, and prints the delta table against the previous
+# snapshot so successive changes leave a comparable trajectory of headline
+# numbers.
 #
 # Env knobs: BENCH_SEED (default 42), BENCH_RUNS (runs per Figure 2 point,
 # default 3).
@@ -24,5 +25,12 @@ go run ./cmd/shootdownsim -seed "$seed" -runs "$runs" -format json fig2 > "$tmp/
 n=0
 while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
 out="BENCH_${n}.json"
-go run ./scripts/benchreport "$tmp/bench.txt" "$tmp/fig2.json" > "$out"
+go run ./scripts/benchreport report "$tmp/bench.txt" "$tmp/fig2.json" > "$out"
 echo "wrote $out"
+
+if [ "$n" -gt 0 ]; then
+	prev="BENCH_$((n - 1)).json"
+	echo
+	echo "== delta vs $prev"
+	go run ./scripts/benchreport diff "$prev" "$out"
+fi

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func doc(lines ...benchLine) *benchDoc {
+	return &benchDoc{GoVersion: "gotest", Benchmarks: lines}
+}
+
+func line(name string, nsop, bop, allocs float64) benchLine {
+	return benchLine{Name: name, Iters: 1, Metrics: map[string]float64{
+		"ns/op": nsop, "B/op": bop, "allocs/op": allocs,
+	}}
+}
+
+// A regression past the threshold fails the gate; one under it does not.
+func TestGateThreshold(t *testing.T) {
+	oldDoc := doc(line("BenchmarkA", 100, 10, 1), line("BenchmarkB", 100, 10, 1))
+	newDoc := doc(line("BenchmarkA", 200, 10, 1), line("BenchmarkB", 120, 10, 1))
+	rows, matched := compare(oldDoc, newDoc)
+	if matched != 2 {
+		t.Fatalf("matched = %d, want 2", matched)
+	}
+	failing := gate(rows, 50, nil)
+	if len(failing) != 1 || failing[0].Name != "BenchmarkA" || failing[0].Metric != "ns/op" {
+		t.Fatalf("gate(50%%) = %+v, want only BenchmarkA ns/op", failing)
+	}
+	if failing[0].Pct != 100 {
+		t.Fatalf("BenchmarkA delta = %v%%, want 100%%", failing[0].Pct)
+	}
+}
+
+// An allow-file entry suppresses the gate failure for that benchmark only.
+func TestGateAllowFile(t *testing.T) {
+	oldDoc := doc(line("BenchmarkA", 100, 10, 1), line("BenchmarkB", 100, 10, 1))
+	newDoc := doc(line("BenchmarkA", 300, 10, 1), line("BenchmarkB", 300, 10, 1))
+	failing := gate(mustRows(t, oldDoc, newDoc), 50, map[string]bool{"BenchmarkA": true})
+	if len(failing) != 1 || failing[0].Name != "BenchmarkB" {
+		t.Fatalf("gate with allow = %+v, want only BenchmarkB", failing)
+	}
+}
+
+// Improvements never fail the gate, however large.
+func TestGateIgnoresImprovements(t *testing.T) {
+	oldDoc := doc(line("BenchmarkA", 1000, 800, 20))
+	newDoc := doc(line("BenchmarkA", 10, 8, 0))
+	if failing := gate(mustRows(t, oldDoc, newDoc), 50, nil); len(failing) != 0 {
+		t.Fatalf("improvement failed the gate: %+v", failing)
+	}
+}
+
+// Benchmarks present in only one report are skipped, not failed — the CI
+// gate runs a quick subset against the full committed snapshot.
+func TestCompareIntersectionOnly(t *testing.T) {
+	oldDoc := doc(line("BenchmarkA", 100, 10, 1), line("BenchmarkOldOnly", 1, 1, 1))
+	newDoc := doc(line("BenchmarkA", 100, 10, 1), line("BenchmarkNewOnly", 9999, 1, 1))
+	rows, matched := compare(oldDoc, newDoc)
+	if matched != 1 {
+		t.Fatalf("matched = %d, want 1", matched)
+	}
+	for _, d := range rows {
+		if d.Name != "BenchmarkA" {
+			t.Fatalf("unexpected comparison row %+v", d)
+		}
+	}
+}
+
+// A zero baseline growing has no percentage to scale by; it must still
+// register as a regression rather than slipping through as 0%.
+func TestZeroBaseline(t *testing.T) {
+	oldDoc := doc(line("BenchmarkA", 100, 0, 0))
+	newDoc := doc(line("BenchmarkA", 100, 64, 2))
+	failing := gate(mustRows(t, oldDoc, newDoc), 50, nil)
+	if len(failing) != 2 {
+		t.Fatalf("gate = %+v, want B/op and allocs/op regressions", failing)
+	}
+	for _, d := range failing {
+		if !math.IsInf(d.Pct, 1) {
+			t.Fatalf("%s delta = %v, want +Inf", d.Metric, d.Pct)
+		}
+	}
+	if pctChange(0, 0) != 0 {
+		t.Fatalf("pctChange(0,0) = %v, want 0", pctChange(0, 0))
+	}
+}
+
+// The -GOMAXPROCS suffix must not prevent alignment across machines.
+func TestNormName(t *testing.T) {
+	oldDoc := doc(line("BenchmarkA", 100, 10, 1))
+	newDoc := doc(line("BenchmarkA-8", 100, 10, 1))
+	_, matched := compare(oldDoc, newDoc)
+	if matched != 1 {
+		t.Fatalf("suffixed name did not align: matched = %d, want 1", matched)
+	}
+	if got := normName("BenchmarkA"); got != "BenchmarkA" {
+		t.Fatalf("normName mangled an unsuffixed name: %q", got)
+	}
+}
+
+func mustRows(t *testing.T, oldDoc, newDoc *benchDoc) []delta {
+	t.Helper()
+	rows, matched := compare(oldDoc, newDoc)
+	if matched == 0 {
+		t.Fatal("no benchmarks matched")
+	}
+	return rows
+}

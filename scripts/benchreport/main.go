@@ -1,95 +1,56 @@
-// Command benchreport assembles one machine-readable benchmark report from
-// `go test -bench` text output and shootdownsim's Figure 2 JSON envelope.
-// scripts/bench.sh runs both producers and routes them through here into
-// the repo's BENCH_<n>.json trajectory.
+// Command benchreport assembles and compares the repo's machine-readable
+// benchmark reports (the BENCH_<n>.json trajectory).
 //
 // Usage:
 //
-//	benchreport <bench.txt> <fig2.json> > BENCH_n.json
+//	benchreport report <bench.txt> [fig2.json] > BENCH_n.json
+//	benchreport diff [-threshold pct] [-allow file] [-gate] old.json new.json
+//
+// report parses `go test -bench` text output (plus, optionally,
+// shootdownsim's Figure 2 JSON envelope) into one report; scripts/bench.sh
+// routes both producers through it. diff compares two reports on the
+// benchmarks they share, prints a per-benchmark delta table for ns/op,
+// B/op, and allocs/op, and — with -gate — exits nonzero when any
+// benchmark regressed past the threshold and is not listed in the allow
+// file. That gate is what scripts/check.sh runs so perf regressions fail
+// CI the same way a broken test does.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
-	"strconv"
-	"strings"
 )
 
-// benchLine is one parsed benchmark result. Metrics holds every value-unit
-// pair the line reported: ns/op, B/op, allocs/op, and the benchmarks'
-// custom paper metrics (intercept_us, slope_us, ...).
-type benchLine struct {
-	Name    string             `json:"name"`
-	Iters   int64              `json:"iterations"`
-	Metrics map[string]float64 `json:"metrics"`
-}
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: benchreport <command> [flags] <args>
 
-// parseBench extracts result lines from `go test -bench` output.
-func parseBench(path string) ([]benchLine, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var out []benchLine
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		bl := benchLine{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			bl.Metrics[fields[i+1]] = v
-		}
-		out = append(out, bl)
-	}
-	return out, sc.Err()
+commands:
+  report <bench.txt> [fig2.json]
+          parse go test -bench output (and optionally a Figure 2 envelope)
+          into a BENCH_<n>.json report on stdout
+  diff [-threshold pct] [-allow file] [-gate] old.json new.json
+          print a per-benchmark delta table for the shared benchmarks;
+          with -gate, exit 1 on regressions past the threshold that are
+          not named in the allow file
+`)
+	os.Exit(2)
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintf(os.Stderr, "usage: benchreport <bench.txt> <fig2.json>\n")
-		os.Exit(2)
+	if len(os.Args) < 2 {
+		usage()
 	}
-	benches, err := parseBench(os.Args[1])
+	var err error
+	switch os.Args[1] {
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	default:
+		fmt.Fprintf(os.Stderr, "benchreport: unknown command %q\n\n", os.Args[1])
+		usage()
+	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
-		os.Exit(1)
-	}
-	if len(benches) == 0 {
-		fmt.Fprintf(os.Stderr, "benchreport: no benchmark results in %s\n", os.Args[1])
-		os.Exit(1)
-	}
-	fig2, err := os.ReadFile(os.Args[2])
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
-		os.Exit(1)
-	}
-	if !json.Valid(fig2) {
-		fmt.Fprintf(os.Stderr, "benchreport: %s is not valid JSON\n", os.Args[2])
-		os.Exit(1)
-	}
-	doc := struct {
-		GoVersion  string          `json:"go_version"`
-		Benchmarks []benchLine     `json:"benchmarks"`
-		Fig2       json.RawMessage `json:"fig2"`
-	}{runtime.Version(), benches, json.RawMessage(fig2)}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)
 	}

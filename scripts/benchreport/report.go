@@ -1,0 +1,93 @@
+package main
+
+// The report subcommand: parse `go test -bench` text output into the
+// BENCH_<n>.json envelope.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// benchLine is one parsed benchmark result. Metrics holds every value-unit
+// pair the line reported: ns/op, B/op, allocs/op, and the benchmarks'
+// custom paper metrics (intercept_us, slope_us, ...).
+type benchLine struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iterations"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// benchDoc is the BENCH_<n>.json envelope.
+type benchDoc struct {
+	GoVersion  string          `json:"go_version"`
+	Benchmarks []benchLine     `json:"benchmarks"`
+	Fig2       json.RawMessage `json:"fig2,omitempty"`
+}
+
+// parseBench extracts result lines from `go test -bench` output.
+func parseBench(path string) ([]benchLine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []benchLine
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		bl := benchLine{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			bl.Metrics[fields[i+1]] = v
+		}
+		out = append(out, bl)
+	}
+	return out, sc.Err()
+}
+
+// cmdReport assembles one report from bench text output and, when given,
+// the Figure 2 JSON envelope. The fig2 argument is optional so the CI
+// bench gate can snapshot a quick benchmark subset without rerunning the
+// paper experiments.
+func cmdReport(args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("usage: benchreport report <bench.txt> [fig2.json]")
+	}
+	benches, err := parseBench(args[0])
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark results in %s", args[0])
+	}
+	doc := benchDoc{GoVersion: runtime.Version(), Benchmarks: benches}
+	if len(args) == 2 {
+		fig2, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		if !json.Valid(fig2) {
+			return fmt.Errorf("%s is not valid JSON", args[1])
+		}
+		doc.Fig2 = json.RawMessage(fig2)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

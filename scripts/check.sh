@@ -7,9 +7,13 @@
 # simconcurrency analyzer enforces that everything else stays in virtual
 # time), plus the chaos-campaign survival tests and a replay of every
 # committed fault-schedule reproducer. The smoke stage exercises the
-# observability layer end to end and checks that the virtual-time profiler
-# and the fault-injection and chaos campaigns are deterministic (same seed,
-# byte-identical output).
+# observability layer end to end: traces and results round-trip through
+# `tlbtrace validate`, the profiler and the fault/chaos campaigns are
+# deterministic (same seed, byte-identical output), a seeded chaos failure
+# auto-writes a flight-recorder black box, and the benchmark gate compares
+# a quick subset against the last committed BENCH_<n>.json snapshot
+# (threshold BENCH_GATE_THRESHOLD percent, default 50; intentional
+# regressions go in scripts/bench-allow.txt).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -28,6 +32,9 @@ go run ./cmd/shootdownlint ./...
 echo "== tier 1: shootdownlint ./internal/profile (profiler stays deterministic)"
 go run ./cmd/shootdownlint ./internal/profile
 
+echo "== tier 1: shootdownlint over the observability tooling"
+go run ./cmd/shootdownlint ./internal/trace ./internal/artifact ./cmd/tlbtrace
+
 echo "== tier 2: go test -race ./internal/sim/... ./internal/trace/..."
 go test -race ./internal/sim/... ./internal/trace/...
 
@@ -39,13 +46,13 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 go run ./cmd/shootdownsim -runs 1 -trace "$tmp/t.json" -metrics "$tmp/m.txt" fig2 >"$tmp/fig2.txt"
 go run ./cmd/shootdownsim -runs 1 -format json fig2 >"$tmp/fig2.json"
-go run ./scripts/validatetrace -results "$tmp/fig2.json" "$tmp/t.json"
+go run ./cmd/tlbtrace validate -results "$tmp/fig2.json" "$tmp/t.json"
 grep -q '^shootdown_syncs_total' "$tmp/m.txt"
 grep -q '^# TYPE shootdown_initiator_microseconds histogram' "$tmp/m.txt"
 
 echo "== smoke: tlbtest trace/json"
 go run ./cmd/tlbtest -children 4 -trace "$tmp/tt.json" -format json >"$tmp/tt-result.json"
-go run ./scripts/validatetrace "$tmp/tt.json"
+go run ./cmd/tlbtrace validate "$tmp/tt.json"
 
 echo "== smoke: profiles are deterministic (same seed, byte-identical folded stacks)"
 go run ./cmd/shootdownsim -seed 7 -runs 1 -format json -profile "$tmp/p1" profile >"$tmp/profile1.json"
@@ -55,8 +62,10 @@ cmp "$tmp/p1/folded.txt" "$tmp/p2/folded.txt"
 cmp "$tmp/p1/critical.txt" "$tmp/p2/critical.txt"
 cmp "$tmp/p1/timeline.csv" "$tmp/p2/timeline.csv"
 cmp "$tmp/p1/locks.txt" "$tmp/p2/locks.txt"
+cmp "$tmp/p1/shootdowns.json" "$tmp/p2/shootdowns.json"
 grep -q 'ipl-masked' "$tmp/p1/folded.txt"
 grep -q 'critical-path report' "$tmp/p1/critical.txt"
+go run ./cmd/tlbtrace dag "$tmp/p1" >/dev/null
 
 echo "== smoke: fault campaign is deterministic (same seed, identical bytes)"
 go run ./cmd/shootdownsim -seed 7 -format json faults >"$tmp/faults1.json"
@@ -70,5 +79,21 @@ cmp "$tmp/chaos1.json" "$tmp/chaos2.json"
 for repro in internal/experiments/testdata/corpus/*.json; do
 	go run ./cmd/shootdownsim -repro "$repro"
 done
+
+echo "== smoke: a seeded chaos failure auto-writes a flight-recorder black box"
+go run ./cmd/shootdownsim -seed 7 -format json -chaosbug -flight "$tmp/flight" chaos >"$tmp/chaosbug.json" 2>"$tmp/chaosbug.log"
+ls "$tmp/flight"/blackbox-*.json >/dev/null
+for box in "$tmp/flight"/blackbox-*.json; do
+	go run ./cmd/tlbtrace validate -blackbox "$box"
+done
+go run ./cmd/tlbtrace query -cat shootdown "$tmp/flight"/blackbox-0-*.json >/dev/null
+
+echo "== gate: quick benchmark subset vs last committed BENCH_<n>.json"
+n=0
+while [ -e "BENCH_$((n + 1)).json" ]; do n=$((n + 1)); done
+go test -bench 'SingleShootdown|SimEngineSwitch|TLBProbe' -benchmem -benchtime 0.3s -run '^$' . >"$tmp/bench.txt"
+go run ./scripts/benchreport report "$tmp/bench.txt" >"$tmp/bench.json"
+go run ./scripts/benchreport diff -gate -threshold "${BENCH_GATE_THRESHOLD:-50}" \
+	-allow scripts/bench-allow.txt "BENCH_${n}.json" "$tmp/bench.json"
 
 echo "check: all green"
