@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check tier1 tier2 build vet lint test race bench smoke chaos
+.PHONY: check tier1 tier2 build vet lint test race bench smoke chaos explore timetravel
 
 check: ## tier-1 + tier-2 + observability and fault-campaign smoke tests
 	./scripts/check.sh
@@ -48,3 +48,9 @@ smoke: build
 
 chaos: ## bounded fail-stop/hot-plug campaign with schedule shrinking
 	$(GO) run ./cmd/shootdownsim chaos
+
+explore: ## DPOR-lite schedule exploration under a bounded schedule budget
+	$(GO) run ./cmd/shootdownsim -explorebudget 24 explore
+
+timetravel: ## snapshot a run mid-flight, restore by replay, verify byte identity
+	$(GO) run ./cmd/shootdownsim timetravel

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"shootdown/internal/experiments"
+	"shootdown/internal/kernel"
 	"shootdown/internal/machine"
 	"shootdown/internal/mem"
 	"shootdown/internal/ptable"
@@ -353,5 +354,64 @@ func BenchmarkMachineMemoryAccess(b *testing.B) {
 	})
 	if err := eng.Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// benchSnapStep is the event boundary the snapshot benchmarks pause at.
+const benchSnapStep = 1000
+
+// pausedWorld builds a churn world and pauses it mid-run at an event
+// boundary, ready to snapshot.
+func pausedWorld(b *testing.B) *kernel.Kernel {
+	b.Helper()
+	k, err := workload.StartChurn(workload.AppConfig{
+		NCPUs: 4, Seed: benchSeed, Scale: 0.5, Oracle: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := k.RunToStep(benchSnapStep); err != nil {
+		b.Fatal(err)
+	}
+	if k.Eng.Stopped() || k.Eng.StepCount() < benchSnapStep {
+		b.Fatalf("world ended before step %d", benchSnapStep)
+	}
+	return k
+}
+
+// BenchmarkSnapshotCapture measures one whole-simulation snapshot of a
+// paused mid-run world: every layer serialized and the digest computed.
+func BenchmarkSnapshotCapture(b *testing.B) {
+	k := pausedWorld(b)
+	b.ResetTimer()
+	var layers int
+	for i := 0; i < b.N; i++ {
+		s, err := k.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		layers = len(s.Layers)
+	}
+	b.ReportMetric(float64(layers), "layers")
+}
+
+// BenchmarkSnapshotRestore measures replay-based restore end to end:
+// rebuild a fresh world from the same configuration, replay it to the
+// snapshot step, and verify the digest matches — the unit of work the
+// restore-to-prefix shrinker and the explorer amortize.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	want, err := pausedWorld(b).Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := pausedWorld(b).Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Digest != want.Digest {
+			b.Fatalf("restore diverged: %s vs %s", s.Digest, want.Digest)
+		}
 	}
 }

@@ -8,7 +8,8 @@
 //
 // Experiments: fig2, table1, table2, table3, table4, overhead, perturb,
 // scale, strategies, ipimodes, highprio, idleopt, threshold, queue,
-// taggedtlb, pools, pageout, faults, chaos, profile, all.
+// taggedtlb, pools, pageout, faults, chaos, explore, timetravel, profile,
+// all.
 //
 // -faults injects deterministic hardware faults (dropped/delayed IPIs, slow
 // responders, bus jitter) into every kernel; -failstop and -hotplug add
@@ -18,6 +19,10 @@
 // against the watchdog-hardened protocol; the chaos experiment runs
 // fail-stop/hot-plug schedules against a churn workload and delta-debugs
 // any failing schedule into a minimal reproducer, replayable with -repro.
+// The explore experiment forks the schedule at racy shootdown tie decisions
+// (DPOR-lite) hunting for interleaving-dependent violations; timetravel
+// snapshots a run mid-flight and proves replay-based restore is
+// byte-identical.
 //
 // -trace captures a Chrome trace-event (Perfetto) session timeline of every
 // kernel the experiments build; -metrics writes a Prometheus-style counter
@@ -37,6 +42,7 @@ import (
 	"shootdown/internal/experiments"
 	"shootdown/internal/fault"
 	"shootdown/internal/fault/shrink"
+	"shootdown/internal/sim"
 )
 
 var (
@@ -49,6 +55,8 @@ var (
 	hotplug  = flag.Bool("hotplug", false, `fail-stop plus hot-plug: failed CPUs revive with a cold TLB (shorthand for -faults "failstop=0.9,failby=8ms,revive=1,reviveafter=4ms")`)
 	repro    = flag.String("repro", "", "replay a minimized chaos reproducer JSON file (from the chaos experiment or testdata corpus) and exit; exits non-zero if the replay diverges from the recorded verdict")
 	chaosbug = flag.Bool("chaosbug", false, "plant the intentional stale-TLB-after-revive bug in the chaos experiment's runs, so the campaign fails on purpose (pair with -flight to exercise the black-box path end to end)")
+	budget   = flag.Int("explorebudget", 24, "schedule budget for the explore experiment: max forked schedules; same budget and seed explore the byte-identical set")
+	travelAt = flag.Duration("at", 5*time.Millisecond, "virtual-time instant the timetravel experiment snapshots and restores to")
 )
 
 // cli carries the shared -trace/-tracebuf/-metrics/-profile plumbing.
@@ -88,6 +96,14 @@ experiments:
   chaos       Robustness: processor fail-stop & hot-plug campaign against
               the churn workload, with delta-debugging minimization of any
               failing fault schedule (replay one with -repro)
+  explore     Robustness: DPOR-lite schedule explorer — fork the run at
+              every racy shootdown tie decision within -explorebudget,
+              replay each fork down the other branch, and shrink any
+              violation found via restore-to-prefix delta debugging
+  timetravel  Robustness: snapshot the hot-plug churn run at -at virtual
+              time, rebuild and replay a fresh world to the same event
+              boundary, and verify restore is byte-identical (then verify
+              both continuations match too)
   profile     Observability: the Figure 2 workload under the virtual-time
               profiler, every shootdown's critical path reconstructed and
               its cost attributed to phases (pair with -profile <dir>)
@@ -152,6 +168,12 @@ func main() {
 		in.Faults = &fc
 	}
 	in.Oracle = *oracleOn
+
+	// Wall clock injected into the shrink/explore campaigns: the simulated
+	// packages may not read real time themselves, so package main hands
+	// them a millisecond counter.
+	progStart := time.Now()
+	wallMS := func() int64 { return time.Since(progStart).Milliseconds() }
 
 	// Tables 2-4 and the overhead analysis share one set of application
 	// runs; compute them lazily and only once.
@@ -259,7 +281,16 @@ func main() {
 		}},
 		{"chaos", func() (any, string, error) {
 			r, err := experiments.ChaosCampaign(*seed,
-				experiments.ChaosOptions{Shrink: true, PlantBug: *chaosbug}, in)
+				experiments.ChaosOptions{Shrink: true, PlantBug: *chaosbug, WallClock: wallMS}, in)
+			return r, r.Render(), err
+		}},
+		{"explore", func() (any, string, error) {
+			r, err := experiments.ExploreCampaign(*seed,
+				experiments.ExploreOptions{Budget: *budget, PlantBug: *chaosbug, WallClock: wallMS})
+			return r, r.Render(), err
+		}},
+		{"timetravel", func() (any, string, error) {
+			r, err := experiments.TimeTravel(*seed, sim.Time(*travelAt), 0)
 			return r, r.Render(), err
 		}},
 		{"profile", func() (any, string, error) {

@@ -14,7 +14,9 @@
 //
 // validate is the CI smoke check (the former scripts/validatetrace):
 // balanced spans from every instrumented layer, well-formed results
-// envelopes, internally consistent black boxes. query filters spans and
+// envelopes, internally consistent black boxes. It sniffs whole-simulation
+// snapshots — standalone files or a black box's embedded restore point —
+// and verifies their digest and JSON round trip. query filters spans and
 // aggregates their durations (quantiles, optional log2 histogram). dag
 // prints one shootdown's critical path with per-responder attribution.
 // diff aligns two runs by shootdown identity and attributes the
@@ -33,9 +35,11 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: tlbtrace <command> [flags] <args>
 
 commands:
-  validate [-results results.json] [-blackbox box.json] [trace.json]
+  validate [-results results.json] [-blackbox box.json] [trace.json|snapshot.json]
             check artifacts: a Chrome trace (balanced spans from every
             layer), a -format json results file, a flight-recorder black box
+            (plus its embedded restore point), or a whole-simulation
+            snapshot (digest + JSON round trip) — formats are sniffed
   query     [-cpu N] [-cat c] [-name substr] [-from us] [-to us] [-hist] <trace|blackbox>
             filter spans and aggregate durations per span name
   dag       [-seq N] <shootdowns.json|profile-dir|blackbox>
@@ -81,15 +85,28 @@ func cmdValidate(args []string) error {
 		return fmt.Errorf("usage: tlbtrace validate [-results results.json] [-blackbox box.json] [trace.json]")
 	}
 	if fs.NArg() == 1 {
-		doc, err := artifact.LoadEvents(fs.Arg(0))
-		if err != nil {
-			return err
+		if artifact.SniffSnapshot(fs.Arg(0)) {
+			// A standalone whole-simulation snapshot: digest + round trip.
+			s, err := artifact.LoadSnapshot(fs.Arg(0))
+			if err != nil {
+				return err
+			}
+			summary, err := artifact.ValidateSnapshot(s)
+			if err != nil {
+				return fmt.Errorf("%s: %v", fs.Arg(0), err)
+			}
+			fmt.Printf("validate: %s: %s\n", fs.Arg(0), summary)
+		} else {
+			doc, err := artifact.LoadEvents(fs.Arg(0))
+			if err != nil {
+				return err
+			}
+			summary, err := doc.Validate()
+			if err != nil {
+				return fmt.Errorf("%s: %v", fs.Arg(0), err)
+			}
+			fmt.Printf("validate: %s: %s\n", fs.Arg(0), summary)
 		}
-		summary, err := doc.Validate()
-		if err != nil {
-			return fmt.Errorf("%s: %v", fs.Arg(0), err)
-		}
-		fmt.Printf("validate: %s: %s\n", fs.Arg(0), summary)
 	}
 	if *results != "" {
 		summary, err := artifact.ValidateResults(*results)
@@ -108,6 +125,17 @@ func cmdValidate(args []string) error {
 			return fmt.Errorf("%s: %v", *blackbox, err)
 		}
 		fmt.Printf("validate: %s: %s\n", *blackbox, summary)
+		// A box from a snapshot-taking run embeds a restore point; verify
+		// its digest and round trip too. (Older boxes have no section.)
+		if s, ok, err := artifact.SnapshotFromBox(box); err != nil {
+			return fmt.Errorf("%s: %v", *blackbox, err)
+		} else if ok {
+			summary, err := artifact.ValidateSnapshot(s)
+			if err != nil {
+				return fmt.Errorf("%s: snapshots: %v", *blackbox, err)
+			}
+			fmt.Printf("validate: %s: snapshots: %s\n", *blackbox, summary)
+		}
 	}
 	fmt.Println("validate: ok")
 	return nil

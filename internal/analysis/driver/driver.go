@@ -46,8 +46,9 @@ var Analyzers = []*analysis.Analyzer{
 // deliberately absent: the engine implements virtual time out of real
 // concurrency and is covered by `go test -race` instead.
 var simulated = []string{
-	"baseline", "core", "experiments", "fault", "kernel", "machine", "mem",
-	"oracle", "pmap", "ptable", "tlb", "vm", "workload",
+	"baseline", "core", "experiments", "explore", "fault", "kernel",
+	"machine", "mem", "oracle", "pmap", "ptable", "snap", "tlb", "vm",
+	"workload",
 }
 
 // scopes maps analyzer name -> the internal/<dir> packages it checks.

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"shootdown/internal/profile"
+	"shootdown/internal/snap"
 	"shootdown/internal/trace"
 )
 
@@ -181,6 +182,108 @@ func ValidateBlackBox(box *trace.BlackBox) (string, error) {
 	}
 	return fmt.Sprintf("trip %d (%s) at %dns: %d ring events (%d dropped), state %v",
 		box.Trip, box.Reason, box.VirtualNS, box.Ring.Retained, box.Ring.Dropped, names), nil
+}
+
+// isSnapshot sniffs the whole-simulation snapshot format marker.
+func isSnapshot(raw []byte) bool {
+	var probe struct {
+		Format string `json:"format"`
+	}
+	return json.Unmarshal(raw, &probe) == nil && probe.Format == snap.Format
+}
+
+// SniffSnapshot reports whether path holds a standalone whole-simulation
+// snapshot (as opposed to a trace or a black box).
+func SniffSnapshot(path string) bool {
+	raw, err := os.ReadFile(path)
+	return err == nil && isSnapshot(raw)
+}
+
+// LoadSnapshot loads a whole-simulation snapshot from a standalone
+// snapshot file or from a flight-recorder black box's "snapshots" section
+// (the restore point the run embedded before it tripped).
+func LoadSnapshot(path string) (*snap.Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if isBlackBox(raw) {
+		box, err := decodeBlackBox(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		s, ok, err := SnapshotFromBox(box)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("%s: black box has no \"snapshots\" section", path)
+		}
+		return s, nil
+	}
+	var s snap.Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%s: not valid snapshot JSON: %w", path, err)
+	}
+	if s.Format != snap.Format {
+		return nil, fmt.Errorf("%s: format %q, want %q", path, s.Format, snap.Format)
+	}
+	if err := s.Normalize(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// SnapshotFromBox extracts a black box's embedded restore point. ok is
+// false when the box predates the snapshots provider.
+func SnapshotFromBox(box *trace.BlackBox) (*snap.Snapshot, bool, error) {
+	for _, st := range box.State {
+		if st.Name != "snapshots" {
+			continue
+		}
+		var s snap.Snapshot
+		if err := json.Unmarshal(st.Data, &s); err != nil {
+			return nil, false, fmt.Errorf("snapshots section: %w", err)
+		}
+		if err := s.Normalize(); err != nil {
+			return nil, false, err
+		}
+		return &s, true, nil
+	}
+	return nil, false, nil
+}
+
+// ValidateSnapshot checks a snapshot's integrity — format marker, layer
+// well-formedness, recorded digest — and that a JSON round trip preserves
+// it byte for byte (the property replay-based restore depends on). It
+// returns a one-line summary on success.
+func ValidateSnapshot(s *snap.Snapshot) (string, error) {
+	if err := s.Verify(); err != nil {
+		return "", err
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("re-encode: %w", err)
+	}
+	var back snap.Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		return "", fmt.Errorf("re-decode: %w", err)
+	}
+	if err := back.Verify(); err != nil {
+		return "", fmt.Errorf("after round trip: %w", err)
+	}
+	if ok, diff := snap.Equal(s, &back); !ok {
+		return "", fmt.Errorf("round trip diverged: %s", diff)
+	}
+	if s.Step == 0 && len(s.Layers) == 0 {
+		return "empty restore point (box tripped before the snapshot step)", nil
+	}
+	names := make([]string, 0, len(s.Layers))
+	for _, l := range s.Layers {
+		names = append(names, l.Name)
+	}
+	return fmt.Sprintf("restore point at step %d (t=%dns), layers %v, digest %s, round trip ok",
+		s.Step, s.NowNS, names, s.Digest), nil
 }
 
 // ValidateResults checks a shootdownsim -format json results file: valid

@@ -1,10 +1,16 @@
 package artifact
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"shootdown/internal/profile"
+	"shootdown/internal/snap"
+	"shootdown/internal/trace"
 )
 
 // ev builds one trace event.
@@ -176,5 +182,85 @@ func TestSlowestShootdown(t *testing.T) {
 	r, ok := SlowestShootdown(export(fast, slow))
 	if !ok || r.Seq != 1 {
 		t.Fatalf("slowest = seq %d ok %v, want seq 1", r.Seq, ok)
+	}
+}
+
+// sampleSnapshot builds a small valid whole-simulation snapshot.
+func sampleSnapshot(t *testing.T) *snap.Snapshot {
+	t.Helper()
+	s := snap.New(1500, 2_000_000, nil)
+	if err := s.AddLayer("machine", map[string]any{"ncpus": 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddLayer("oracle", []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// LoadSnapshot sniffs standalone snapshot files — compact or re-indented
+// by a carrier — and ValidateSnapshot confirms digest and round trip.
+func TestLoadAndValidateSnapshotFile(t *testing.T) {
+	s := sampleSnapshot(t)
+	dir := t.TempDir()
+	compact, _ := json.Marshal(s)
+	pretty, _ := json.MarshalIndent(s, "", "  ")
+	for name, raw := range map[string][]byte{"compact.json": compact, "pretty.json": pretty} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if !SniffSnapshot(path) {
+			t.Fatalf("%s: not sniffed as a snapshot", name)
+		}
+		got, err := LoadSnapshot(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := ValidateSnapshot(got); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ok, diff := snap.Equal(s, got); !ok {
+			t.Fatalf("%s: loaded snapshot diverged: %s", name, diff)
+		}
+	}
+	// Tampering must be caught after load.
+	bad := append([]byte(nil), compact...)
+	bad = bytes.Replace(bad, []byte(`"ncpus":4`), []byte(`"ncpus":5`), 1)
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateSnapshot(got); err == nil {
+		t.Fatal("ValidateSnapshot accepted a tampered snapshot")
+	}
+}
+
+// SnapshotFromBox pulls the restore point out of a black box's
+// "snapshots" section, normalizing away the box's pretty-printing.
+func TestSnapshotFromBox(t *testing.T) {
+	s := sampleSnapshot(t)
+	embedded, _ := json.MarshalIndent(s, "", "  ") // as the indenting dump writes it
+	box := &trace.BlackBox{
+		Format: trace.BlackBoxFormat,
+		State:  []trace.BlackBoxState{{Name: "snapshots", Data: embedded}},
+	}
+	got, ok, err := SnapshotFromBox(box)
+	if err != nil || !ok {
+		t.Fatalf("SnapshotFromBox = ok %v, err %v", ok, err)
+	}
+	if _, err := ValidateSnapshot(got); err != nil {
+		t.Fatal(err)
+	}
+	if ok, diff := snap.Equal(s, got); !ok {
+		t.Fatalf("embedded snapshot diverged: %s", diff)
+	}
+	// Boxes from before the snapshots provider have no section.
+	if _, ok, err := SnapshotFromBox(&trace.BlackBox{Format: trace.BlackBoxFormat}); err != nil || ok {
+		t.Fatalf("legacy box: ok %v, err %v, want absent", ok, err)
 	}
 }

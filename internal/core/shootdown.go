@@ -276,6 +276,11 @@ type Shootdown struct {
 	// recoveryUS records, for every wait the watchdog had to rescue, the
 	// virtual microseconds from the first timeout to quiescence.
 	recoveryUS []float64
+	// inFlight counts initiators currently between Begin and Finish — the
+	// paper's race window, during which a pmap update and the responders'
+	// TLB flushes must be ordered. The DPOR-lite explorer treats scheduler
+	// tie decisions inside this window as racy (DESIGN.md §14).
+	inFlight int
 }
 
 var _ Strategy = (*Shootdown)(nil)
@@ -338,39 +343,86 @@ func (s *Shootdown) Idle(cpu int) bool { return s.idle[cpu] }
 // ActionNeeded reports whether a CPU has unprocessed consistency actions.
 func (s *Shootdown) ActionNeeded(cpu int) bool { return s.actionNeeded[cpu] }
 
+// ActionSnap is one queued consistency action in wire form.
+type ActionSnap struct {
+	ASID     uint16 `json:"asid,omitempty"`
+	Start    uint32 `json:"start"`
+	End      uint32 `json:"end"`
+	FlushAll bool   `json:"flush_all,omitempty"`
+	Kernel   bool   `json:"kernel,omitempty"`
+}
+
 // CPUSnap is one processor's protocol-side state in wire form, for the
-// flight recorder's black boxes (DESIGN.md §13).
+// flight recorder's black boxes (DESIGN.md §13) and full-state snapshots
+// (§14). QueueLen predates the deep Queue capture and is kept for black-
+// box consumers.
 type CPUSnap struct {
-	CPU          int  `json:"cpu"`
-	Active       bool `json:"active"`
-	Idle         bool `json:"idle"`
-	ActionNeeded bool `json:"action_needed"`
-	QueueLen     int  `json:"queue_len"`
-	Overflow     bool `json:"overflow"`
+	CPU          int          `json:"cpu"`
+	Active       bool         `json:"active"`
+	Idle         bool         `json:"idle"`
+	ActionNeeded bool         `json:"action_needed"`
+	QueueLen     int          `json:"queue_len"`
+	Overflow     bool         `json:"overflow"`
+	Queue        []ActionSnap `json:"queue,omitempty"`
+	LockHeld     bool         `json:"lock_held,omitempty"`
+	LockOwner    int          `json:"lock_owner,omitempty"`
 }
 
 // Snap is the whole protocol state in wire form: the Section 4 data
-// structures per CPU plus the cumulative counters.
+// structures per CPU plus the cumulative counters and the in-flight
+// initiator count.
 type Snap struct {
-	Stats Stats     `json:"stats"`
-	CPUs  []CPUSnap `json:"cpus"`
+	Stats      Stats     `json:"stats"`
+	InFlight   int       `json:"in_flight,omitempty"`
+	MemberHeld bool      `json:"member_lock_held,omitempty"`
+	CPUs       []CPUSnap `json:"cpus"`
 }
 
-// Snapshot captures the active/idle sets, action queues, and counters for
-// post-mortems. Output is deterministic: CPUs in id order.
+// Snapshot captures the active/idle sets, action queues (contents, not
+// just depth), lock holders, and counters. Output is deterministic: CPUs
+// in id order, queues in enqueue order.
 func (s *Shootdown) Snapshot() Snap {
-	snap := Snap{Stats: s.stats}
+	snap := Snap{Stats: s.stats, InFlight: s.inFlight, MemberHeld: s.memberLock.Held()}
 	for cpu := range s.active {
-		snap.CPUs = append(snap.CPUs, CPUSnap{
+		cs := CPUSnap{
 			CPU:          cpu,
 			Active:       s.active[cpu],
 			Idle:         s.idle[cpu],
 			ActionNeeded: s.actionNeeded[cpu],
 			QueueLen:     len(s.queues[cpu]),
 			Overflow:     s.overflow[cpu],
-		})
+		}
+		for _, a := range s.queues[cpu] {
+			cs.Queue = append(cs.Queue, ActionSnap{
+				ASID: uint16(a.ASID), Start: uint32(a.Start), End: uint32(a.End),
+				FlushAll: a.FlushAll, Kernel: a.Pmap != nil && a.Pmap.IsKernel(),
+			})
+		}
+		if owner, _, held := s.actionLocks[cpu].Owner(); held {
+			cs.LockHeld, cs.LockOwner = true, owner
+		}
+		snap.CPUs = append(snap.CPUs, cs)
 	}
 	return snap
+}
+
+// RaceWindowOpen reports whether a scheduling decision taken right now is
+// inside a shootdown race window: an initiator is mid-protocol (between
+// Begin and Finish — IPI delivery, pmap-lock acquisition, and barrier exit
+// are all in play), or some processor still has unprocessed consistency
+// actions queued (the window between a pmap update and the last
+// responder's flush). The schedule explorer uses this to classify which
+// tie decisions are worth forking.
+func (s *Shootdown) RaceWindowOpen() bool {
+	if s.inFlight > 0 {
+		return true
+	}
+	for _, need := range s.actionNeeded {
+		if need {
+			return true
+		}
+	}
+	return false
 }
 
 // Begin starts an initiator-side critical section: disable all interrupts
@@ -380,6 +432,7 @@ func (s *Shootdown) Snapshot() Snap {
 func (s *Shootdown) Begin(ex *machine.Exec) *Op {
 	prev := ex.DisableAll()
 	s.active[ex.CPUID()] = false
+	s.inFlight++
 	return &Op{prevIPL: prev, start: ex.Now()}
 }
 
@@ -389,6 +442,7 @@ func (s *Shootdown) Begin(ex *machine.Exec) *Op {
 // we were initiating.
 func (s *Shootdown) Finish(ex *machine.Exec, op *Op) {
 	s.active[ex.CPUID()] = true
+	s.inFlight--
 	ex.RestoreIPL(op.prevIPL)
 }
 

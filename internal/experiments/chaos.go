@@ -1,18 +1,15 @@
 package experiments
 
 import (
-	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"text/tabwriter"
 
+	"shootdown/internal/explore"
 	"shootdown/internal/fault"
 	"shootdown/internal/fault/shrink"
 	"shootdown/internal/kernel"
-	"shootdown/internal/sim"
 	"shootdown/internal/trace"
-	"shootdown/internal/workload"
 )
 
 // chaosScenarios is the fail-stop/hot-plug campaign: processor lifecycle
@@ -30,59 +27,72 @@ var chaosScenarios = []struct {
 	{"failstop+chaos", "failstop=0.7,failby=8ms,revive=0.8,reviveafter=4ms,drop=0.10,delay=0.10,delaymax=1ms,slow=0.20,slowmax=300us,spurious=0.05"},
 }
 
-// Chaos run verdicts.
+// Chaos run verdicts (the explore package owns the classification; these
+// aliases keep the experiment surface stable).
 const (
-	VerdictOK       = "ok"
-	VerdictOracle   = "oracle"   // consistency violation (the interesting failure)
-	VerdictDeadlock = "deadlock" // blocked procs, none runnable
-	VerdictTimeout  = "timeout"  // virtual-time bound hit (livelock/hang)
-	VerdictError    = "error"    // anything else
+	VerdictOK       = explore.VerdictOK
+	VerdictOracle   = explore.VerdictOracle
+	VerdictDeadlock = explore.VerdictDeadlock
+	VerdictTimeout  = explore.VerdictTimeout
+	VerdictError    = explore.VerdictError
 )
 
-// classify maps a run error to a verdict string the shrinker can compare.
-func classify(err error) string {
-	switch {
-	case err == nil:
-		return VerdictOK
-	case errors.Is(err, sim.ErrDeadlock):
-		return VerdictDeadlock
-	case strings.Contains(err.Error(), "oracle:"):
-		return VerdictOracle
-	case strings.Contains(err.Error(), "virtual time limit"):
-		return VerdictTimeout
-	default:
-		return VerdictError
+// flightSnapshotStep is the event step at which a flight-armed run pauses
+// for a whole-simulation snapshot, early enough to precede the failures
+// the campaign plants. The snapshot rides in the black box's "snapshots"
+// section, so every post-mortem artifact embeds a restore point.
+const flightSnapshotStep = 2000
+
+// campaignCell assembles the shared chaos fixture over the explore
+// substrate: churn at half scale, hardened watchdog, oracle attached.
+func campaignCell(seed int64, ncpus int, fc fault.Config, bug bool, ties []int, fr *trace.Recorder) explore.Cell {
+	return explore.Cell{
+		Seed:      seed,
+		NCPUs:     ncpus,
+		Fault:     fc,
+		Bug:       bug,
+		Shootdown: campaignWatchdog,
+		Ties:      ties,
+		Flight:    fr,
 	}
 }
 
 // chaosCell is one deterministic churn run under a fault config: the
 // fixture both the campaign and the shrinker's test function re-execute.
 // fr arms the flight recorder for the run; the shrinker passes nil so its
-// dozens of re-executions don't each dump a black box.
-func chaosCell(seed int64, ncpus int, fc fault.Config, bug bool, fr *trace.Recorder, obs func(*kernel.Kernel)) (verdict, detail string, events []fault.Event) {
-	fcCopy := fc
-	app := workload.AppConfig{
-		NCPUs:              ncpus,
-		Seed:               seed,
-		Scale:              0.5,
-		ShootdownOptions:   campaignWatchdog,
-		Oracle:             true,
-		BugSkipReviveFlush: bug,
-		MaxVirtualTime:     30_000_000_000,
-		Faults:             &fcCopy,
-		Flight:             fr,
+// dozens of re-executions don't each dump a black box. Flight-armed runs
+// pause briefly mid-run to take a whole-simulation snapshot (a pure read
+// — the resumed run is byte-identical to an uninterrupted one), so a
+// tripped black box carries a restore point.
+func chaosCell(seed int64, ncpus int, fc fault.Config, bug bool, ties []int, fr *trace.Recorder, obs func(*kernel.Kernel)) (verdict, detail string, events []fault.Event) {
+	cell := campaignCell(seed, ncpus, fc, bug, ties, fr)
+	if fr == nil {
+		return cell.Run(obs)
 	}
-	app.Observe = func(k *kernel.Kernel) {
-		events = k.M.Faults().Events()
-		if obs != nil {
-			obs(k)
-		}
-	}
-	_, err := workload.RunChurn(app)
+	k, err := cell.Start()
 	if err != nil {
-		detail = err.Error()
+		return VerdictError, err.Error(), nil
 	}
-	return classify(err), detail, events
+	var runErr error
+	if err := k.RunToStep(flightSnapshotStep); err != nil {
+		runErr = k.Finish(err)
+	} else if k.Eng.Stopped() || k.Eng.StepCount() < flightSnapshotStep {
+		// The run ended before the snapshot point; settle it directly.
+		runErr = k.Finish(nil)
+	} else {
+		if _, serr := k.Snapshot(); serr != nil {
+			return VerdictError, serr.Error(), k.M.Faults().Events()
+		}
+		runErr = k.ContinueRun()
+	}
+	events = k.M.Faults().Events()
+	if obs != nil {
+		obs(k)
+	}
+	if runErr != nil {
+		detail = runErr.Error()
+	}
+	return explore.Classify(runErr), detail, events
 }
 
 // ChaosRun is one scenario's outcome.
@@ -139,6 +149,11 @@ type ChaosOptions struct {
 	// bounds the re-executions per failure (default 48).
 	Shrink        bool
 	MaxShrinkRuns int
+	// WallClock, when set, is a millisecond clock injected by package
+	// main; shrink campaigns stamp their wall time into reproducer
+	// metadata with it. (This package is simulated code and may not read
+	// real time itself.)
+	WallClock func() int64
 }
 
 // ChaosCampaign runs every fail-stop/hot-plug scenario against the churn
@@ -164,10 +179,12 @@ func ChaosCampaign(seed int64, opt ChaosOptions, ins ...Instrument) (ChaosResult
 		if opt.PlantBug {
 			row.Bug = "skip-revive-flush"
 		}
+		var endStep uint64
 		obs := func(k *kernel.Kernel) {
 			if in.Observe != nil {
 				in.Observe(k)
 			}
+			endStep = k.Eng.StepCount()
 			row.Faults = k.M.Faults().Stats()
 			row.LockBreaks = k.M.LockBreaks()
 			if k.Shoot != nil {
@@ -182,65 +199,24 @@ func ChaosCampaign(seed int64, opt ChaosOptions, ins ...Instrument) (ChaosResult
 				row.Violations = ost.Violations
 			}
 		}
-		verdict, detail, events := chaosCell(seed, opt.NCPUs, fc, opt.PlantBug, in.Flight, obs)
+		verdict, detail, events := chaosCell(seed, opt.NCPUs, fc, opt.PlantBug, nil, in.Flight, obs)
 		row.Verdict, row.Err = verdict, detail
 		if verdict != VerdictOK && opt.Shrink {
 			row.ScheduleLen = len(events)
-			r := shrinkFailure(seed, opt.NCPUs, fc, opt.PlantBug, verdict, events, opt.MaxShrinkRuns)
+			cell := campaignCell(seed, opt.NCPUs, fc, opt.PlantBug, nil, nil)
+			rw := explore.NewRewinder(cell, verdict, events, endStep)
+			if opt.WallClock != nil {
+				rw.SetWallClock(opt.WallClock)
+			}
+			r := rw.Minimize(opt.MaxShrinkRuns)
 			row.Shrunk = r.Keep
 			row.ShrinkTests = r.Tests
-			repro := buildRepro(seed, opt.NCPUs, fc, opt.PlantBug, verdict, events, r.Keep)
+			repro := explore.BuildRepro(cell, verdict, events, r.Keep, r.Meta)
 			row.Repro = &repro
 		}
 		res.Runs = append(res.Runs, row)
 	}
 	return res, nil
-}
-
-// shrinkFailure delta-debugs one failing schedule: keep only the events
-// in the candidate set (mask the rest) and require the same verdict.
-func shrinkFailure(seed int64, ncpus int, fc fault.Config, bug bool, verdict string, events []fault.Event, maxRuns int) shrink.Result {
-	all := eventIDs(events)
-	return shrink.Minimize(all, func(keep []fault.EventID) bool {
-		cfg := fc
-		cfg.Mask = append(append([]fault.EventID(nil), fc.Mask...), shrink.MaskFor(all, keep)...)
-		v, _, _ := chaosCell(seed, ncpus, cfg, bug, nil, nil)
-		return v == verdict
-	}, maxRuns)
-}
-
-// buildRepro packages a minimized failure for replay: the original fault
-// config with the mask set so exactly the kept events fire.
-func buildRepro(seed int64, ncpus int, fc fault.Config, bug bool, verdict string, events []fault.Event, keep []fault.EventID) shrink.Repro {
-	cfg := fc
-	cfg.Mask = append(append([]fault.EventID(nil), fc.Mask...), shrink.MaskFor(eventIDs(events), keep)...)
-	sort.Slice(cfg.Mask, func(i, j int) bool {
-		if cfg.Mask[i].Kind != cfg.Mask[j].Kind {
-			return cfg.Mask[i].Kind < cfg.Mask[j].Kind
-		}
-		return cfg.Mask[i].Seq < cfg.Mask[j].Seq
-	})
-	r := shrink.Repro{
-		Version:  shrink.ReproVersion,
-		Workload: "churn",
-		Seed:     seed,
-		NCPUs:    ncpus,
-		Faults:   cfg,
-		Keep:     keep,
-		Verdict:  verdict,
-	}
-	if bug {
-		r.Bug = "skip-revive-flush"
-	}
-	return r
-}
-
-func eventIDs(events []fault.Event) []fault.EventID {
-	out := make([]fault.EventID, len(events))
-	for i, e := range events {
-		out[i] = e.ID
-	}
-	return out
 }
 
 // ReplayRepro re-executes a minimized reproducer and reports the verdict
@@ -254,7 +230,12 @@ func ReplayRepro(r shrink.Repro, ins ...Instrument) (string, string, error) {
 		return "", "", fmt.Errorf("experiments: repro workload %q not supported", r.Workload)
 	}
 	in := pick(ins)
-	verdict, detail, _ := chaosCell(r.Seed, r.NCPUs, r.Faults, r.Bug == "skip-revive-flush", in.Flight, in.Observe)
+	cell := campaignCell(r.Seed, r.NCPUs, r.Faults, r.Bug == "skip-revive-flush", r.Ties, in.Flight)
+	// Replay under the shrinker's judging semantics: the schedule is
+	// 1-minimal for "a violation fires", so the replay stops there too
+	// instead of running on into whatever the masked world does next.
+	cell.StopOnViolation = true
+	verdict, detail, _ := cell.Run(in.Observe)
 	return verdict, detail, nil
 }
 

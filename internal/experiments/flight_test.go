@@ -25,7 +25,7 @@ func flightCell(t *testing.T, dir string) (verdict string, box []byte) {
 		t.Fatal(err)
 	}
 	fc.Seed = 7
-	verdict, _, _ = chaosCell(7, 4, fc, true, fr, nil)
+	verdict, _, _ = chaosCell(7, 4, fc, true, nil, fr, nil)
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)

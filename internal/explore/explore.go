@@ -1,0 +1,147 @@
+// Package explore is the schedule-space side of the robustness tooling: a
+// shared deterministic run fixture (Cell), a restore-to-prefix shrink
+// harness (Rewinder), and a DPOR-lite schedule explorer that forks a run
+// at racy tie decisions and replays each fork down the other branch.
+//
+// All three stand on the same substrate: the engine's event-step cursor is
+// a total order over scheduling decisions, whole-simulation snapshots
+// (kernel.Snapshot) pin the state at any step boundary, and replaying a
+// fresh world with the same (config, seed, mask, forced ties) lands on
+// byte-identical state — so "restore to step n" is "rebuild and replay to
+// n", verified by snapshot digest rather than assumed.
+//
+// The race model is deliberately coarse (hence DPOR-*lite*): any chaos tie
+// broken while a shootdown is in flight (an initiator between Begin and
+// Finish, or a responder with actions pending — core.RaceWindowOpen) is a
+// racy pair worth exploring, because the orderings it arbitrates are
+// exactly IPI delivery vs. pmap-lock acquire vs. barrier exit, the
+// triangle the paper's protocol exists to make safe. Forking the schedule
+// there and flipping the order is how the explorer hunts for
+// interleaving-dependent oracle violations the seed alone never takes.
+package explore
+
+import (
+	"errors"
+	"strings"
+
+	"shootdown/internal/core"
+	"shootdown/internal/fault"
+	"shootdown/internal/kernel"
+	"shootdown/internal/sim"
+	"shootdown/internal/trace"
+	"shootdown/internal/workload"
+)
+
+// Run verdicts, shared with the experiments layer.
+const (
+	VerdictOK       = "ok"
+	VerdictOracle   = "oracle"   // consistency violation (the interesting failure)
+	VerdictDeadlock = "deadlock" // blocked procs, none runnable
+	VerdictTimeout  = "timeout"  // virtual-time bound hit (livelock/hang)
+	VerdictError    = "error"    // anything else
+)
+
+// Classify maps a run error to a verdict string shrink tests compare.
+func Classify(err error) string {
+	switch {
+	case err == nil:
+		return VerdictOK
+	case errors.Is(err, sim.ErrDeadlock):
+		return VerdictDeadlock
+	case strings.Contains(err.Error(), "oracle:"):
+		return VerdictOracle
+	case strings.Contains(err.Error(), "virtual time limit"):
+		return VerdictTimeout
+	default:
+		return VerdictError
+	}
+}
+
+// Cell is one deterministic churn run under a fault config: the fixture
+// the chaos campaign, the shrinker, and the explorer all re-execute. Two
+// Cells with equal fields produce byte-identical runs.
+type Cell struct {
+	Seed  int64
+	NCPUs int          // default 6
+	Scale float64      // work multiplier (default 0.5, the campaign's)
+	Fault fault.Config // fault kinds, rates, and mask
+	// Bug plants the intentional stale-TLB-after-revive bug.
+	Bug bool
+	// Shootdown tunes the protocol (the campaign passes its hardened
+	// watchdog configuration).
+	Shootdown core.Options
+	// MaxVirtualTime bounds the run (default 30 virtual seconds).
+	MaxVirtualTime sim.Time
+	// Ties forces the engine's chaos tie decisions by ordinal; the
+	// explorer's forks differ from the base run only here.
+	Ties []int
+	// Flight arms the flight recorder for the run; shrink and explorer
+	// re-executions pass nil so dozens of replays don't each dump a box.
+	Flight *trace.Recorder
+	// StopOnViolation stops the engine at the first oracle violation, the
+	// semantics the restore-to-prefix shrinker judges candidates under. A
+	// minimized reproducer must be replayed with this set: its schedule is
+	// 1-minimal for "a violation fires", not for whatever the run would go
+	// on to do afterwards (a masked schedule may time out long after the
+	// violation a full run would be classified by).
+	StopOnViolation bool
+}
+
+func (c Cell) withDefaults() Cell {
+	if c.NCPUs == 0 {
+		c.NCPUs = 6
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.5
+	}
+	if c.MaxVirtualTime == 0 {
+		c.MaxVirtualTime = 30_000_000_000
+	}
+	return c
+}
+
+// app assembles the workload config for this cell.
+func (c Cell) app() workload.AppConfig {
+	fc := c.Fault
+	return workload.AppConfig{
+		NCPUs:              c.NCPUs,
+		Seed:               c.Seed,
+		Scale:              c.Scale,
+		ShootdownOptions:   c.Shootdown,
+		Oracle:             true,
+		BugSkipReviveFlush: c.Bug,
+		MaxVirtualTime:     c.MaxVirtualTime,
+		Faults:             &fc,
+		ForcedTies:         c.Ties,
+		Flight:             c.Flight,
+	}
+}
+
+// Start assembles the cell's kernel with workers spawned but the engine
+// not yet run, so callers can attach tie recorders or drive it in steps.
+func (c Cell) Start() (*kernel.Kernel, error) {
+	return workload.StartChurn(c.withDefaults().app())
+}
+
+// Run executes the cell to completion. obs, when non-nil, sees the
+// finished kernel before the verdict is returned (metrics harvesting).
+// The fired fault schedule is harvested unconditionally: failing runs are
+// what the shrinker minimizes.
+func (c Cell) Run(obs func(*kernel.Kernel)) (verdict, detail string, events []fault.Event) {
+	k, err := c.Start()
+	if err != nil {
+		return VerdictError, err.Error(), nil
+	}
+	if c.StopOnViolation {
+		armStopOnViolation(k)
+	}
+	runErr := k.Run()
+	events = k.M.Faults().Events()
+	if obs != nil {
+		obs(k)
+	}
+	if runErr != nil {
+		detail = runErr.Error()
+	}
+	return Classify(runErr), detail, events
+}

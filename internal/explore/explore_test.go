@@ -1,0 +1,117 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"shootdown/internal/core"
+	"shootdown/internal/fault"
+)
+
+// testWatchdog mirrors the chaos campaign's hardened protocol options.
+var testWatchdog = core.Options{
+	WatchdogTimeout:    1_000_000,
+	WatchdogMaxRetries: 3,
+	WatchdogBackoffMax: 8_000_000,
+}
+
+func hotplugCell(t *testing.T, seed int64, bug bool) Cell {
+	t.Helper()
+	fc, err := fault.ParseSpec("failstop=0.9,failby=8ms,revive=1,reviveafter=4ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.Seed = seed + 257
+	return Cell{Seed: seed, NCPUs: 4, Fault: fc, Bug: bug, Shootdown: testWatchdog}
+}
+
+// TestExplorerFindsAndShrinksViolation is the acceptance pin: with the
+// stale-TLB-after-revive bug planted, the explorer must find an oracle
+// violation within its budget and the restore-to-prefix shrinker must
+// minimize it to a handful of fault events.
+func TestExplorerFindsAndShrinksViolation(t *testing.T) {
+	res, err := Explore(hotplugCell(t, 7, true), Options{Budget: 8, MaxShrinkRuns: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations == 0 {
+		t.Fatal("explorer found no violation with the bug planted")
+	}
+	if res.RacyTies == 0 {
+		t.Fatal("no tie was broken inside an open shootdown race window — the race model saw nothing")
+	}
+	if res.Repro == nil {
+		t.Fatal("no reproducer built from the violations")
+	}
+	if res.Repro.Verdict != VerdictOracle {
+		t.Fatalf("reproducer verdict %q, want %q", res.Repro.Verdict, VerdictOracle)
+	}
+	if n := len(res.Repro.Keep); n == 0 || n > 5 {
+		t.Fatalf("shrunk schedule has %d events, want 1..5 (from %d)", n, res.ScheduleLen)
+	}
+	m := res.Repro.Shrink
+	if m == nil || m.Tests == 0 {
+		t.Fatalf("reproducer carries no shrink-campaign metadata: %+v", m)
+	}
+	if m.RestoreHits == 0 {
+		t.Fatalf("shrink campaign never reused a verified prefix: %+v", m)
+	}
+
+	// The reproducer must replay: same cell, masked to the kept events,
+	// same forced ties, same verdict.
+	rc := hotplugCell(t, 7, true)
+	rc.Fault = res.Repro.Faults
+	rc.Ties = res.Repro.Ties
+	rc.StopOnViolation = true
+	verdict, detail, _ := rc.Run(nil)
+	if verdict != res.Repro.Verdict {
+		t.Fatalf("reproducer replayed to %q (%s), recorded %q", verdict, detail, res.Repro.Verdict)
+	}
+}
+
+// TestExplorerDeterministic pins the budget policy: same cell, same
+// budget, same explored set — byte for byte, forks and reproducer alike.
+func TestExplorerDeterministic(t *testing.T) {
+	a, err := Explore(hotplugCell(t, 7, true), Options{Budget: 6, MaxShrinkRuns: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Explore(hotplugCell(t, 7, true), Options{Budget: 6, MaxShrinkRuns: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical explorations diverged:\n  a: %+v\n  b: %+v", a, b)
+	}
+	if len(a.Forks) == 0 {
+		t.Fatal("no forks explored — the determinism check is vacuous")
+	}
+}
+
+// TestExplorerRequiresChaosSeed: seed 0 schedules FIFO, so there are no
+// ties to fork; the explorer must refuse rather than silently do nothing.
+func TestExplorerRequiresChaosSeed(t *testing.T) {
+	c := hotplugCell(t, 7, false)
+	c.Seed = 0
+	if _, err := Explore(c, Options{}); err == nil {
+		t.Fatal("explorer accepted seed 0")
+	}
+}
+
+// TestCleanCellExploresWithoutViolations: without the planted bug the
+// hardened protocol must survive every explored interleaving.
+func TestCleanCellExploresWithoutViolations(t *testing.T) {
+	res, err := Explore(hotplugCell(t, 11, false), Options{Budget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaseVerdict != VerdictOK {
+		t.Fatalf("base run failed without a bug: %s (%s)", res.BaseVerdict, res.BaseDetail)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("%d violations found in a clean cell (first repro: %+v)", res.Violations, res.Repro)
+	}
+	if len(res.Forks) == 0 {
+		t.Fatal("no forks explored")
+	}
+}

@@ -79,10 +79,11 @@ func (id EventID) String() string { return fmt.Sprintf("%s:%d", id.Kind, id.Seq)
 
 // Event is one fault that was actually injected during a run.
 type Event struct {
-	ID  EventID  `json:"id"`
-	At  sim.Time `json:"at"`            // virtual time of the decision (0 if no clock wired)
-	CPU int      `json:"cpu"`           // primary CPU involved (target, responder, …)
-	Arg int64    `json:"arg,omitempty"` // kind-specific magnitude (delay ns, …)
+	ID   EventID  `json:"id"`
+	At   sim.Time `json:"at"`             // virtual time of the decision (0 if no clock wired)
+	Step uint64   `json:"step,omitempty"` // engine event step of the decision (0 if no step clock)
+	CPU  int      `json:"cpu"`            // primary CPU involved (target, responder, …)
+	Arg  int64    `json:"arg,omitempty"`  // kind-specific magnitude (delay ns, …)
 }
 
 // Config selects fault kinds and rates. Probabilities are in [0, 1]; a zero
@@ -380,13 +381,15 @@ type CPUEvent struct {
 // Injector makes fault decisions, one seeded RNG sub-stream per kind.
 // A nil *Injector injects nothing.
 type Injector struct {
-	cfg     Config
-	streams []*rand.Rand
-	fired   []uint64 // per-kind ordinal of the next firing decision
-	masked  map[EventID]bool
-	events  []Event
-	stats   Stats
-	clock   func() sim.Time
+	cfg       Config
+	streams   []*rand.Rand
+	fired     []uint64 // per-kind ordinal of the next firing decision
+	draws     []uint64 // per-kind count of RNG values consumed
+	masked    map[EventID]bool
+	events    []Event
+	stats     Stats
+	clock     func() sim.Time
+	stepClock func() uint64
 
 	plan     []CPUEvent // full fail/revive plan (before masking)
 	planNCPU int
@@ -400,6 +403,7 @@ func New(cfg Config) *Injector {
 		cfg:     cfg,
 		streams: make([]*rand.Rand, len(kindList)),
 		fired:   make([]uint64, len(kindList)),
+		draws:   make([]uint64, len(kindList)),
 		masked:  make(map[EventID]bool, len(cfg.Mask)),
 	}
 	for i, k := range kindList {
@@ -420,11 +424,43 @@ func (in *Injector) SetClock(fn func() sim.Time) {
 	}
 }
 
+// SetStepClock wires the engine's event-step counter so events record the
+// step at which each decision landed. Like SetClock, it is informational
+// only; the explorer and shrinker use it to align fault events with
+// snapshot boundaries.
+func (in *Injector) SetStepClock(fn func() uint64) {
+	if in != nil {
+		in.stepClock = fn
+	}
+}
+
+// SetMask replaces the suppression mask mid-run. Masking is sound at any
+// point: the RNG streams are always drawn in full before the mask is
+// consulted, so changing the mask never perturbs the position of any
+// stream. The restore-to-prefix shrinker uses this to re-mask a restored
+// world instead of rebuilding it from scratch.
+func (in *Injector) SetMask(mask []EventID) {
+	if in == nil {
+		return
+	}
+	in.masked = make(map[EventID]bool, len(mask))
+	for _, id := range mask {
+		in.masked[id] = true
+	}
+}
+
 func (in *Injector) now() sim.Time {
 	if in.clock == nil {
 		return 0
 	}
 	return in.clock()
+}
+
+func (in *Injector) step() uint64 {
+	if in.stepClock == nil {
+		return 0
+	}
+	return in.stepClock()
 }
 
 // Config returns the effective configuration (zero value on nil).
@@ -454,6 +490,53 @@ func (in *Injector) Events() []Event {
 	return out
 }
 
+// StreamSnap pins one fault kind's RNG sub-stream: how many values it has
+// consumed and how many firing decisions it has issued. Stream contents are
+// pure functions of (seed, kind, draw count), so the counters alone let a
+// replayed injector prove it sits at the same position.
+type StreamSnap struct {
+	Kind  Kind   `json:"kind"`
+	Draws uint64 `json:"draws,omitempty"`
+	Fired uint64 `json:"fired,omitempty"`
+}
+
+// Snap is the injector's snapshot: sub-stream positions in kindList order,
+// cumulative stats, the injected-event count, and the fail/revive plan
+// state. It contains everything that distinguishes two injectors built from
+// the same Config.
+type Snap struct {
+	Streams  []StreamSnap `json:"streams,omitempty"`
+	Stats    Stats        `json:"stats"`
+	Events   int          `json:"events"`
+	Masked   int          `json:"masked,omitempty"`
+	PlanDone bool         `json:"plan_done,omitempty"`
+	PlanNCPU int          `json:"plan_ncpu,omitempty"`
+	PlanLen  int          `json:"plan_len,omitempty"`
+}
+
+// Snapshot captures the injector's deterministic state. Safe on nil (zero
+// snapshot: a disabled injector has no state to pin).
+func (in *Injector) Snapshot() Snap {
+	if in == nil {
+		return Snap{}
+	}
+	s := Snap{
+		Stats:    in.stats,
+		Events:   len(in.events),
+		Masked:   len(in.masked),
+		PlanDone: in.planDone,
+		PlanNCPU: in.planNCPU,
+		PlanLen:  len(in.plan),
+	}
+	for i, k := range kindList {
+		if in.draws[i] == 0 && in.fired[i] == 0 {
+			continue
+		}
+		s.Streams = append(s.Streams, StreamSnap{Kind: k, Draws: in.draws[i], Fired: in.fired[i]})
+	}
+	return s
+}
+
 // fire assigns the next ordinal for kind k and consults the mask: it
 // returns the event ID and whether the fault's effect should be applied.
 // The caller must already have drawn all RNG for the decision (including
@@ -466,19 +549,34 @@ func (in *Injector) fire(k Kind) (EventID, bool) {
 }
 
 func (in *Injector) record(id EventID, cpu int, arg int64) {
-	in.events = append(in.events, Event{ID: id, At: in.now(), CPU: cpu, Arg: arg})
+	in.events = append(in.events, Event{ID: id, At: in.now(), Step: in.step(), CPU: cpu, Arg: arg})
 }
 
-// stream returns the RNG sub-stream for kind k.
-func (in *Injector) stream(k Kind) *rand.Rand { return in.streams[kindIndex(k)] }
+// f64 draws one float from kind k's stream, counting the draw so
+// Snapshot() pins every stream's position.
+func (in *Injector) f64(k Kind) float64 {
+	i := kindIndex(k)
+	in.draws[i]++
+	return in.streams[i].Float64()
+}
 
-// uniform returns a value in (0, max] from r, never zero so an injected
-// fault is always observable.
-func uniform(r *rand.Rand, max sim.Time) sim.Time {
+// intn draws one bounded int from kind k's stream, counting the draw.
+func (in *Injector) intn(k Kind, n int) int {
+	i := kindIndex(k)
+	in.draws[i]++
+	return in.streams[i].Intn(n)
+}
+
+// uniform returns a value in (0, max] from kind k's stream, never zero so
+// an injected fault is always observable. A non-positive max consumes no
+// randomness.
+func (in *Injector) uniform(k Kind, max sim.Time) sim.Time {
 	if max <= 0 {
 		return 0
 	}
-	return 1 + sim.Time(r.Int63n(int64(max)))
+	i := kindIndex(k)
+	in.draws[i]++
+	return 1 + sim.Time(in.streams[i].Int63n(int64(max)))
 }
 
 // OnIPI decides the fate of one IPI from CPU from to CPU to: dropped,
@@ -488,15 +586,15 @@ func (in *Injector) OnIPI(from, to int) (drop bool, delay sim.Time) {
 	if in == nil {
 		return false, 0
 	}
-	if in.cfg.DropIPI > 0 && in.stream(KindDropIPI).Float64() < in.cfg.DropIPI {
+	if in.cfg.DropIPI > 0 && in.f64(KindDropIPI) < in.cfg.DropIPI {
 		if id, apply := in.fire(KindDropIPI); apply {
 			in.stats.DroppedIPIs++
 			in.record(id, to, 0)
 			return true, 0
 		}
 	}
-	if in.cfg.DelayIPI > 0 && in.stream(KindDelayIPI).Float64() < in.cfg.DelayIPI {
-		d := uniform(in.stream(KindDelayIPI), in.cfg.DelayIPIMax)
+	if in.cfg.DelayIPI > 0 && in.f64(KindDelayIPI) < in.cfg.DelayIPI {
+		d := in.uniform(KindDelayIPI, in.cfg.DelayIPIMax)
 		if id, apply := in.fire(KindDelayIPI); apply {
 			in.stats.DelayedIPIs++
 			in.record(id, to, int64(d))
@@ -513,11 +611,10 @@ func (in *Injector) SpuriousTarget(from, ncpu int) (int, bool) {
 	if in == nil || in.cfg.SpuriousIPI <= 0 || ncpu < 2 {
 		return 0, false
 	}
-	r := in.stream(KindSpuriousIPI)
-	if r.Float64() >= in.cfg.SpuriousIPI {
+	if in.f64(KindSpuriousIPI) >= in.cfg.SpuriousIPI {
 		return 0, false
 	}
-	t := r.Intn(ncpu - 1)
+	t := in.intn(KindSpuriousIPI, ncpu-1)
 	if t >= from {
 		t++
 	}
@@ -537,15 +634,15 @@ func (in *Injector) ResponderDelay(cpu int) sim.Time {
 	if in == nil {
 		return 0
 	}
-	if in.cfg.StuckResponder > 0 && in.stream(KindStuckResponder).Float64() < in.cfg.StuckResponder {
+	if in.cfg.StuckResponder > 0 && in.f64(KindStuckResponder) < in.cfg.StuckResponder {
 		if id, apply := in.fire(KindStuckResponder); apply {
 			in.stats.StuckResponses++
 			in.record(id, cpu, int64(in.cfg.StuckResponderTime))
 			return in.cfg.StuckResponderTime
 		}
 	}
-	if in.cfg.SlowResponder > 0 && in.stream(KindSlowResponder).Float64() < in.cfg.SlowResponder {
-		d := uniform(in.stream(KindSlowResponder), in.cfg.SlowResponderMax)
+	if in.cfg.SlowResponder > 0 && in.f64(KindSlowResponder) < in.cfg.SlowResponder {
+		d := in.uniform(KindSlowResponder, in.cfg.SlowResponderMax)
 		if id, apply := in.fire(KindSlowResponder); apply {
 			in.stats.SlowResponses++
 			in.record(id, cpu, int64(d))
@@ -560,11 +657,10 @@ func (in *Injector) BusJitter(cpu int) sim.Time {
 	if in == nil || in.cfg.BusJitter <= 0 {
 		return 0
 	}
-	r := in.stream(KindBusJitter)
-	if r.Float64() >= in.cfg.BusJitter {
+	if in.f64(KindBusJitter) >= in.cfg.BusJitter {
 		return 0
 	}
-	d := uniform(r, in.cfg.BusJitterMax)
+	d := in.uniform(KindBusJitter, in.cfg.BusJitterMax)
 	id, apply := in.fire(KindBusJitter)
 	if !apply {
 		return 0
@@ -606,17 +702,15 @@ func (in *Injector) Plan(ncpu int) []CPUEvent {
 func (in *Injector) generatePlan(ncpu int) {
 	in.planDone = true
 	in.planNCPU = ncpu
-	fr := in.stream(KindFailStop)
-	rr := in.stream(KindRevive)
 	for cpu := 1; cpu < ncpu; cpu++ {
-		if fr.Float64() >= in.cfg.FailStop {
+		if in.f64(KindFailStop) >= in.cfg.FailStop {
 			continue
 		}
-		failAt := uniform(fr, in.cfg.FailStopBy)
+		failAt := in.uniform(KindFailStop, in.cfg.FailStopBy)
 		failID, _ := in.fire(KindFailStop)
 		in.plan = append(in.plan, CPUEvent{ID: failID, CPU: cpu, At: failAt})
-		if in.cfg.Revive > 0 && rr.Float64() < in.cfg.Revive {
-			reviveAt := failAt + uniform(rr, in.cfg.ReviveAfterMax)
+		if in.cfg.Revive > 0 && in.f64(KindRevive) < in.cfg.Revive {
+			reviveAt := failAt + in.uniform(KindRevive, in.cfg.ReviveAfterMax)
 			reviveID, _ := in.fire(KindRevive)
 			in.plan = append(in.plan, CPUEvent{ID: reviveID, CPU: cpu, At: reviveAt, Online: true})
 		}
@@ -638,6 +732,23 @@ func (in *Injector) generatePlan(ncpu int) {
 			arg = 1
 		}
 		in.events = append(in.events, Event{ID: ev.ID, At: ev.At, CPU: ev.CPU, Arg: arg})
+	}
+}
+
+// NotePlanWake stamps a plan event's log entry with the current engine
+// step, at the moment the lifecycle driver wakes to apply it. Plan events
+// are logged at generation time (step 0); the wake step is the first point
+// at which masking the event could change the run, which is what the
+// restore-to-prefix shrinker keys its divergence boundary on.
+func (in *Injector) NotePlanWake(ev CPUEvent) {
+	if in == nil {
+		return
+	}
+	for i := range in.events {
+		if in.events[i].ID == ev.ID {
+			in.events[i].Step = in.step()
+			return
+		}
 	}
 }
 

@@ -28,10 +28,35 @@ import (
 // It must be deterministic: same keep set, same verdict.
 type Test func(keep []fault.EventID) bool
 
+// PrefixTest is a Test that also receives the engine step at which the
+// candidate first diverges from the base failing run — the step of the
+// earliest masked event. Up to that step the candidate's world is
+// byte-identical to the base run's (masking never perturbs an RNG
+// stream), so a restore-aware harness replays the shared prefix against a
+// snapshot ladder and only runs the suffix live. divergeStep is the
+// maximum uint64 when nothing is masked (the candidate is the base run).
+type PrefixTest func(keep []fault.EventID, divergeStep uint64) bool
+
 // Result summarizes a minimization.
 type Result struct {
 	Keep  []fault.EventID // 1-minimal failing subset, in original order
 	Tests int             // how many test runs the search used
+	Meta  *Meta           // campaign accounting, when the harness supplied it
+}
+
+// Meta is the shrink-campaign accounting embedded in reproducer JSON: how
+// many candidate runs the search used, how many reused a verified prefix
+// snapshot versus building a fresh ladder rung, and how much of the
+// simulation was skipped versus run live. WallMS is populated only when
+// the harness injects a wall clock (the experiments layer is simulated
+// code and may not read real time itself).
+type Meta struct {
+	Tests             int    `json:"tests"`
+	RestoreHits       int    `json:"restore_hits"`
+	FullReplays       int    `json:"full_replays"`
+	PrefixStepsReused uint64 `json:"prefix_steps_reused"`
+	SuffixSteps       uint64 `json:"suffix_steps"`
+	WallMS            int64  `json:"wall_ms,omitempty"`
 }
 
 // Minimize runs ddmin over the full failing schedule. The caller asserts
@@ -92,6 +117,33 @@ func Minimize(all []fault.EventID, test Test, maxTests int) Result {
 	return res
 }
 
+// MinimizeFromPrefix is Minimize for restore-aware harnesses: it takes
+// the base run's full event log (whose Step fields place each decision on
+// the engine's event cursor) and hands every candidate to the test along
+// with its divergence step, so the harness can restore to the longest
+// common prefix instead of replaying from t=0.
+func MinimizeFromPrefix(all []fault.Event, test PrefixTest, maxTests int) Result {
+	ids := make([]fault.EventID, len(all))
+	stepOf := make(map[fault.EventID]uint64, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+		stepOf[e.ID] = e.Step
+	}
+	return Minimize(ids, func(keep []fault.EventID) bool {
+		kept := make(map[fault.EventID]bool, len(keep))
+		for _, id := range keep {
+			kept[id] = true
+		}
+		diverge := ^uint64(0)
+		for _, id := range ids {
+			if !kept[id] && stepOf[id] < diverge {
+				diverge = stepOf[id]
+			}
+		}
+		return test(keep, diverge)
+	}, maxTests)
+}
+
 // split partitions events into n nearly-equal contiguous chunks.
 func split(events []fault.EventID, n int) [][]fault.EventID {
 	if n > len(events) {
@@ -141,6 +193,14 @@ type Repro struct {
 	Verdict  string          `json:"verdict"`        // what the failing run produced ("oracle", "deadlock", …)
 	Bug      string          `json:"bug,omitempty"`  // planted-bug knob, if any ("skip-revive-flush")
 	Note     string          `json:"note,omitempty"` // free-form provenance
+	// Ties forces the engine's chaos tie decisions by ordinal
+	// (sim.Engine.SetForcedTies), for reproducers found by the schedule
+	// explorer: the failure lives in an interleaving the seed alone would
+	// not take. Absent for plain chaos-campaign reproducers.
+	Ties []int `json:"ties,omitempty"`
+	// Shrink records how the minimization campaign went (restore hits vs
+	// full replays), so the restore-to-prefix win is visible in CI logs.
+	Shrink *Meta `json:"shrink,omitempty"`
 }
 
 // Validate rejects obviously unusable reproducers before a replay tries

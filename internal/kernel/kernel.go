@@ -18,6 +18,7 @@ import (
 	"shootdown/internal/pmap"
 	"shootdown/internal/profile"
 	"shootdown/internal/sim"
+	"shootdown/internal/snap"
 	"shootdown/internal/trace"
 	"shootdown/internal/vm"
 	"shootdown/internal/xpr"
@@ -48,6 +49,10 @@ type Config struct {
 	IdleTick sim.Time
 	// ChaosSeed randomizes equal-time scheduling order (0 = FIFO).
 	ChaosSeed int64
+	// ForcedTies overrides the engine's chaos tie decisions by ordinal
+	// (sim.Engine.SetForcedTies); the DPOR-lite explorer uses it to steer a
+	// replay down a specific interleaving. Only meaningful with ChaosSeed.
+	ForcedTies []int
 	// MaxTime bounds virtual time (guards against livelock); default 10
 	// virtual minutes.
 	MaxTime sim.Time
@@ -117,7 +122,9 @@ type Kernel struct {
 	live      int         // live (not exited) threads
 	stopping  bool
 	started   bool
+	finished  bool
 	taskSeq   int
+	lastSnap  *snap.Snapshot // most recent Snapshot(), for black boxes
 }
 
 // New builds a kernel over a fresh machine.
@@ -144,6 +151,9 @@ func New(cfg Config) (*Kernel, error) {
 		cfg.Tracer.Rebase("kernel")
 	}
 	eng := sim.New(engOpts...)
+	if len(cfg.ForcedTies) > 0 {
+		eng.SetForcedTies(cfg.ForcedTies)
+	}
 	m := machine.New(eng, cfg.Machine)
 	if cfg.Tracer != nil {
 		m.SetTracer(cfg.Tracer)
@@ -229,7 +239,7 @@ type faultSnap struct {
 // registerFlight points the flight recorder's trip sources and state
 // providers at this kernel. Providers are snapshotted in registration
 // order at trip time, so the order here is part of the black-box format:
-// engine, cpus, shootdown, sched, oracle, faults, dags.
+// engine, cpus, shootdown, sched, oracle, faults, dags, snapshots.
 func (k *Kernel) registerFlight(fr *trace.Recorder) {
 	if k.Shoot != nil {
 		k.Shoot.Flight = fr
@@ -259,7 +269,66 @@ func (k *Kernel) registerFlight(fr *trace.Recorder) {
 	if p := k.cfg.Profiler; p != nil {
 		fr.Register("dags", func() any { return profile.ExportShootdowns(p) })
 	}
+	// The last full-state snapshot taken during the run, so a black box
+	// carries a restore point: rebuild the world, replay to the snapshot's
+	// step, and time-travel from just before the trip.
+	fr.Register("snapshots", func() any {
+		if k.lastSnap != nil {
+			return k.lastSnap
+		}
+		return snap.Empty()
+	})
 }
+
+// Snapshot captures the full deterministic state of the simulation at the
+// current event boundary: engine scheduling state, machine (CPUs, TLBs,
+// memory digest), pmaps, in-flight shootdown protocol state, scheduler,
+// oracle shadow tables, and fault-injector stream positions — in that
+// fixed order, mirroring the flight-recorder provider convention. Layers
+// owned by absent subsystems (no shootdown under a baseline strategy, no
+// oracle, no faults) are omitted rather than empty, so the digest also
+// pins the configuration shape.
+//
+// Taking a snapshot is a pure read: it charges no virtual time, consumes
+// no randomness, and so never perturbs the run. Call it only at an event
+// boundary (before Run, between RunToStep calls, or after the run ends);
+// the capture is retained for the flight recorder's "snapshots" provider.
+func (k *Kernel) Snapshot() (*snap.Snapshot, error) {
+	s := snap.New(k.Eng.StepCount(), int64(k.Eng.Now()), nil)
+	add := func(name string, v any) error { return s.AddLayer(name, v) }
+	if err := add("engine", k.Eng.Snapshot()); err != nil {
+		return nil, err
+	}
+	if err := add("machine", k.M.Snapshot()); err != nil {
+		return nil, err
+	}
+	if err := add("pmap", k.Pmaps.Snapshot()); err != nil {
+		return nil, err
+	}
+	if k.Shoot != nil {
+		if err := add("shootdown", k.Shoot.Snapshot()); err != nil {
+			return nil, err
+		}
+	}
+	if err := add("sched", k.SchedSnapshot()); err != nil {
+		return nil, err
+	}
+	if k.Oracle != nil {
+		if err := add("oracle", k.Oracle.Snapshot()); err != nil {
+			return nil, err
+		}
+	}
+	if inj := k.M.Faults(); inj != nil {
+		if err := add("faults", inj.Snapshot()); err != nil {
+			return nil, err
+		}
+	}
+	k.lastSnap = s
+	return s, nil
+}
+
+// LastSnapshot returns the most recent Snapshot() capture, or nil.
+func (k *Kernel) LastSnapshot() *snap.Snapshot { return k.lastSnap }
 
 // tickHook lets a consistency strategy piggyback on the clock interrupt
 // (the timer-flush baseline flushes TLBs from it).
@@ -285,6 +354,18 @@ func (k *Kernel) Run() error {
 	if k.started {
 		panic("kernel: Run called twice")
 	}
+	k.Start()
+	return k.Finish(k.Eng.Run())
+}
+
+// Start spawns the idle loops, lifecycle driver, and timer without running
+// the engine. Idempotent, so Run and the step-bounded entry points compose.
+// Callers that Start explicitly drive the engine through RunToStep /
+// ContinueRun and must end the run with Finish.
+func (k *Kernel) Start() {
+	if k.started {
+		return
+	}
 	k.started = true
 	k.idleProcs = make([]*sim.Proc, k.M.NumCPUs())
 	for cpu := 0; cpu < k.M.NumCPUs(); cpu++ {
@@ -304,7 +385,35 @@ func (k *Kernel) Run() error {
 			}
 		})
 	}
-	err := k.Eng.Run()
+}
+
+// RunToStep executes until the engine has completed n events (pausing at
+// the event boundary) or the run ends, whichever comes first. The paused
+// simulation is exactly mid-run: resume with another RunToStep or
+// ContinueRun. Snapshot between calls for a consistent capture.
+func (k *Kernel) RunToStep(n uint64) error {
+	k.Start()
+	return k.Eng.RunUntilStep(n)
+}
+
+// ContinueRun resumes a paused run to completion and settles it (spans,
+// profiler, flight trip, oracle verdict). The counterpart of RunToStep.
+func (k *Kernel) ContinueRun() error {
+	if !k.started {
+		panic("kernel: ContinueRun before Start")
+	}
+	return k.Finish(k.Eng.Run())
+}
+
+// Finish settles a completed run: balances open trace spans, finalizes the
+// profiler, trips the flight recorder on an abnormal end, and folds in the
+// oracle's verdict. err is the engine's result. Calling Finish twice
+// panics — it marks the definitive end of the run.
+func (k *Kernel) Finish(err error) error {
+	if k.finished {
+		panic("kernel: Finish called twice")
+	}
+	k.finished = true
 	k.closeOpenSpans()
 	k.cfg.Profiler.FinishAt(int64(k.Eng.Now()))
 	if err != nil && k.cfg.Flight != nil {
@@ -450,28 +559,37 @@ type CPUSchedSnap struct {
 	Current string `json:"current,omitempty"`
 	// ThreadState is the dispatched thread's lifecycle state.
 	ThreadState string `json:"thread_state,omitempty"`
+	// DispatchedNS is when the dispatched thread got the CPU.
+	DispatchedNS int64 `json:"dispatched_ns,omitempty"`
+	// NeedResched marks the dispatched thread for preemption.
+	NeedResched bool `json:"need_resched,omitempty"`
 	// IdleProc is the idle proc's engine state.
 	IdleProc string `json:"idle_proc"`
 }
 
 // SchedSnap is the scheduler's state in wire form, for the flight
-// recorder's black boxes (the structured sibling of DebugState).
+// recorder's black boxes (the structured sibling of DebugState) and for
+// whole-simulation snapshots.
 type SchedSnap struct {
-	CPUs []CPUSchedSnap `json:"cpus"`
-	Runq []string       `json:"runq,omitempty"`
-	Live int            `json:"live"`
+	CPUs     []CPUSchedSnap `json:"cpus"`
+	Runq     []string       `json:"runq,omitempty"`
+	Live     int            `json:"live"`
+	TaskSeq  int            `json:"task_seq,omitempty"`
+	Stopping bool           `json:"stopping,omitempty"`
 }
 
 // SchedSnapshot captures per-CPU dispatch state and the run queue for
 // post-mortems. Output is deterministic: CPUs in id order, the run queue
 // in queue order.
 func (k *Kernel) SchedSnapshot() SchedSnap {
-	snap := SchedSnap{Live: k.live}
+	snap := SchedSnap{Live: k.live, TaskSeq: k.taskSeq, Stopping: k.stopping}
 	for cpu := range k.current {
 		cs := CPUSchedSnap{CPU: cpu}
 		if t := k.current[cpu]; t != nil {
 			cs.Current = t.name
 			cs.ThreadState = t.state.String()
+			cs.DispatchedNS = int64(t.dispatched)
+			cs.NeedResched = t.needResched
 		}
 		if k.idleProcs != nil && k.idleProcs[cpu] != nil {
 			cs.IdleProc = k.idleProcs[cpu].State().String()

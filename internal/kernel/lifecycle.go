@@ -38,6 +38,7 @@ func (k *Kernel) startLifecycle() {
 			if k.stopping {
 				return
 			}
+			k.M.Faults().NotePlanWake(ev)
 			if ev.Online {
 				k.reviveCPU(p, ev.CPU)
 			} else {

@@ -43,6 +43,11 @@ func (b *Bus) Reserve(now sim.Time, n int) sim.Time {
 	return stall
 }
 
+// BusyUntil returns the time the last reserved transaction completes —
+// part of the bus's snapshot state, since a pending reservation delays the
+// next requester.
+func (b *Bus) BusyUntil() sim.Time { return b.nextFree }
+
 // Occupancy returns the per-transaction bus occupancy time.
 func (b *Bus) Occupancy() sim.Time { return b.occupancy }
 

@@ -83,7 +83,7 @@ func (ex *Exec) advanceNoIRQ(d sim.Time) {
 
 // charge consumes a jittered cost without interrupt delivery.
 func (ex *Exec) charge(c sim.Time) {
-	ex.advanceNoIRQ(ex.machine.costs.jitter(ex.machine.rng, c))
+	ex.advanceNoIRQ(ex.machine.jitter(c))
 }
 
 // ChargeInstr consumes one bookkeeping-operation cost. Kernel code paths

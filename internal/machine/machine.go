@@ -159,6 +159,9 @@ type Machine struct {
 	epoch uint64
 	// lockBreaks counts spin locks broken because their owner fail-stopped.
 	lockBreaks uint64
+	// rngDraws counts cost-jitter draws consumed from rng, so snapshots
+	// can attest the stream position (the stream is rebuilt by replay).
+	rngDraws uint64
 
 	kernelTable *ptable.Table
 }
@@ -239,6 +242,7 @@ func New(eng *sim.Engine, opts Options) *Machine {
 	}
 	if m.faults != nil {
 		m.faults.SetClock(func() sim.Time { return eng.Now() })
+		m.faults.SetStepClock(eng.StepCount)
 	}
 	return m
 }
@@ -347,42 +351,85 @@ func (m *Machine) PostAfter(target int, v Vector, delay sim.Time) (wasPending bo
 func (m *Machine) Faults() *fault.Injector { return m.faults }
 
 // CPUSnap is one processor's state in wire form, for the flight recorder's
-// black boxes (DESIGN.md §13).
+// black boxes (DESIGN.md §13) and full-state snapshots (§14). The shallow
+// fields (state, incarnation, IPL, pending vectors) date from the black
+// boxes; the deep fields (per-vector delivery times, active user space,
+// full TLB state) complete the snapshot.
 type CPUSnap struct {
 	ID          int      `json:"id"`
 	State       string   `json:"state"`
 	Incarnation uint64   `json:"incarnation"`
 	IPL         int      `json:"ipl"`
 	Pending     []string `json:"pending,omitempty"`
+	// PendingAtNS holds each pending vector's earliest delivery time, in
+	// the same order as Pending.
+	PendingAtNS []int64 `json:"pending_at_ns,omitempty"`
+	UserASID    uint16  `json:"user_asid,omitempty"`
+	// HasUserTable distinguishes "no user space" from ASID 0 on untagged
+	// TLBs; the table's contents live in physical memory, covered by the
+	// memory layer's digest.
+	HasUserTable bool     `json:"has_user_table,omitempty"`
+	TLB          tlb.Snap `json:"tlb"`
 }
 
 // Snap is the machine's processor and membership state in wire form.
 type Snap struct {
-	Epoch      uint64    `json:"epoch"`
-	LockBreaks uint64    `json:"lock_breaks"`
-	CPUs       []CPUSnap `json:"cpus"`
+	Epoch      uint64 `json:"epoch"`
+	LockBreaks uint64 `json:"lock_breaks"`
+	// RNGDraws is the cost-jitter stream position: how many draws the
+	// machine's RNG has consumed. The stream itself is rebuilt from the
+	// seed on restore and fast-forwarded by replay.
+	RNGDraws uint64 `json:"rng_draws,omitempty"`
+	// MemDigest is an FNV-1a digest of physical memory (page tables, PTE
+	// flag bits, workload data); the frames themselves are too large to
+	// serialize usefully.
+	MemDigest string    `json:"mem_digest,omitempty"`
+	BusBusyNS int64     `json:"bus_busy_ns,omitempty"`
+	CPUs      []CPUSnap `json:"cpus"`
 }
 
-// Snapshot captures every CPU's lifecycle state, IPL, and pending vectors
-// for post-mortems. Output is deterministic: CPUs in id order, vectors in
-// vector order.
+// Snapshot captures every CPU's lifecycle state, IPL, pending vectors,
+// active user space, and TLB contents, plus the machine-wide RNG position
+// and a digest of physical memory. Output is deterministic: CPUs in id
+// order, vectors in vector order. Deep capture (TLBs, memory digest) makes
+// this suitable both for black boxes and for the restore verification in
+// DESIGN.md §14.
 func (m *Machine) Snapshot() Snap {
-	snap := Snap{Epoch: m.epoch, LockBreaks: m.lockBreaks}
+	snap := Snap{
+		Epoch:      m.epoch,
+		LockBreaks: m.lockBreaks,
+		RNGDraws:   m.rngDraws,
+		MemDigest:  m.Phys.Digest(),
+		BusBusyNS:  int64(m.Bus.BusyUntil()),
+	}
 	for _, c := range m.cpus {
 		cs := CPUSnap{
-			ID:          c.id,
-			State:       c.state.String(),
-			Incarnation: c.incarnation,
-			IPL:         int(c.ipl),
+			ID:           c.id,
+			State:        c.state.String(),
+			Incarnation:  c.incarnation,
+			IPL:          int(c.ipl),
+			UserASID:     uint16(c.userASID),
+			HasUserTable: c.userTable != nil,
+			TLB:          c.TLB.Snapshot(),
 		}
 		for v := Vector(0); v < numVectors; v++ {
 			if c.pending[v] {
 				cs.Pending = append(cs.Pending, v.String())
+				cs.PendingAtNS = append(cs.PendingAtNS, int64(c.pendingAt[v]))
 			}
 		}
 		snap.CPUs = append(snap.CPUs, cs)
 	}
 	return snap
+}
+
+// jitter applies cost jitter through the machine RNG while counting the
+// draw, so snapshots can attest the stream position.
+func (m *Machine) jitter(t sim.Time) sim.Time {
+	if m.costs.JitterPct > 0 && t != 0 {
+		m.rngDraws++
+	}
+	return m.costs.jitter(m.rng, t)
 }
 
 // Epoch returns the membership epoch: the number of CPU lifecycle
@@ -687,6 +734,16 @@ func (l *SpinLock) Unlock(ex *Exec, prev IPL) {
 // Held reports whether the lock is currently held by anyone. The shootdown
 // responder spins on this without acquiring.
 func (l *SpinLock) Held() bool { return l.held }
+
+// Owner returns the holding CPU and its incarnation at acquisition, with
+// held=false when the lock is free. Snapshot capture uses this; protocol
+// code should use Held/HeldBy/HeldLive.
+func (l *SpinLock) Owner() (cpu int, inc uint64, held bool) {
+	if !l.held {
+		return 0, 0, false
+	}
+	return l.owner, l.ownerInc, true
+}
 
 // HeldBy reports whether the lock is held by the given CPU.
 func (l *SpinLock) HeldBy(cpu int) bool { return l.held && l.owner == cpu }

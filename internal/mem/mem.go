@@ -53,6 +53,41 @@ func New(nframes int) *PhysMem {
 	return m
 }
 
+// Digest returns an FNV-1a hash over the allocation state and the contents
+// of every allocated frame, in frame order. Snapshots carry this instead
+// of the frames themselves (a full machine is tens of megabytes); two
+// memories with equal digests hold the same page tables, PTE flag bits,
+// and workload data. Unallocated frames hash as absent, so an alloc/free
+// cycle that zeroes a frame still changes the free-list component.
+func (m *PhysMem) Digest() string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	word := func(v uint32) {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(v >> s))
+			h *= prime64
+		}
+	}
+	word(uint32(len(m.frames)))
+	word(uint32(m.allocated))
+	for _, f := range m.free {
+		word(uint32(f))
+	}
+	for i, fr := range m.frames {
+		if fr == nil {
+			continue
+		}
+		word(uint32(i))
+		for _, v := range fr {
+			word(v)
+		}
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
 // TotalFrames returns the configured physical memory size in frames.
 func (m *PhysMem) TotalFrames() int { return len(m.frames) }
 

@@ -324,6 +324,49 @@ func (o *Oracle) countStaleCached() uint64 {
 	return n
 }
 
+// ShadowSnap is one shadowed page table's state in wire form: the valid
+// mappings in ascending VA order (map iteration order never leaks).
+type ShadowSnap struct {
+	ASID    uint16      `json:"asid,omitempty"`
+	Kernel  bool        `json:"kernel,omitempty"`
+	Entries [][2]uint32 `json:"entries,omitempty"` // [va, pte] pairs, VA-ascending
+}
+
+// Snap is the oracle's complete state in wire form (DESIGN.md §14):
+// counters, retained violations, and every shadow table with its mappings
+// sorted by VA.
+type Snap struct {
+	Stats      Stats        `json:"stats"`
+	Violations []string     `json:"violations,omitempty"`
+	Shadows    []ShadowSnap `json:"shadows,omitempty"`
+}
+
+// Snapshot captures the oracle's complete state in a fixed wire order:
+// shadows in tracking order, entries in VA order, violations in recording
+// order. Nil-safe like every oracle method.
+func (o *Oracle) Snapshot() Snap {
+	if o == nil {
+		return Snap{}
+	}
+	s := Snap{Stats: o.stats}
+	for _, v := range o.violations {
+		s.Violations = append(s.Violations, v.String())
+	}
+	for _, sh := range o.shadows {
+		ss := ShadowSnap{ASID: uint16(sh.asid), Kernel: sh.kernel}
+		vas := make([]ptable.VAddr, 0, len(sh.entries))
+		for va := range sh.entries {
+			vas = append(vas, va)
+		}
+		sort.Slice(vas, func(i, j int) bool { return vas[i] < vas[j] })
+		for _, va := range vas {
+			ss.Entries = append(ss.Entries, [2]uint32{uint32(va), uint32(sh.entries[va])})
+		}
+		s.Shadows = append(s.Shadows, ss)
+	}
+	return s
+}
+
 // Stats returns a snapshot of the oracle counters.
 func (o *Oracle) Stats() Stats {
 	if o == nil {

@@ -107,6 +107,10 @@ type System struct {
 	nextASID    tlb.ASID
 	kernelPools []KernelPool
 	stats       Stats
+	// users records every user pmap ever created, in ASID order, so
+	// snapshots can walk maps that are live but not active anywhere
+	// (blocked threads, lazily-released tagged spaces).
+	users []*Pmap
 }
 
 // envAware is implemented by strategies that need the pmap environment
@@ -182,13 +186,73 @@ func (sys *System) NewUser() (*Pmap, error) {
 	if sys.TableHook != nil {
 		sys.TableHook(t, asid, false)
 	}
-	return &Pmap{
+	pm := &Pmap{
 		sys:   sys,
 		Table: t,
 		asid:  asid,
 		inUse: make([]bool, sys.M.NumCPUs()),
 		lock:  machine.SpinLock{Name: fmt.Sprintf("pmap:%d", asid), MinIPL: sys.M.VectorPriority(machine.VecIPI)},
-	}, nil
+	}
+	sys.users = append(sys.users, pm)
+	return pm, nil
+}
+
+// PmapSnap is one physical map's consistency bookkeeping in wire form.
+type PmapSnap struct {
+	ASID      uint16 `json:"asid"`
+	Kernel    bool   `json:"kernel,omitempty"`
+	Destroyed bool   `json:"destroyed,omitempty"`
+	// InUse lists the CPUs translating through the map, ascending.
+	InUse []int `json:"in_use,omitempty"`
+	// ActiveOn lists the CPUs where this is the active user pmap.
+	ActiveOn     []int  `json:"active_on,omitempty"`
+	LockHeld     bool   `json:"lock_held,omitempty"`
+	LockOwner    int    `json:"lock_owner,omitempty"`
+	LockOwnerInc uint64 `json:"lock_owner_inc,omitempty"`
+}
+
+// Snap is the pmap module's state in wire form (DESIGN.md §14): the ASID
+// allocator, the module counters, and every pmap's lock/membership state
+// in ASID order. Page-table contents live in physical memory and are
+// covered by the machine layer's memory digest.
+type Snap struct {
+	NextASID uint16     `json:"next_asid"`
+	Stats    Stats      `json:"stats"`
+	Kernel   PmapSnap   `json:"kernel"`
+	Users    []PmapSnap `json:"users,omitempty"`
+}
+
+// Snapshot captures the module's complete bookkeeping state in a fixed
+// wire order.
+func (sys *System) Snapshot() Snap {
+	s := Snap{
+		NextASID: uint16(sys.nextASID),
+		Stats:    sys.stats,
+		Kernel:   sys.Kernel.snap(),
+	}
+	for _, pm := range sys.users {
+		s.Users = append(s.Users, pm.snap())
+	}
+	return s
+}
+
+// snap captures one pmap's wire form.
+func (pm *Pmap) snap() PmapSnap {
+	ps := PmapSnap{ASID: uint16(pm.asid), Kernel: pm.kernel, Destroyed: pm.destroyed}
+	for cpu, u := range pm.inUse {
+		if u {
+			ps.InUse = append(ps.InUse, cpu)
+		}
+	}
+	for cpu, ap := range pm.sys.activeUser {
+		if ap == pm {
+			ps.ActiveOn = append(ps.ActiveOn, cpu)
+		}
+	}
+	if owner, inc, held := pm.lock.Owner(); held {
+		ps.LockHeld, ps.LockOwner, ps.LockOwnerInc = true, owner, inc
+	}
+	return ps
 }
 
 // Locked implements core.Pmap.

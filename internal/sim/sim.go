@@ -15,7 +15,9 @@
 package sim
 
 import (
+	"bytes"
 	"container/heap"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -142,6 +144,26 @@ type Engine struct {
 	started bool
 	failure error
 
+	// step counts completed proc resumptions — the engine's monotone event
+	// cursor. Snapshots key on it: rebuilding a world from the same
+	// configuration and replaying to the same step reproduces the same
+	// state, because everything between steps is deterministic.
+	step uint64
+	// chaosDraws counts draws consumed from the chaos stream, so a
+	// snapshot can attest the stream position without exposing rand
+	// internals.
+	chaosDraws uint64
+	// tieSeq numbers the chaos tie decisions (≥2 procs at the minimum wake
+	// time); it is the coordinate system for forced and recorded picks.
+	tieSeq uint64
+	// forced overrides tie decisions by ordinal: at tie i, forced[i]
+	// (when in range) indexes the seq-sorted tied set instead of the chaos
+	// pick. The chaos draw is still consumed — see pop.
+	forced []int
+	// tieRec, if set, observes every tie decision (after any forced
+	// override). It must not perturb the simulation.
+	tieRec func(TieDecision)
+
 	// TraceFn, if set, receives one line per scheduling event (debugging).
 	TraceFn func(format string, args ...interface{})
 
@@ -248,12 +270,32 @@ func (e *Engine) Run() error { return e.RunUntil(-1) }
 // RunUntil is Run bounded by virtual time limit (inclusive); limit < 0 means
 // unbounded. Procs scheduled after the limit remain queued, and the engine's
 // clock advances to the limit so a later RunUntil continues seamlessly.
-func (e *Engine) RunUntil(limit Time) error {
+func (e *Engine) RunUntil(limit Time) error { return e.run(limit, 0, false) }
+
+// RunUntilStep is Run bounded by the scheduling-step cursor instead of
+// virtual time: it pauses at the event boundary once StepCount reaches n
+// (immediately if it already has). A later Run/RunUntil/RunUntilStep
+// continues seamlessly, so a paused run is indistinguishable — byte for
+// byte — from an uninterrupted one. This is the restore side of the
+// snapshot contract: replaying a fresh world to a snapshot's step cursor
+// lands on exactly the snapshotted state.
+func (e *Engine) RunUntilStep(n uint64) error { return e.run(-1, n, true) }
+
+// StepCount returns the number of proc resumptions completed so far.
+func (e *Engine) StepCount() uint64 { return e.step }
+
+// ChaosDraws returns the number of draws consumed from the chaos stream.
+func (e *Engine) ChaosDraws() uint64 { return e.chaosDraws }
+
+func (e *Engine) run(limit Time, stepLimit uint64, stepBounded bool) error {
 	if e.cur != nil {
 		panic("sim: RunUntil called re-entrantly from a proc")
 	}
 	e.stopped = false
 	for len(e.runq) > 0 && !e.stopped {
+		if stepBounded && e.step >= stepLimit {
+			return nil
+		}
 		top := e.runq[0]
 		if limit >= 0 && top.wake > limit {
 			e.now = limit
@@ -275,6 +317,7 @@ func (e *Engine) RunUntil(limit Time) error {
 		p.resume <- struct{}{}
 		msg := <-e.yield
 		e.cur = nil
+		e.step++
 		switch msg.kind {
 		case yieldSleep:
 			// schedule() was already performed by Sleep.
@@ -322,10 +365,60 @@ func (e *Engine) pop() *Proc {
 		return heap.Pop(&e.runq).(*Proc)
 	}
 	sort.Slice(tied, func(i, j int) bool { return tied[i].seq < tied[j].seq })
-	pick := tied[e.chaos.Intn(len(tied))]
+	// The chaos draw is consumed even when a forced choice overrides it, so
+	// the schedule after a forced prefix continues the base run's stream:
+	// replaying with every recorded pick forced reproduces the base run
+	// byte-identically, and flipping one pick perturbs only its causal
+	// consequences.
+	idx := e.chaos.Intn(len(tied))
+	e.chaosDraws++
+	ord := e.tieSeq
+	e.tieSeq++
+	if ord < uint64(len(e.forced)) {
+		if f := e.forced[ord]; f >= 0 && f < len(tied) {
+			idx = f
+		}
+	}
+	if e.tieRec != nil {
+		d := TieDecision{Seq: ord, Step: e.step, NowNS: int64(minWake), Pick: idx,
+			Tied: make([]string, len(tied))}
+		for i, q := range tied {
+			d.Tied[i] = q.name
+		}
+		e.tieRec(d)
+	}
+	pick := tied[idx]
 	heap.Remove(&e.runq, pick.heapIdx)
 	return pick
 }
+
+// TieDecision records one chaos tie break: at engine step Step (time
+// NowNS), the procs in Tied (sorted by scheduling sequence) were runnable
+// at the same instant and Tied[Pick] ran. Seq is the decision's ordinal,
+// the coordinate SetForcedTies overrides by.
+type TieDecision struct {
+	Seq   uint64   `json:"seq"`
+	Step  uint64   `json:"step"`
+	NowNS int64    `json:"now_ns"`
+	Tied  []string `json:"tied"`
+	Pick  int      `json:"pick"`
+}
+
+// SetForcedTies overrides the engine's tie decisions by ordinal: at tie i,
+// picks[i] (when it indexes the tied set) replaces the chaos choice. Ties
+// past the end of picks fall back to chaos. The underlying chaos draws are
+// consumed either way, so forcing a prefix does not shift the stream for
+// the free suffix. Requires a chaos engine (WithChaos); without one there
+// are no tie decisions to force.
+func (e *Engine) SetForcedTies(picks []int) { e.forced = picks }
+
+// SetTieRecorder installs an observer for every tie decision (after any
+// forced override). The recorder must not perturb the simulation. A nil
+// recorder disables recording.
+func (e *Engine) SetTieRecorder(fn func(TieDecision)) { e.tieRec = fn }
+
+// TieCount returns the number of tie decisions made so far.
+func (e *Engine) TieCount() uint64 { return e.tieSeq }
 
 // Stop halts Run after the current proc yields. Call from inside a proc.
 func (e *Engine) Stop() { e.stopped = true }
@@ -446,7 +539,8 @@ func (e *Engine) Wake(p *Proc) bool {
 }
 
 // ProcSnap is one proc's scheduling state in wire form, for the flight
-// recorder's black boxes (DESIGN.md §13).
+// recorder's black boxes (DESIGN.md §13) and full-state snapshots
+// (DESIGN.md §14).
 type ProcSnap struct {
 	ID      int    `json:"id"`
 	Name    string `json:"name"`
@@ -454,23 +548,38 @@ type ProcSnap struct {
 	ClockNS int64  `json:"clock_ns"`
 	// WakeNS is the scheduled wake time while sleeping (0 otherwise).
 	WakeNS     int64    `json:"wake_ns,omitempty"`
+	Seq        uint64   `json:"seq,omitempty"`
+	Preempted  bool     `json:"preempted,omitempty"`
 	WaitReason string   `json:"wait_reason,omitempty"`
 	WaitOn     []string `json:"wait_on,omitempty"`
 }
 
-// EngineSnap is the engine's scheduling state in wire form: every live
-// proc, plus any wait cycle among the blocked ones (the same cycle the
-// deadlock diagnostic renders).
+// EngineSnap is the engine's scheduling state in wire form: the event
+// cursor and RNG stream position, every live proc, plus any wait cycle
+// among the blocked ones (the same cycle the deadlock diagnostic renders).
 type EngineSnap struct {
-	NowNS     int64      `json:"now_ns"`
-	Procs     []ProcSnap `json:"procs"`
-	WaitCycle []string   `json:"wait_cycle,omitempty"`
+	NowNS      int64      `json:"now_ns"`
+	Step       uint64     `json:"step"`
+	NextID     int        `json:"next_id"`
+	NextSeq    uint64     `json:"next_seq"`
+	ChaosDraws uint64     `json:"chaos_draws,omitempty"`
+	Ties       uint64     `json:"ties,omitempty"`
+	Procs      []ProcSnap `json:"procs"`
+	WaitCycle  []string   `json:"wait_cycle,omitempty"`
 }
 
-// Snapshot captures the engine's scheduling state for post-mortems. Procs
-// appear in spawn order (deterministic), finished procs are skipped.
+// Snapshot captures the engine's scheduling state in a fixed wire order.
+// Procs appear in spawn order (deterministic), finished procs are skipped.
+// The snapshot is a pure read: taking one never perturbs the simulation.
 func (e *Engine) Snapshot() EngineSnap {
-	snap := EngineSnap{NowNS: int64(e.now)}
+	snap := EngineSnap{
+		NowNS:      int64(e.now),
+		Step:       e.step,
+		NextID:     e.nextID,
+		NextSeq:    e.nextSeq,
+		ChaosDraws: e.chaosDraws,
+		Ties:       e.tieSeq,
+	}
 	var blocked []*Proc
 	for _, p := range e.procs {
 		if p.state == StateDone {
@@ -481,10 +590,12 @@ func (e *Engine) Snapshot() EngineSnap {
 			Name:       p.name,
 			State:      p.state.String(),
 			ClockNS:    int64(p.clock),
+			Preempted:  p.preempted,
 			WaitReason: p.waitReason,
 		}
 		if p.state == StateSleeping {
 			ps.WakeNS = int64(p.wake)
+			ps.Seq = p.seq
 		}
 		for _, d := range p.waitOn {
 			ps.WaitOn = append(ps.WaitOn, d.name)
@@ -498,6 +609,40 @@ func (e *Engine) Snapshot() EngineSnap {
 		snap.WaitCycle = append(snap.WaitCycle, p.name)
 	}
 	return snap
+}
+
+// Restore completes a replay-based restore of the engine to snapshot s.
+// Goroutine stacks cannot be captured, so restoring is rebuilding: the
+// caller constructs a fresh world from the same configuration, replays it
+// to s.Step (RunUntilStep), and then calls Restore, which verifies that
+// the replay landed on exactly the snapshotted state — event cursor,
+// clock, RNG stream position, and every live proc — and returns a diff
+// error otherwise. After a nil return the engine may continue running and
+// is guaranteed (by the byte-identity tests) to behave identically to the
+// run the snapshot was taken from.
+func (e *Engine) Restore(s EngineSnap) error {
+	got := e.Snapshot()
+	if got.Step != s.Step {
+		return fmt.Errorf("sim: restore: replay stopped at step %d, snapshot is at step %d", got.Step, s.Step)
+	}
+	if got.NowNS != s.NowNS {
+		return fmt.Errorf("sim: restore: clock %dns after replay, snapshot says %dns", got.NowNS, s.NowNS)
+	}
+	if got.ChaosDraws != s.ChaosDraws {
+		return fmt.Errorf("sim: restore: %d chaos draws after replay, snapshot says %d", got.ChaosDraws, s.ChaosDraws)
+	}
+	a, err := json.Marshal(got)
+	if err != nil {
+		return fmt.Errorf("sim: restore: %v", err)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("sim: restore: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("sim: restore: replayed engine state diverges from snapshot at step %d:\n replay:   %s\n snapshot: %s", s.Step, a, b)
+	}
+	return nil
 }
 
 // WaitGraph renders a readable report of every live proc that is blocked or

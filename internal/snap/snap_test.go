@@ -1,0 +1,97 @@
+package snap
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample(t *testing.T) *Snapshot {
+	t.Helper()
+	s := New(42, 1_000_000, nil)
+	if err := s.AddLayer("machine", map[string]any{"cpus": 4, "tag": "<x>"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddLayer("oracle", []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestVerifyAndDigestStability(t *testing.T) {
+	s := sample(t)
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The digest is a pure function of (step, time, layers): rebuilding
+	// from the same parts must reproduce it.
+	again := New(s.Step, s.NowNS, s.Layers)
+	if again.Digest != s.Digest {
+		t.Fatalf("digest not stable: %s vs %s", s.Digest, again.Digest)
+	}
+	// Any tampering — payload, name, step, or time — must be caught.
+	mut := func(f func(*Snapshot)) {
+		var c Snapshot
+		raw, _ := json.Marshal(s)
+		json.Unmarshal(raw, &c)
+		f(&c)
+		if err := c.Verify(); err == nil {
+			t.Fatalf("Verify accepted a tampered snapshot")
+		}
+	}
+	mut(func(c *Snapshot) { c.Layers[0].Data = json.RawMessage(`{"cpus":5,"tag":"<x>"}`) })
+	mut(func(c *Snapshot) { c.Layers[1].Name = "oracle2" })
+	mut(func(c *Snapshot) { c.Step++ })
+	mut(func(c *Snapshot) { c.NowNS++ })
+	mut(func(c *Snapshot) { c.Format = "bogus" })
+}
+
+func TestEqualNamesDivergingLayer(t *testing.T) {
+	a, b := sample(t), sample(t)
+	if ok, _ := Equal(a, b); !ok {
+		t.Fatal("identical snapshots compare unequal")
+	}
+	b.Layers[1].Data = json.RawMessage(`[1,2,4]`)
+	b.Digest = ""
+	ok, diff := Equal(a, b)
+	if ok {
+		t.Fatal("diverged snapshots compare equal")
+	}
+	if !strings.Contains(diff, `"oracle"`) {
+		t.Fatalf("diff does not name the diverging layer: %s", diff)
+	}
+}
+
+// TestNormalizeUndoesCarrierIndentation pins the property the artifact
+// loaders rely on: a carrier that pretty-prints the snapshot (the flight
+// recorder indents black boxes) re-indents the embedded layer payloads,
+// and Normalize restores the canonical bytes the digest was computed over.
+func TestNormalizeUndoesCarrierIndentation(t *testing.T) {
+	s := sample(t)
+	pretty, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(pretty, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Verify(); err == nil {
+		t.Fatal("indented round trip verified without Normalize — test is vacuous")
+	}
+	if err := back.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Verify(); err != nil {
+		t.Fatalf("after Normalize: %v", err)
+	}
+	if ok, diff := Equal(s, &back); !ok {
+		t.Fatalf("normalized round trip diverged: %s", diff)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if err := Empty().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

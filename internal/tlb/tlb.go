@@ -384,3 +384,43 @@ func (t *TLB) Entries() []Entry {
 	}
 	return out
 }
+
+// EntrySnap is one cached translation in wire form, including the
+// replacement-policy bookkeeping (insertion and access order) that the
+// exported Entry fields hide. Slot is the entry's associative slot: two
+// TLBs with the same entries in different slots behave identically until
+// an eviction, so slot numbers are part of the full state.
+type EntrySnap struct {
+	Slot    int    `json:"slot"`
+	VA      uint32 `json:"va"`
+	ASID    uint16 `json:"asid,omitempty"`
+	PTE     uint32 `json:"pte"`
+	Seq     uint64 `json:"seq"`
+	LastUse uint64 `json:"last_use"`
+}
+
+// Snap is the TLB's complete state in wire form (DESIGN.md §14): valid
+// entries in slot order, the logical clock that orders them, and the event
+// counters. The Random-replacement RNG is not serialized; its position is
+// implied by the counters (victim draws happen only on eviction) and is
+// reconstructed by replay.
+type Snap struct {
+	Clock   uint64      `json:"clock"`
+	Entries []EntrySnap `json:"entries,omitempty"`
+	Stats   Stats       `json:"stats"`
+}
+
+// Snapshot captures the TLB's complete state in a fixed wire order.
+func (t *TLB) Snapshot() Snap {
+	s := Snap{Clock: t.clock, Stats: t.stats}
+	for i, e := range t.entries {
+		if !e.Valid {
+			continue
+		}
+		s.Entries = append(s.Entries, EntrySnap{
+			Slot: i, VA: uint32(e.VA), ASID: uint16(e.ASID), PTE: uint32(e.PTE),
+			Seq: e.seq, LastUse: e.lastUse,
+		})
+	}
+	return s
+}

@@ -29,10 +29,25 @@ import (
 // does not reshuffle the others' behaviour — which keeps the schedule
 // monotonic enough for delta-debugging to converge quickly.
 func RunChurn(cfg AppConfig) (AppResult, error) {
+	k, err := StartChurn(cfg)
+	if err != nil {
+		return AppResult{}, err
+	}
+	// Harvest even when the run fails: chaos campaigns need the injected
+	// event schedule and counters from the failing run to shrink it.
+	runErr := k.Run()
+	return CollectChurn(cfg, k), runErr
+}
+
+// StartChurn assembles the churn kernel and spawns its workers without
+// running the engine. The snapshot/restore consumers (step-bounded replay,
+// the explorer's forked schedules) drive the returned kernel themselves
+// via RunToStep/ContinueRun and then harvest with CollectChurn.
+func StartChurn(cfg AppConfig) (*kernel.Kernel, error) {
 	cfg = cfg.withDefaults()
 	k, err := cfg.newKernel()
 	if err != nil {
-		return AppResult{}, err
+		return nil, err
 	}
 	workers := cfg.NCPUs + 2 // oversubscribe: redispatch keeps failed CPUs' work moving
 	iters := scaled(cfg, 24)
@@ -49,16 +64,19 @@ func RunChurn(cfg AppConfig) (AppResult, error) {
 		// User-map churn in a private task: targeted shootdowns.
 		task, err := k.NewTask(fmt.Sprintf("churn%d", w))
 		if err != nil {
-			return AppResult{}, err
+			return nil, err
 		}
 		task.Spawn(fmt.Sprintf("uchurn%d", w), func(th *kernel.Thread) {
 			churnUser(th, rng, iters)
 		})
 	}
-	// Harvest even when the run fails: chaos campaigns need the injected
-	// event schedule and counters from the failing run to shrink it.
-	runErr := k.Run()
-	return collect(cfg, "Churn", k), runErr
+	return k, nil
+}
+
+// CollectChurn harvests a finished churn run (the StartChurn counterpart
+// of RunChurn's result).
+func CollectChurn(cfg AppConfig, k *kernel.Kernel) AppResult {
+	return collect(cfg.withDefaults(), "Churn", k)
 }
 
 // churnUser cycles a small working set through allocate / touch /

@@ -9,11 +9,14 @@
 # committed fault-schedule reproducer. The smoke stage exercises the
 # observability layer end to end: traces and results round-trip through
 # `tlbtrace validate`, the profiler and the fault/chaos campaigns are
-# deterministic (same seed, byte-identical output), a seeded chaos failure
-# auto-writes a flight-recorder black box, and the benchmark gate compares
-# a quick subset against the last committed BENCH_<n>.json snapshot
-# (threshold BENCH_GATE_THRESHOLD percent, default 50; intentional
-# regressions go in scripts/bench-allow.txt).
+# deterministic (same seed, byte-identical output), the schedule explorer
+# explores a byte-identical set on a repeated run, time travel restores a
+# mid-run snapshot byte for byte, a seeded chaos failure auto-writes a
+# flight-recorder black box (whose embedded restore point round-trips
+# through validate), and the benchmark gate compares a quick subset
+# against the last committed BENCH_<n>.json snapshot (threshold
+# BENCH_GATE_THRESHOLD percent, default 50; intentional regressions go in
+# scripts/bench-allow.txt).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -80,6 +83,17 @@ for repro in internal/experiments/testdata/corpus/*.json; do
 	go run ./cmd/shootdownsim -repro "$repro"
 done
 
+echo "== smoke: schedule explorer is deterministic (same budget+seed, byte-identical explored set)"
+# wall_ms is shrink-campaign wall-clock accounting, the one legitimately
+# nondeterministic field in the reproducer metadata; strip it before cmp.
+go run ./cmd/shootdownsim -seed 7 -chaosbug -explorebudget 8 -format json explore | sed '/wall_ms/d' >"$tmp/explore1.json"
+go run ./cmd/shootdownsim -seed 7 -chaosbug -explorebudget 8 -format json explore | sed '/wall_ms/d' >"$tmp/explore2.json"
+cmp "$tmp/explore1.json" "$tmp/explore2.json"
+
+echo "== smoke: time travel — snapshot mid-run, restore by replay, verify byte identity"
+go run ./cmd/shootdownsim -seed 7 timetravel >"$tmp/timetravel.txt"
+grep -q 'restore verified' "$tmp/timetravel.txt"
+
 echo "== smoke: a seeded chaos failure auto-writes a flight-recorder black box"
 go run ./cmd/shootdownsim -seed 7 -format json -chaosbug -flight "$tmp/flight" chaos >"$tmp/chaosbug.json" 2>"$tmp/chaosbug.log"
 ls "$tmp/flight"/blackbox-*.json >/dev/null
@@ -91,7 +105,7 @@ go run ./cmd/tlbtrace query -cat shootdown "$tmp/flight"/blackbox-0-*.json >/dev
 echo "== gate: quick benchmark subset vs last committed BENCH_<n>.json"
 n=0
 while [ -e "BENCH_$((n + 1)).json" ]; do n=$((n + 1)); done
-go test -bench 'SingleShootdown|SimEngineSwitch|TLBProbe' -benchmem -benchtime 0.3s -run '^$' . >"$tmp/bench.txt"
+go test -bench 'SingleShootdown|SimEngineSwitch|TLBProbe|SnapshotCapture|SnapshotRestore' -benchmem -benchtime 0.3s -run '^$' . >"$tmp/bench.txt"
 go run ./scripts/benchreport report "$tmp/bench.txt" >"$tmp/bench.json"
 go run ./scripts/benchreport diff -gate -threshold "${BENCH_GATE_THRESHOLD:-50}" \
 	-allow scripts/bench-allow.txt "BENCH_${n}.json" "$tmp/bench.json"
