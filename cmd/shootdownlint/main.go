@@ -1,13 +1,18 @@
 // Command shootdownlint runs the repository's static-analysis suite: the
-// determinism, concurrency, interrupt-priority, and lock-ordering
-// analyzers described in internal/analysis and DESIGN.md §10.
+// determinism, concurrency, interrupt-priority, lock-ordering,
+// snapshot-coverage, hook-purity, and RNG-discipline analyzers described
+// in internal/analysis and DESIGN.md §10 and §15.
 //
 // Usage:
 //
-//	shootdownlint [-list] [-suppressions] [packages]
+//	shootdownlint [-list] [-json] [-suppressions] [packages]
 //
-// With no packages it checks the whole module (./...). Exit status is 0
-// when clean, 1 when findings were reported, 2 on usage or load errors.
+// With no packages it checks the whole module (./...). -json writes the
+// findings (including unused //lint:allow suppressions) to stdout as a
+// deterministically sorted JSON array of {file, line, col, analyzer,
+// message} objects — sorted by file, line, column, analyzer, message —
+// instead of the human-readable listing. Exit status is 0 when clean, 1
+// when findings were reported, 2 on usage or load errors.
 package main
 
 import (

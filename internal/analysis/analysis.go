@@ -35,10 +35,17 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description shown by the driver's -list.
 	Doc string
+	// Requires lists analyzers whose results this one consumes through
+	// Pass.ResultOf (the x/tools Requires mechanism). Drivers run a
+	// required analyzer over a package before any analyzer that requires
+	// it, so by the time Run sees a package, ResultOf holds the required
+	// results for that package and for every package analyzed earlier.
+	Requires []*Analyzer
 	// Run inspects the package described by pass and reports diagnostics
 	// through pass.Report. The returned value is stored by the driver and
 	// made available to later passes of the same analyzer over importing
-	// packages (see Pass.Imported) — a lightweight stand-in for the
+	// packages (see Pass.Imported) and to analyzers that list this one in
+	// Requires (see Pass.ResultOf) — a lightweight stand-in for the
 	// x/tools facts mechanism.
 	Run func(pass *Pass) (interface{}, error)
 }
@@ -58,8 +65,14 @@ type Pass struct {
 	// Imported holds the Run results of this same analyzer for every
 	// package analyzed before this one (the driver analyzes packages in
 	// dependency order), keyed by package path. Analyzers that need
-	// cross-package summaries (lockorder's callee lock sets) read it.
+	// cross-package summaries read it.
 	Imported map[string]interface{}
+	// ResultOf holds the results of every analyzer named in
+	// Analyzer.Requires: analyzer name -> package path -> Run result.
+	// Because packages are analyzed in dependency order and required
+	// analyzers run first on each package, ResultOf[name] covers this
+	// package and all of its (analyzed) dependencies.
+	ResultOf map[string]map[string]interface{}
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.
@@ -78,14 +91,18 @@ type Suppression struct {
 	Pos      token.Position // where the comment sits
 	Analyzer string
 	Reason   string
+	used     bool // a diagnostic landed on a covered line
 }
 
 // SuppressionIndex records every //lint:allow comment in a set of files
-// and answers whether a diagnostic position is covered by one.
+// and answers whether a diagnostic position is covered by one. It also
+// tracks which suppressions actually absorbed a diagnostic, so the driver
+// can report stale ones (see Unused).
 type SuppressionIndex struct {
-	// byFileLine maps file name -> line -> analyzer names allowed there.
-	byFileLine map[string]map[int]map[string]bool
-	entries    []Suppression
+	// byFileLine maps file name -> line -> analyzer name -> the
+	// suppressions covering that line for that analyzer.
+	byFileLine map[string]map[int]map[string][]*Suppression
+	entries    []*Suppression
 	malformed  []Diagnostic
 }
 
@@ -103,7 +120,7 @@ const lintAllowPrefix = "//lint:allow"
 //	//lint:allow simdeterminism order-insensitive counter aggregation
 //	for k := range m { ... }
 func NewSuppressionIndex(fset *token.FileSet, files []*ast.File) *SuppressionIndex {
-	idx := &SuppressionIndex{byFileLine: map[string]map[int]map[string]bool{}}
+	idx := &SuppressionIndex{byFileLine: map[string]map[int]map[string][]*Suppression{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -121,19 +138,20 @@ func NewSuppressionIndex(fset *token.FileSet, files []*ast.File) *SuppressionInd
 					})
 					continue
 				}
-				idx.entries = append(idx.entries, Suppression{
+				s := &Suppression{
 					Pos: pos, Analyzer: name, Reason: strings.TrimSpace(reason),
-				})
+				}
+				idx.entries = append(idx.entries, s)
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					lines := idx.byFileLine[pos.Filename]
 					if lines == nil {
-						lines = map[int]map[string]bool{}
+						lines = map[int]map[string][]*Suppression{}
 						idx.byFileLine[pos.Filename] = lines
 					}
 					if lines[line] == nil {
-						lines[line] = map[string]bool{}
+						lines[line] = map[string][]*Suppression{}
 					}
-					lines[line][name] = true
+					lines[line][name] = append(lines[line][name], s)
 				}
 			}
 		}
@@ -141,23 +159,50 @@ func NewSuppressionIndex(fset *token.FileSet, files []*ast.File) *SuppressionInd
 	return idx
 }
 
-// Allowed reports whether analyzer name is suppressed at pos.
+// Allowed reports whether analyzer name is suppressed at pos, marking any
+// covering suppression as used.
 func (idx *SuppressionIndex) Allowed(name string, pos token.Position) bool {
-	return idx.byFileLine[pos.Filename][pos.Line][name]
+	covering := idx.byFileLine[pos.Filename][pos.Line][name]
+	for _, s := range covering {
+		s.used = true
+	}
+	return len(covering) > 0
 }
 
 // Entries returns every well-formed suppression, sorted by position, for
 // the driver's audit listing.
 func (idx *SuppressionIndex) Entries() []Suppression {
-	out := make([]Suppression, len(idx.entries))
-	copy(out, idx.entries)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Pos.Filename != out[j].Pos.Filename {
-			return out[i].Pos.Filename < out[j].Pos.Filename
-		}
-		return out[i].Pos.Line < out[j].Pos.Line
-	})
+	out := make([]Suppression, 0, len(idx.entries))
+	for _, s := range idx.entries {
+		out = append(out, *s)
+	}
+	sortSuppressions(out)
 	return out
+}
+
+// Unused returns the suppressions that never absorbed a diagnostic, in
+// position order. Call it only after every in-scope analyzer's diagnostics
+// have been filtered through Allowed: a suppression that masks nothing is
+// stale and is itself reported by the driver, so dead //lint:allow
+// comments cannot linger and silently swallow future regressions.
+func (idx *SuppressionIndex) Unused() []Suppression {
+	var out []Suppression
+	for _, s := range idx.entries {
+		if !s.used {
+			out = append(out, *s)
+		}
+	}
+	sortSuppressions(out)
+	return out
+}
+
+func sortSuppressions(s []Suppression) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Pos.Filename != s[j].Pos.Filename {
+			return s[i].Pos.Filename < s[j].Pos.Filename
+		}
+		return s[i].Pos.Line < s[j].Pos.Line
+	})
 }
 
 // Malformed returns a diagnostic for every //lint:allow comment missing

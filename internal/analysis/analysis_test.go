@@ -61,3 +61,38 @@ func TestSuppressionIndex(t *testing.T) {
 		t.Errorf("malformed suppression reported at line %d, want 7", got)
 	}
 }
+
+func TestUnusedSuppressions(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressionSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewSuppressionIndex(fset, []*ast.File{f})
+
+	// Before any Allowed call, every well-formed suppression is unused.
+	if got := len(idx.Unused()); got != 2 {
+		t.Fatalf("Unused before any match = %d, want 2", got)
+	}
+
+	// A matching finding marks the covering suppression used; a probe for
+	// the wrong analyzer or line must not.
+	idx.Allowed("lockorder", token.Position{Filename: "p.go", Line: 4})
+	idx.Allowed("simdeterminism", token.Position{Filename: "p.go", Line: 10})
+	if got := len(idx.Unused()); got != 2 {
+		t.Fatalf("Unused after non-matching probes = %d, want 2", got)
+	}
+	idx.Allowed("simdeterminism", token.Position{Filename: "p.go", Line: 4})
+	unused := idx.Unused()
+	if len(unused) != 1 {
+		t.Fatalf("Unused after one match = %d, want 1", len(unused))
+	}
+	if unused[0].Analyzer != "lockorder" || unused[0].Pos.Line != 5 {
+		t.Errorf("unused entry = %s at line %d, want lockorder at line 5",
+			unused[0].Analyzer, unused[0].Pos.Line)
+	}
+	idx.Allowed("lockorder", token.Position{Filename: "p.go", Line: 6})
+	if got := len(idx.Unused()); got != 0 {
+		t.Fatalf("Unused after both matched = %d, want 0", got)
+	}
+}

@@ -44,15 +44,50 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string
 		t.Fatalf("no fixture packages matched %v", patterns)
 	}
 	imported := map[string]interface{}{}
+	resultOf := map[string]map[string]interface{}{}
 	for _, pkg := range pkgs {
-		diags := collect(t, a, pkg, imported)
+		runRequired(t, a, pkg, resultOf)
+		diags := collect(t, a, pkg, imported, resultOf)
 		checkWants(t, pkg, diags)
+	}
+}
+
+// runRequired runs a's Requires closure (depth-first) over one package,
+// mirroring the driver: required analyzers see the package before a does,
+// and their results accumulate in resultOf keyed by analyzer then package.
+// Diagnostics from required analyzers are discarded — the fixture's wants
+// describe a's findings only.
+func runRequired(t *testing.T, a *analysis.Analyzer, pkg *load.Package, resultOf map[string]map[string]interface{}) {
+	t.Helper()
+	for _, r := range a.Requires {
+		runRequired(t, r, pkg, resultOf)
+		if resultOf[r.Name] == nil {
+			resultOf[r.Name] = map[string]interface{}{}
+		}
+		if _, done := resultOf[r.Name][pkg.Path]; done {
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:  r,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(analysis.Diagnostic) {},
+			Imported:  resultOf[r.Name],
+			ResultOf:  resultOf,
+		}
+		result, err := r.Run(pass)
+		if err != nil {
+			t.Fatalf("%s: required analyzer %s failed: %v", pkg.Path, r.Name, err)
+		}
+		resultOf[r.Name][pkg.Path] = result
 	}
 }
 
 // collect runs the analyzer over one package and returns its unsuppressed
 // diagnostics (plus any malformed suppression comments).
-func collect(t *testing.T, a *analysis.Analyzer, pkg *load.Package, imported map[string]interface{}) []analysis.Diagnostic {
+func collect(t *testing.T, a *analysis.Analyzer, pkg *load.Package, imported map[string]interface{}, resultOf map[string]map[string]interface{}) []analysis.Diagnostic {
 	t.Helper()
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
@@ -63,6 +98,7 @@ func collect(t *testing.T, a *analysis.Analyzer, pkg *load.Package, imported map
 		TypesInfo: pkg.TypesInfo,
 		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 		Imported:  imported,
+		ResultOf:  resultOf,
 	}
 	result, err := a.Run(pass)
 	if err != nil {

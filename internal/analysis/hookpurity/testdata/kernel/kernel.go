@@ -1,0 +1,28 @@
+// Package kernel wires hooks: flight-recorder providers registered into
+// the trace package and a literal installed on an observation field.
+package kernel
+
+import (
+	"lint.test/oracle"
+	"lint.test/sim"
+	"lint.test/trace"
+)
+
+type Kernel struct {
+	Eng *sim.Engine
+	O   *oracle.Oracle
+}
+
+func Wire(k *Kernel, r *trace.Recorder) {
+	// Pure provider: reads a snapshot, touches nothing.
+	r.Register("engine", func() any { return k.Eng.Snapshot() })
+	// Impure provider: stops the engine from inside the recorder.
+	r.Register("stop", func() any {
+		k.Eng.Stop() // want `trace\.Register hook must not write simulated state: writes sim\.Engine\.stopped \(via .*Stop\)`
+		return nil
+	})
+	// Hook field literal perturbing live state.
+	k.O.OnViolation = func(v int) {
+		k.Eng.Stop() // want `hook assigned to OnViolation must not write simulated state: writes sim\.Engine\.stopped \(via .*Stop\)`
+	}
+}

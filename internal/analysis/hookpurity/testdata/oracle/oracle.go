@@ -1,0 +1,10 @@
+// Package oracle holds a hook field (On-prefixed, func-typed) that
+// checked packages install literals into.
+package oracle
+
+type Oracle struct {
+	OnViolation func(int)
+	count       int
+}
+
+func (o *Oracle) Note() { o.count++ }

@@ -1,0 +1,35 @@
+// Package sim is a miniature engine: live simulated state plus Snapshot
+// methods, one pure and one that perturbs the state it captures.
+package sim
+
+import "math/rand"
+
+type Snap struct{ Now int64 }
+
+type Engine struct {
+	now     int64
+	stopped bool
+	rng     *rand.Rand
+}
+
+func (e *Engine) Stop()      { e.stopped = true }
+func (e *Engine) Now() int64 { return e.now }
+
+// Jitter draws from the engine's seeded stream.
+func (e *Engine) Jitter() int { return e.rng.Intn(4) }
+
+// Snapshot is pure: reads only.
+func (e *Engine) Snapshot() Snap { return Snap{Now: e.now} }
+
+// Cache's Snapshot caches its own output — a write to live state from an
+// observer, exactly what zero-perturbation forbids.
+type Cache struct {
+	n    int
+	last Snap
+}
+
+func (c *Cache) Snapshot() Snap {
+	s := Snap{Now: int64(c.n)}
+	c.last = s // want `\(Cache\)\.Snapshot must not write simulated state: writes sim\.Cache\.last`
+	return s
+}

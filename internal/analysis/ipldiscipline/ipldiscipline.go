@@ -29,7 +29,10 @@
 // The analysis is a conservative structural walk of each function body
 // (if/switch branches, loops with fixpoint, defer, early returns); it
 // tracks each saved-IPL variable independently and treats any consuming
-// use as a handoff of the restore obligation.
+// use as a handoff of the restore obligation. Whether a callee may
+// transitively block comes from the shared interprocedural substrate
+// (internal/analysis/summary), which propagates the Blocks bit across
+// packages in dependency order.
 package ipldiscipline
 
 import (
@@ -39,6 +42,7 @@ import (
 	"go/types"
 
 	"shootdown/internal/analysis"
+	"shootdown/internal/analysis/summary"
 )
 
 // Analyzer is the ipldiscipline analysis.
@@ -46,21 +50,15 @@ var Analyzer = &analysis.Analyzer{
 	Name: "ipldiscipline",
 	Doc: "every RaiseIPL/DisableAll/SpinLock.Lock result must reach a restore on " +
 		"all paths, and nothing may block while the IPL is raised",
-	Run: run,
-}
-
-// Summary is the per-package analysis result shared with importing
-// packages: the set of functions (by types.Func.FullName) that may
-// transitively reach a blocking primitive.
-type Summary struct {
-	Blocking map[string]bool
+	Requires: []*analysis.Analyzer{summary.Analyzer},
+	Run:      run,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	c := &checker{
 		pass:     pass,
 		reported: map[string]bool{},
-		blocking: blockingFuncs(pass),
+		ix:       summary.NewIndex(pass.ResultOf[summary.Analyzer.Name]),
 	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -77,7 +75,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			return true
 		})
 	}
-	return &Summary{Blocking: c.blocking}, nil
+	return nil, nil
 }
 
 // --- raise/restore discipline -------------------------------------------
@@ -85,7 +83,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 type checker struct {
 	pass     *analysis.Pass
 	reported map[string]bool
-	blocking map[string]bool // FullName -> may block (this package's funcs)
+	ix       *summary.Index // shared interprocedural summaries
 }
 
 func (c *checker) reportf(pos token.Pos, format string, args ...interface{}) {
@@ -481,86 +479,16 @@ func (w *siteWalker) firstBlockingCall(n ast.Node) (token.Pos, string, bool) {
 	return pos, name, found
 }
 
-// --- blocking-function summaries ----------------------------------------
+// --- blocking lookups on the shared substrate ----------------------------
 
-// isBlockingBase recognizes the primitive: sim.Proc.Block.
-func isBlockingBase(fn *types.Func) bool {
-	return fn.Name() == "Block" && receiverTypeName(fn) == "Proc" &&
-		fn.Pkg() != nil && fn.Pkg().Name() == "sim"
-}
-
+// isBlocking reports whether fn may transitively reach sim.Proc.Block,
+// per the summary analyzer's cross-package fixpoint.
 func (c *checker) isBlocking(fn *types.Func) bool {
-	if isBlockingBase(fn) {
+	if summary.IsBlockingBase(fn) {
 		return true
 	}
-	if c.blocking[fn.FullName()] {
-		return true
-	}
-	for _, r := range c.pass.Imported {
-		if s, ok := r.(*Summary); ok && s.Blocking[fn.FullName()] {
-			return true
-		}
-	}
-	return false
-}
-
-// blockingFuncs computes, by fixpoint over this package's call graph,
-// which functions may transitively reach a blocking primitive. Imported
-// packages' summaries (via pass.Imported) seed the cross-package edges.
-func blockingFuncs(pass *analysis.Pass) map[string]bool {
-	bodies := map[*types.Func]*ast.FuncDecl{}
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				bodies[fn] = fd
-			}
-		}
-	}
-	imported := func(fn *types.Func) bool {
-		for _, r := range pass.Imported {
-			if s, ok := r.(*Summary); ok && s.Blocking[fn.FullName()] {
-				return true
-			}
-		}
-		return false
-	}
-	blocking := map[string]bool{}
-	for changed := true; changed; {
-		changed = false
-		for fn, fd := range bodies {
-			if blocking[fn.FullName()] {
-				continue
-			}
-			calls := false
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				if calls {
-					return false
-				}
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				callee := calleeFunc(pass, call)
-				if callee == nil {
-					return true
-				}
-				if isBlockingBase(callee) || blocking[callee.FullName()] || imported(callee) {
-					calls = true
-					return false
-				}
-				return true
-			})
-			if calls {
-				blocking[fn.FullName()] = true
-				changed = true
-			}
-		}
-	}
-	return blocking
+	s := c.ix.Func(fn.FullName())
+	return s != nil && s.Blocks
 }
 
 // --- small helpers -------------------------------------------------------
@@ -584,33 +512,10 @@ func (w *siteWalker) usesObj(n ast.Node) bool {
 	return found
 }
 
-func receiverTypeName(fn *types.Func) string {
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return ""
-	}
-	t := sig.Recv().Type()
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	if named, ok := t.(*types.Named); ok {
-		return named.Obj().Name()
-	}
-	return ""
-}
+func receiverTypeName(fn *types.Func) string { return summary.ReceiverTypeName(fn) }
 
 func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return nil
-	}
-	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
-	return fn
+	return summary.Callee(pass.TypesInfo, call)
 }
 
 func isPanic(pass *analysis.Pass, e ast.Expr) bool {

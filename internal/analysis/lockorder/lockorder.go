@@ -25,7 +25,9 @@
 //     order makes same-rank locks leaves: holding two risks deadlock
 //     against a processor acquiring them in the opposite order);
 //   - a call, made while a documented lock is held, to a function that may
-//     transitively acquire a lock at or below a held rank (summaries
+//     transitively acquire a lock at or below a held rank (may-acquire
+//     sets come from the shared interprocedural substrate in
+//     internal/analysis/summary, whose per-function Acquires summaries
 //     propagate across packages in dependency order; interface-method
 //     calls are resolved by method name against every summary seen so
 //     far);
@@ -47,6 +49,7 @@ import (
 	"go/types"
 
 	"shootdown/internal/analysis"
+	"shootdown/internal/analysis/summary"
 )
 
 // Analyzer is the lockorder analysis.
@@ -55,7 +58,8 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "enforce the documented spin-lock order: vm map lock, then pmap lock, " +
 		"then the shootdown membership lock, then shootdown action locks, " +
 		"then the scheduler lock",
-	Run: run,
+	Requires: []*analysis.Analyzer{summary.Analyzer},
+	Run:      run,
 }
 
 // class is one documented lock class.
@@ -77,16 +81,12 @@ var classes = map[string]class{
 	"kernel.schedLock": {40, "the scheduler run-queue lock"},
 }
 
-// Summary is the per-package result shared with importing packages: for
-// each function (by types.Func.FullName), the set of documented lock
-// classes it may transitively acquire.
-type Summary struct {
-	Acquires map[string]map[string]bool
-}
-
 func run(pass *analysis.Pass) (interface{}, error) {
-	c := &checker{pass: pass, reported: map[string]bool{}}
-	c.acquires = c.acquireSummaries()
+	c := &checker{
+		pass:     pass,
+		reported: map[string]bool{},
+		ix:       summary.NewIndex(pass.ResultOf[summary.Analyzer.Name]),
+	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
@@ -95,13 +95,13 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			}
 		}
 	}
-	return &Summary{Acquires: c.acquires}, nil
+	return nil, nil
 }
 
 type checker struct {
 	pass     *analysis.Pass
 	reported map[string]bool
-	acquires map[string]map[string]bool // this package's summaries
+	ix       *summary.Index // shared interprocedural summaries
 }
 
 func (c *checker) reportf(pos token.Pos, format string, args ...interface{}) {
@@ -323,160 +323,54 @@ type lockOp struct {
 }
 
 // lockClass classifies a call as a SpinLock operation, or nil. The class
-// key is derived from the SpinLock field the method is invoked on.
+// key is derived from the SpinLock field the method is invoked on
+// (summary.SpinLockOp, shared with the substrate so lock identities match
+// the Acquires summaries exactly).
 func (w *walker) lockClass(call *ast.CallExpr) *lockOp {
 	return lockClassOf(w.c.pass, call)
 }
 
 func lockClassOf(pass *analysis.Pass, call *ast.CallExpr) *lockOp {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	method, key, ok := summary.SpinLockOp(pass.TypesInfo, call)
 	if !ok {
 		return nil
 	}
-	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "machine" ||
-		receiverTypeName(fn) != "SpinLock" {
-		return nil
-	}
-	switch fn.Name() {
-	case "Lock", "TryLock", "Unlock":
-	default:
-		return nil
-	}
-	return &lockOp{method: fn.Name(), key: fieldKey(pass, sel.X)}
+	return &lockOp{method: method, key: key}
 }
 
-// fieldKey names the SpinLock field a receiver expression selects:
-// pm.lock -> "pmap.lock", s.actionLocks[cpu] -> "core.actionLocks".
-// Non-field receivers (local lock variables) yield "local <name>".
-func fieldKey(pass *analysis.Pass, recv ast.Expr) string {
-	for {
-		switch r := ast.Unparen(recv).(type) {
-		case *ast.IndexExpr:
-			recv = r.X
-			continue
-		case *ast.SelectorExpr:
-			if v, ok := pass.TypesInfo.Uses[r.Sel].(*types.Var); ok && v.IsField() && v.Pkg() != nil {
-				return v.Pkg().Name() + "." + r.Sel.Name
-			}
-			return "local " + r.Sel.Name
-		case *ast.Ident:
-			return "local " + r.Name
-		default:
-			return "local lock"
-		}
-	}
-}
+// --- may-acquire lookups on the shared substrate -------------------------
 
-// --- may-acquire summaries ----------------------------------------------
-
-// mayAcquire returns the documented classes fn may transitively acquire.
-// Interface methods resolve by bare name against every summary available.
+// mayAcquire returns the documented classes fn may transitively acquire,
+// read from the summary substrate. The summaries record every field-homed
+// lock; only keys in the documented table participate in ordering checks
+// (undocumented locks are reported at their own acquisition sites, not
+// imputed rank 0 here). Interface methods resolve by bare name against
+// every summary available.
 func (c *checker) mayAcquire(fn *types.Func) map[string]bool {
+	documented := func(dst map[string]bool, acq map[string]summary.Effect) map[string]bool {
+		for key := range acq {
+			if _, ok := classes[key]; ok {
+				if dst == nil {
+					dst = map[string]bool{}
+				}
+				dst[key] = true
+			}
+		}
+		return dst
+	}
 	if isInterfaceMethod(fn) {
 		out := map[string]bool{}
-		merge := func(acq map[string]map[string]bool) {
-			for full, keys := range acq {
-				if methodName(full) == fn.Name() {
-					for k := range keys {
-						out[k] = true
-					}
-				}
+		c.ix.EachFunc(func(full string, s *summary.FuncSummary) {
+			if methodName(full) == fn.Name() {
+				out = documented(out, s.Acquires)
 			}
-		}
-		merge(c.acquires)
-		for _, r := range c.pass.Imported {
-			if s, ok := r.(*Summary); ok {
-				merge(s.Acquires)
-			}
-		}
+		})
 		return out
 	}
-	if keys, ok := c.acquires[fn.FullName()]; ok {
-		return keys
-	}
-	for _, r := range c.pass.Imported {
-		if s, ok := r.(*Summary); ok {
-			if keys, ok := s.Acquires[fn.FullName()]; ok {
-				return keys
-			}
-		}
+	if s := c.ix.Func(fn.FullName()); s != nil {
+		return documented(nil, s.Acquires)
 	}
 	return nil
-}
-
-// acquireSummaries computes, by fixpoint over this package's static call
-// graph, the documented lock classes each function may acquire.
-func (c *checker) acquireSummaries() map[string]map[string]bool {
-	bodies := map[*types.Func]*ast.FuncDecl{}
-	for _, file := range c.pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				bodies[fn] = fd
-			}
-		}
-	}
-	importedOf := func(fn *types.Func) map[string]bool {
-		for _, r := range c.pass.Imported {
-			if s, ok := r.(*Summary); ok {
-				if keys, ok := s.Acquires[fn.FullName()]; ok {
-					return keys
-				}
-			}
-		}
-		return nil
-	}
-	acq := map[string]map[string]bool{}
-	add := func(full, key string) bool {
-		if acq[full] == nil {
-			acq[full] = map[string]bool{}
-		}
-		if acq[full][key] {
-			return false
-		}
-		acq[full][key] = true
-		return true
-	}
-	for changed := true; changed; {
-		changed = false
-		for fn, fd := range bodies {
-			full := fn.FullName()
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if op := lockClassOf(c.pass, call); op != nil {
-					if op.method != "Unlock" {
-						if _, documented := classes[op.key]; documented && add(full, op.key) {
-							changed = true
-						}
-					}
-					return true
-				}
-				callee := calleeFunc(c.pass, call)
-				if callee == nil || isInterfaceMethod(callee) {
-					return true
-				}
-				for key := range acq[callee.FullName()] {
-					if add(full, key) {
-						changed = true
-					}
-				}
-				for key := range importedOf(callee) {
-					if add(full, key) {
-						changed = true
-					}
-				}
-				return true
-			})
-		}
-	}
-	return acq
 }
 
 // --- helpers -------------------------------------------------------------
@@ -490,7 +384,7 @@ func isInterfaceMethod(fn *types.Func) bool {
 }
 
 // methodName extracts the bare method name from a types.Func.FullName like
-// "(shootdown/internal/core.*Shootdown).Sync".
+// "(*shootdown/internal/core.Shootdown).Sync".
 func methodName(full string) string {
 	for i := len(full) - 1; i >= 0; i-- {
 		if full[i] == '.' {
@@ -500,31 +394,6 @@ func methodName(full string) string {
 	return full
 }
 
-func receiverTypeName(fn *types.Func) string {
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return ""
-	}
-	t := sig.Recv().Type()
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	if named, ok := t.(*types.Named); ok {
-		return named.Obj().Name()
-	}
-	return ""
-}
-
 func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return nil
-	}
-	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
-	return fn
+	return summary.Callee(pass.TypesInfo, call)
 }

@@ -56,3 +56,40 @@ func (s *Shootdown) UseExtra(ex *machine.Exec) {
 	prev := s.extra.Lock(ex) // want `acquisition of undocumented spin lock core\.extra`
 	s.extra.Unlock(ex, prev)
 }
+
+// TryMemberAfterAction inverts the order through the conditional-acquire
+// shape: a TryLock that guards its block rank-checks exactly like Lock.
+func (s *Shootdown) TryMemberAfterAction(ex *machine.Exec) {
+	ap := s.actionLocks[0].Lock(ex)
+	if s.memberLock.TryLock(ex) { // want `lock order inversion: acquiring core\.memberLock \(the shootdown membership lock\) while holding core\.actionLocks`
+		s.memberLock.Unlock(ex, 0)
+	}
+	s.actionLocks[0].Unlock(ex, ap)
+}
+
+// TrySecondAction conditionally grabs a second same-rank action lock.
+func (s *Shootdown) TrySecondAction(ex *machine.Exec) {
+	ap := s.actionLocks[0].Lock(ex)
+	if s.actionLocks[1].TryLock(ex) { // want `acquiring core\.actionLocks while already holding core\.actionLocks`
+		s.actionLocks[1].Unlock(ex, 0)
+	}
+	s.actionLocks[0].Unlock(ex, ap)
+}
+
+// TrySync only ever acquires the action lock through the conditional
+// TryLock shape; its may-acquire summary must still advertise the lock to
+// cross-package callers.
+func (s *Shootdown) TrySync(ex *machine.Exec) {
+	if s.actionLocks[0].TryLock(ex) {
+		s.actionLocks[0].Unlock(ex, 0)
+	}
+}
+
+// TryIgnored discards the TryLock result outside the guarding-if shape:
+// the lock is not tracked as held (the acquisition may have failed), so
+// the following acquisition is clean.
+func (s *Shootdown) TryIgnored(ex *machine.Exec) {
+	_ = s.memberLock.TryLock(ex)
+	ap := s.actionLocks[0].Lock(ex)
+	s.actionLocks[0].Unlock(ex, ap)
+}

@@ -7,6 +7,7 @@ import (
 	"lint.test/core"
 	"lint.test/machine"
 	"lint.test/pmap"
+	"lint.test/vm"
 )
 
 type Kernel struct {
@@ -49,4 +50,21 @@ func (k *Kernel) ReleaseFirst(ex *machine.Exec) {
 	prev := k.schedLock.Lock(ex)
 	k.schedLock.Unlock(ex, prev)
 	k.s.PostAction(ex)
+}
+
+// TryAcquirePath: the cross-package may-acquire summary includes locks
+// the callee only ever acquires through the conditional TryLock shape.
+func (k *Kernel) TryAcquirePath(ex *machine.Exec) {
+	prev := k.schedLock.Lock(ex)
+	k.s.TrySync(ex) // want `call to TrySync may acquire core\.actionLocks .* while holding kernel\.schedLock`
+	k.schedLock.Unlock(ex, prev)
+}
+
+// DeepInversion reaches the vm and pmap locks two packages away while
+// holding the scheduler lock: the summary fixpoint propagates both
+// acquisitions through vm.Fault's call to pmap.Enter.
+func (k *Kernel) DeepInversion(ex *machine.Exec, m *vm.Map) {
+	prev := k.schedLock.Lock(ex)
+	m.Fault(ex) // want `call to Fault may acquire vm\.lock .* while holding kernel\.schedLock` `call to Fault may acquire pmap\.lock .* while holding kernel\.schedLock`
+	k.schedLock.Unlock(ex, prev)
 }

@@ -1,0 +1,198 @@
+// Package rngdiscipline enforces the repo's randomness contract: every
+// stream is seeded from the experiment seed, and every draw from a
+// stream that lives in simulated state is counted, so snapshots capture
+// the stream position and restore-by-replay reproduces the same draws.
+//
+// Four rules, all skipped in _test.go files (tests may use literal
+// seeds):
+//
+//  1. Seeding: the argument of rand.NewSource must derive from a seed —
+//     it must mention an identifier containing "seed" (cfg.Seed,
+//     opts.Seed + 1000) or a call to a splitmix derivation
+//     (splitmix64(cfg.Seed ^ tag)). A bare literal creates a stream no
+//     experiment configuration controls.
+//
+//  2. Counting: a draw from a struct-field stream (m.rng.Intn(n), or
+//     passing m.rng to a callee, which draws on the caller's stream)
+//     must be paired, in the same function, with an increment (++ or +=)
+//     of an integer field on the same struct — the draw counter the
+//     type's Snapshot serializes. An uncounted draw advances the stream
+//     invisibly and desynchronizes restored runs.
+//
+//  3. Containment: a function must not return a field-homed stream;
+//     handing the raw *rand.Rand out lets callers draw without touching
+//     the counter. Expose counted drawing methods instead.
+//
+//  4. Provenance: a function must not store a *rand.Rand parameter into
+//     a struct field. Adopted streams have unknown seeding and an
+//     unknown position; derive a sub-stream from the seed instead.
+//
+// Rules are syntactic per function (rule 2 deliberately so: the counter
+// belongs next to the draw it counts, not in a helper); stream fields
+// are recognized by the same field-root keys the summary analyzer uses,
+// so a fault.Injector.streams[i] draw and its draws[i]++ counter pair up
+// by their shared fault.Injector root.
+package rngdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"shootdown/internal/analysis"
+	"shootdown/internal/analysis/summary"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "rngdiscipline",
+	Doc: "randomness must flow from seeded sub-streams (rand.NewSource over a seed or " +
+		"splitmix derivation) and field-homed draws must be counted for snapshotting",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkSeeding(pass, call)
+			}
+			return true
+		})
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkSeeding enforces rule 1 on one rand.NewSource call.
+func checkSeeding(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := summary.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math/rand" ||
+		fn.Name() != "NewSource" || len(call.Args) != 1 {
+		return
+	}
+	seeded := false
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			lower := strings.ToLower(id.Name)
+			if strings.Contains(lower, "seed") || strings.Contains(lower, "splitmix") {
+				seeded = true
+			}
+		}
+		return true
+	})
+	if !seeded {
+		pass.Report(analysis.Diagnostic{
+			Pos: call.Pos(),
+			Message: "rand.NewSource argument is not derived from a seed: derive it from " +
+				"the experiment seed (or a splitmix sub-stream tag) so the configuration " +
+				"controls every stream",
+		})
+	}
+}
+
+// checkFunc enforces rules 2-4 on one function body.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Rule 2: pair each direct field-homed draw with a same-struct counter.
+	direct := summary.Direct(info, fd.Body)
+	counters := map[string]bool{} // "pkg.Type" roots with an integer ++/+= in this body
+	noteCounter := func(target ast.Expr) {
+		key, ok := summary.FieldRootKey(info, target)
+		if !ok {
+			return
+		}
+		t := info.Types[target].Type
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			counters[structOf(key)] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if n.Tok == token.INC {
+				noteCounter(n.X)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				noteCounter(n.Lhs[0])
+			}
+		}
+		return true
+	})
+	for key, e := range direct.Draws {
+		if !counters[structOf(key)] {
+			pass.Report(analysis.Diagnostic{
+				Pos: e.Pos,
+				Message: "draw from " + key + " is not counted: increment an integer " +
+					"draw counter on " + structOf(key) + " in the same function so " +
+					"snapshots capture the stream position",
+			})
+		}
+	}
+
+	// Rules 3 and 4.
+	params := map[types.Object]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil && summary.IsRandStream(obj.Type()) {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if !summary.IsRandStream(info.Types[res].Type) {
+					continue
+				}
+				if key, ok := summary.FieldRootKey(info, res); ok {
+					pass.Report(analysis.Diagnostic{
+						Pos: res.Pos(),
+						Message: "returns the internal RNG stream " + key + ": callers " +
+							"can draw without counting; expose a counted drawing method instead",
+					})
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := ast.Unparen(n.Rhs[i]).(*ast.Ident)
+				if !ok || !params[info.ObjectOf(id)] {
+					continue
+				}
+				if key, ok := summary.FieldRootKey(info, lhs); ok {
+					pass.Report(analysis.Diagnostic{
+						Pos: n.Pos(),
+						Message: "stores the caller-supplied RNG stream into " + key +
+							": adopted streams have unknown seeding and position; derive " +
+							"a sub-stream from the experiment seed instead",
+					})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// structOf trims a field key "pkg.Type.field" to its struct root
+// "pkg.Type".
+func structOf(key string) string {
+	if i := strings.LastIndexByte(key, '.'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}

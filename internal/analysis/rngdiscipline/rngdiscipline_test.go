@@ -1,0 +1,12 @@
+package rngdiscipline_test
+
+import (
+	"testing"
+
+	"shootdown/internal/analysis/analysistest"
+	"shootdown/internal/analysis/rngdiscipline"
+)
+
+func TestRNGDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", rngdiscipline.Analyzer, "tlb")
+}

@@ -1,0 +1,72 @@
+// Package tlb exercises the four RNG-discipline rules: seeding
+// provenance, draw counting, stream containment, and stream adoption.
+package tlb
+
+import "math/rand"
+
+type TLB struct {
+	rng      *rand.Rand
+	rngDraws uint64
+	entries  []int
+}
+
+// New derives its stream from the configured seed: rule 1 satisfied.
+func New(seed int64) *TLB {
+	return &TLB{rng: rand.New(rand.NewSource(seed + 1))}
+}
+
+// NewSplit derives through a splitmix finalizer: also satisfies rule 1.
+func NewSplit(seed int64) *TLB {
+	return &TLB{rng: rand.New(rand.NewSource(int64(splitmix64(uint64(seed)))))}
+}
+
+// NewBad hardcodes the stream: no configuration controls it.
+func NewBad() *TLB {
+	return &TLB{rng: rand.New(rand.NewSource(42))} // want `rand\.NewSource argument is not derived from a seed`
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	return x ^ (x >> 31)
+}
+
+// victim draws without counting: restore-by-replay desynchronizes.
+func (t *TLB) victim() int {
+	return t.rng.Intn(len(t.entries)) // want `draw from tlb\.TLB\.rng is not counted`
+}
+
+// pick counts its draw: rule 2 satisfied.
+func (t *TLB) pick() int {
+	t.rngDraws++
+	return t.rng.Intn(len(t.entries))
+}
+
+// lend passes the field stream to a callee — a draw on the caller's
+// stream — and counts it.
+func (t *TLB) lend() {
+	t.rngDraws++
+	shuffle(t.rng)
+}
+
+// lendBad makes the same arg-pass draw without counting.
+func (t *TLB) lendBad() {
+	shuffle(t.rng) // want `draw from tlb\.TLB\.rng is not counted`
+}
+
+func shuffle(r *rand.Rand) { r.Shuffle(0, func(i, j int) {}) }
+
+// Stream leaks the raw stream: callers can draw past the counter.
+func (t *TLB) Stream() *rand.Rand {
+	return t.rng // want `returns the internal RNG stream tlb\.TLB\.rng`
+}
+
+// adopt stores a caller-supplied stream of unknown seeding.
+func (t *TLB) adopt(r *rand.Rand) {
+	t.rng = r // want `stores the caller-supplied RNG stream into tlb\.TLB\.rng`
+}
+
+// reseed replaces the stream from a seed-derived source in place: fine
+// under all four rules.
+func (t *TLB) reseed(seed int64) {
+	t.rng = rand.New(rand.NewSource(seed))
+}

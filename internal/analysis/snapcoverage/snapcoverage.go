@@ -1,0 +1,266 @@
+// Package snapcoverage checks that snapshot methods serialize every field
+// of their receiver type. The simulator's determinism story rests on
+// snapshots being complete: a field that Snapshot forgets silently
+// diverges after restore, and the resulting bugs surface as downstream
+// replay mismatches far from the cause.
+//
+// For every named struct type T in a checked package that has a method
+//
+//	func (t *T) Snapshot() S
+//
+// (no parameters, exactly one result — multi-result snapshot entry points
+// like kernel.Kernel's are orchestrators, not serializers, and are
+// exempt), every field of T must either be referenced by the Snapshot
+// method — directly or through same-package helpers it statically calls —
+// or carry an annotation on the field declaration:
+//
+//	//snap:derived <reason>    recomputed from serialized state on restore
+//	//snap:transient <reason>  scratch state that restore may zero
+//
+// The reason is mandatory. Reading a field anywhere in the Snapshot
+// closure counts as serializing it (the analyzer cannot tell a
+// control-flow read from a marshalled one; completeness, not placement,
+// is the property being checked). Three further defects are reported: an
+// annotated field that the Snapshot closure nevertheless reads (stale or
+// contradictory annotation), an annotation with no reason, and a
+// //snap: annotation on a field of a type that has no Snapshot method.
+//
+// All findings anchor at the field declaration, so a single
+// //lint:allow on the field covers deliberate exceptions.
+package snapcoverage
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"shootdown/internal/analysis"
+	"shootdown/internal/analysis/summary"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "snapcoverage",
+	Doc: "every field of a type with a Snapshot method must be serialized by it " +
+		"or annotated //snap:derived or //snap:transient with a reason",
+	Requires: []*analysis.Analyzer{summary.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{
+		pass:  pass,
+		ix:    summary.NewIndex(pass.ResultOf[summary.Analyzer.Name]),
+		decls: map[string]*ast.FuncDecl{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					c.decls[fn.FullName()] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if ok {
+				c.checkType(ts, st)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	ix    *summary.Index
+	decls map[string]*ast.FuncDecl // FullName -> decl, for reachability
+}
+
+// checkType audits one struct type declaration.
+func (c *checker) checkType(ts *ast.TypeSpec, st *ast.StructType) {
+	obj, ok := c.pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	snap := snapshotMethod(named)
+	var serialized map[types.Object]bool
+	if snap != nil {
+		serialized = c.reachableFieldReads(snap, named)
+	}
+	for _, field := range st.Fields.List {
+		ann := parseAnnotation(field)
+		if ann != nil && ann.malformed {
+			c.pass.Report(analysis.Diagnostic{
+				Pos: field.Pos(),
+				Message: "malformed //snap:" + ann.verb +
+					" annotation: a reason is required (//snap:" + ann.verb + " <reason>)",
+			})
+			continue
+		}
+		if snap == nil {
+			if ann != nil {
+				c.pass.Report(analysis.Diagnostic{
+					Pos: field.Pos(),
+					Message: "//snap:" + ann.verb + " annotation on a field of " +
+						named.Obj().Name() + ", which has no Snapshot method",
+				})
+			}
+			continue
+		}
+		for _, name := range fieldNames(field) {
+			fobj := c.pass.TypesInfo.Defs[name]
+			if fobj == nil {
+				continue
+			}
+			read := serialized[fobj]
+			switch {
+			case ann != nil && read:
+				c.pass.Report(analysis.Diagnostic{
+					Pos: field.Pos(),
+					Message: "field " + named.Obj().Name() + "." + name.Name +
+						" is annotated //snap:" + ann.verb + " but is read by the Snapshot method; " +
+						"drop the annotation or the serialization",
+				})
+			case ann == nil && !read:
+				c.pass.Report(analysis.Diagnostic{
+					Pos: field.Pos(),
+					Message: "field " + named.Obj().Name() + "." + name.Name +
+						" is not serialized by (" + named.Obj().Name() + ").Snapshot " +
+						"and not annotated //snap:derived or //snap:transient",
+				})
+			}
+		}
+	}
+}
+
+// snapshotMethod returns T's Snapshot method if it has the serializer
+// shape — no parameters, exactly one result — or nil.
+func snapshotMethod(named *types.Named) *types.Func {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || fn.Name() != "Snapshot" {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+			return fn
+		}
+	}
+	return nil
+}
+
+// reachableFieldReads walks the Snapshot method and every same-package
+// function statically reachable from it (via the summary call graph),
+// collecting the fields of named that the closure references.
+func (c *checker) reachableFieldReads(snap *types.Func, named *types.Named) map[types.Object]bool {
+	fields := map[types.Object]bool{}
+	if st, ok := named.Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			fields[st.Field(i)] = true
+		}
+	}
+	reads := map[types.Object]bool{}
+	visited := map[string]bool{}
+	queue := []string{snap.FullName()}
+	for len(queue) > 0 {
+		full := queue[0]
+		queue = queue[1:]
+		if visited[full] {
+			continue
+		}
+		visited[full] = true
+		decl, ok := c.decls[full]
+		if !ok {
+			continue // cross-package or bodiless: cannot touch our fields
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if obj := c.pass.TypesInfo.Uses[sel.Sel]; obj != nil && fields[obj] {
+				reads[obj] = true
+			}
+			return true
+		})
+		if s := c.ix.Func(full); s != nil {
+			for callee := range s.Calls {
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return reads
+}
+
+// annotation is one parsed //snap: directive.
+type annotation struct {
+	verb      string // "derived" or "transient"
+	malformed bool   // missing reason
+}
+
+// parseAnnotation scans a field's doc and trailing comments for a
+// //snap:derived or //snap:transient directive.
+func parseAnnotation(field *ast.Field) *annotation {
+	var groups []*ast.CommentGroup
+	if field.Doc != nil {
+		groups = append(groups, field.Doc)
+	}
+	if field.Comment != nil {
+		groups = append(groups, field.Comment)
+	}
+	for _, cg := range groups {
+		for _, cm := range cg.List {
+			text, ok := strings.CutPrefix(cm.Text, "//snap:")
+			if !ok {
+				continue
+			}
+			verb, reason, _ := strings.Cut(text, " ")
+			a := &annotation{verb: verb}
+			if verb != "derived" && verb != "transient" {
+				a.malformed = true // unknown verb reads as missing reason too
+				a.verb = "derived"
+				return a
+			}
+			a.malformed = strings.TrimSpace(reason) == ""
+			return a
+		}
+	}
+	return nil
+}
+
+// fieldNames returns the declared names of a field, synthesizing the
+// implicit name of an embedded field.
+func fieldNames(field *ast.Field) []*ast.Ident {
+	if len(field.Names) > 0 {
+		return field.Names
+	}
+	// Embedded field: the type name is the field name; Defs has no entry,
+	// so embedded fields are skipped by the caller's Defs lookup. Treat
+	// the identifier of the embedded type as the name for reporting.
+	e := field.Type
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = star.X
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		return []*ast.Ident{sel.Sel}
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return []*ast.Ident{id}
+	}
+	return nil
+}

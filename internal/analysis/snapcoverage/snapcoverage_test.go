@@ -1,0 +1,12 @@
+package snapcoverage_test
+
+import (
+	"testing"
+
+	"shootdown/internal/analysis/analysistest"
+	"shootdown/internal/analysis/snapcoverage"
+)
+
+func TestSnapCoverage(t *testing.T) {
+	analysistest.Run(t, "testdata", snapcoverage.Analyzer, "a")
+}

@@ -1,0 +1,230 @@
+// Package summary is the interprocedural substrate of the shootdownlint
+// suite: a pseudo-analyzer that reports nothing but computes, for every
+// function in a package, a summary of the effects the function may have —
+// directly or through any statically resolved call chain:
+//
+//   - Mutates: the set of state locations the function may write, keyed
+//     "pkg.Type.field" (a struct field), "pkg.Type" (a write through a raw
+//     pointer or aliased container), or "pkg.var" (a package-level
+//     variable). Writes that provably land in local copies — value
+//     receivers and parameters, or objects freshly allocated in the same
+//     function — are excluded.
+//   - Draws: the seeded *math/rand.Rand streams the function may consume
+//     randomness from, keyed by the struct field the stream lives in.
+//     Passing a field-rooted stream to a callee counts as a draw at the
+//     call site (the callee draws on the caller's stream).
+//   - ReadsClock: host-clock reads (time.Now and friends) — the
+//     determinism sins simdeterminism bans syntactically, tracked here so
+//     hook-reachability checks can prove their absence transitively.
+//   - Acquires: the machine.SpinLock fields the function may lock, keyed
+//     "pkg.field" exactly as lockorder's documented lock table is.
+//   - Blocks: whether the function may reach the blocking primitive
+//     sim.Proc.Block (ipldiscipline's never-block-while-raised rule).
+//   - Escapes: struct-field references (pointer, slice, map, or func
+//     typed) the function returns to its caller.
+//
+// Summaries flow across packages in dependency order through the driver's
+// Imported mechanism, and to dependent analyzers (ipldiscipline,
+// lockorder, hookpurity, rngdiscipline) through Analyzer.Requires and
+// Pass.ResultOf. Propagation is over the static call graph only: calls
+// through interface methods, function values, and reflection are not
+// followed (lockorder compensates by resolving interface methods by name
+// at check sites; hookpurity documents the limitation in DESIGN.md §15).
+package summary
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"shootdown/internal/analysis"
+)
+
+// Analyzer computes the per-function summaries. It reports no diagnostics;
+// analyzers that list it in Requires read the *Package result from
+// pass.ResultOf["summary"].
+var Analyzer = &analysis.Analyzer{
+	Name: "summary",
+	Doc: "interprocedural per-function effect summaries (mutated state, RNG draws, " +
+		"clock reads, lock acquisitions, blocking, escaping references) shared by the other analyzers",
+	Run: run,
+}
+
+// Effect records where one summarized effect enters the current package:
+// for a direct effect, the offending expression; for an inherited one, the
+// call site through which it is reached, with Via naming the callee
+// (types.Func.FullName) whose summary contributed it.
+type Effect struct {
+	Pos token.Pos
+	Via string // "" for direct effects
+}
+
+// FuncSummary is one function's transitive effect summary.
+type FuncSummary struct {
+	Mutates    map[string]Effect
+	Draws      map[string]Effect
+	ReadsClock map[string]Effect
+	Acquires   map[string]Effect
+	Escapes    map[string]Effect // direct only: field references returned to the caller
+	Blocks     bool
+	BlocksVia  string // callee through which Blocks was inherited, "" if direct
+
+	// Calls maps each statically resolved callee (types.Func.FullName) to
+	// one call site, for the fixpoint and for Index.Expand.
+	Calls map[string]token.Pos
+}
+
+// Package is the summary analyzer's per-package result.
+type Package struct {
+	Path  string
+	Funcs map[string]*FuncSummary // keyed by types.Func.FullName
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	funcs := map[string]*FuncSummary{}
+	var order []string
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			full := fn.FullName()
+			funcs[full] = Direct(pass.TypesInfo, fd.Body)
+			order = append(order, full)
+		}
+	}
+	lookup := func(full string) *FuncSummary {
+		if s, ok := funcs[full]; ok {
+			return s
+		}
+		for _, r := range pass.Imported {
+			if p, ok := r.(*Package); ok {
+				if s, ok := p.Funcs[full]; ok {
+					return s
+				}
+			}
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, full := range order {
+			f := funcs[full]
+			for callee, cpos := range f.Calls {
+				if callee == full {
+					continue
+				}
+				cs := lookup(callee)
+				if cs == nil {
+					continue
+				}
+				if inherit(f, cs, cpos, callee) {
+					changed = true
+				}
+			}
+		}
+	}
+	return &Package{Path: pass.Pkg.Path(), Funcs: funcs}, nil
+}
+
+// inherit folds callee summary cs into f at call site cpos, reporting
+// whether f changed.
+func inherit(f, cs *FuncSummary, cpos token.Pos, callee string) bool {
+	changed := false
+	fold := func(dst *map[string]Effect, src map[string]Effect) {
+		for key := range src {
+			if _, ok := (*dst)[key]; !ok {
+				if *dst == nil {
+					*dst = map[string]Effect{}
+				}
+				(*dst)[key] = Effect{Pos: cpos, Via: callee}
+				changed = true
+			}
+		}
+	}
+	fold(&f.Mutates, cs.Mutates)
+	fold(&f.Draws, cs.Draws)
+	fold(&f.ReadsClock, cs.ReadsClock)
+	fold(&f.Acquires, cs.Acquires)
+	if cs.Blocks && !f.Blocks {
+		f.Blocks, f.BlocksVia = true, callee
+		changed = true
+	}
+	return changed
+}
+
+// Index merges the summary results of every analyzed package for
+// consumers holding pass.ResultOf["summary"].
+type Index struct {
+	pkgs []*Package
+}
+
+// NewIndex wraps the summary analyzer's results (pass.ResultOf["summary"]).
+func NewIndex(results map[string]interface{}) *Index {
+	ix := &Index{}
+	for _, r := range results {
+		if p, ok := r.(*Package); ok {
+			ix.pkgs = append(ix.pkgs, p)
+		}
+	}
+	return ix
+}
+
+// Func returns the summary for a function by FullName, or nil. FullNames
+// are unique across packages, so at most one package has it.
+func (ix *Index) Func(full string) *FuncSummary {
+	for _, p := range ix.pkgs {
+		if s, ok := p.Funcs[full]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// EachFunc visits every summarized function across all packages.
+func (ix *Index) EachFunc(visit func(full string, s *FuncSummary)) {
+	for _, p := range ix.pkgs {
+		for full, s := range p.Funcs {
+			visit(full, s)
+		}
+	}
+}
+
+// Expand returns a copy of the direct summary d with the transitive
+// effects of its statically resolved callees folded in — the closure a
+// function literal would have had as a declared function. Callee summaries
+// are already transitive, so one fold per callee suffices.
+func (ix *Index) Expand(d *FuncSummary) *FuncSummary {
+	out := &FuncSummary{
+		Mutates:    copyEffects(d.Mutates),
+		Draws:      copyEffects(d.Draws),
+		ReadsClock: copyEffects(d.ReadsClock),
+		Acquires:   copyEffects(d.Acquires),
+		Escapes:    copyEffects(d.Escapes),
+		Blocks:     d.Blocks,
+		BlocksVia:  d.BlocksVia,
+		Calls:      d.Calls,
+	}
+	for callee, cpos := range d.Calls {
+		if cs := ix.Func(callee); cs != nil {
+			inherit(out, cs, cpos, callee)
+		}
+	}
+	return out
+}
+
+func copyEffects(m map[string]Effect) map[string]Effect {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]Effect, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package summary_test
+
+import (
+	"strings"
+	"testing"
+
+	"shootdown/internal/analysis"
+	"shootdown/internal/analysis/load"
+	"shootdown/internal/analysis/summary"
+)
+
+// runOver loads the fixture packages in dependency order and runs the
+// summary analyzer over each, threading Imported the way the driver does.
+func runOver(t *testing.T, patterns ...string) map[string]*summary.Package {
+	t.Helper()
+	pkgs, err := load.Load("testdata", false, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	imported := map[string]interface{}{}
+	out := map[string]*summary.Package{}
+	for _, pkg := range pkgs {
+		pass := &analysis.Pass{
+			Analyzer:  summary.Analyzer,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d analysis.Diagnostic) { t.Errorf("summary reported a diagnostic: %s", d.Message) },
+			Imported:  imported,
+		}
+		result, err := summary.Analyzer.Run(pass)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		imported[pkg.Path] = result
+		out[pkg.Path] = result.(*summary.Package)
+	}
+	return out
+}
+
+// fn finds the one function whose FullName ends in suffix.
+func fn(t *testing.T, p *summary.Package, suffix string) *summary.FuncSummary {
+	t.Helper()
+	var hit *summary.FuncSummary
+	for full, s := range p.Funcs {
+		if strings.HasSuffix(full, suffix) {
+			if hit != nil {
+				t.Fatalf("suffix %q is ambiguous in %s", suffix, p.Path)
+			}
+			hit = s
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no function matching %q in %s (have %d)", suffix, p.Path, len(p.Funcs))
+	}
+	return hit
+}
+
+func TestDirectEffects(t *testing.T) {
+	pkgs := runOver(t, "sim", "machine", "state")
+	st := pkgs["lint.test/state"]
+
+	if s := fn(t, st, ".Bump"); s.Mutates["state.Gauge.v"].Via != "" || len(s.Mutates) != 1 {
+		t.Errorf("Bump.Mutates = %v, want direct {state.Gauge.v}", s.Mutates)
+	}
+	if s := fn(t, st, "state.Global"); s.Mutates["state.Counter"] == (summary.Effect{}) {
+		t.Errorf("Global.Mutates = %v, want state.Counter", s.Mutates)
+	}
+	for _, name := range []string{".Draw", ".Lend"} {
+		if s := fn(t, st, name); len(s.Draws) != 1 || s.Draws["state.World.rng"] == (summary.Effect{}) {
+			t.Errorf("%s.Draws = %v, want {state.World.rng}", name, s.Draws)
+		}
+	}
+	if s := fn(t, st, ".Wait"); !s.Blocks || s.BlocksVia != "" {
+		t.Errorf("Wait: Blocks=%v via %q, want direct block", s.Blocks, s.BlocksVia)
+	}
+	if s := fn(t, st, ".Guard"); s.Acquires["state.lock"] == (summary.Effect{}) {
+		t.Errorf("Guard.Acquires = %v, want state.lock", s.Acquires)
+	}
+	if s := fn(t, st, "state.NowNS"); s.ReadsClock["time.Now"] == (summary.Effect{}) {
+		t.Errorf("NowNS.ReadsClock = %v, want time.Now", s.ReadsClock)
+	}
+	if s := fn(t, st, ".Vals"); s.Escapes["state.World.vals"] == (summary.Effect{}) {
+		t.Errorf("Vals.Escapes = %v, want state.World.vals", s.Escapes)
+	}
+	// Provenance: fresh allocations and value-receiver copies are not
+	// shared state.
+	for _, name := range []string{"state.Local", ".Copy"} {
+		if s := fn(t, st, name); len(s.Mutates) != 0 {
+			t.Errorf("%s.Mutates = %v, want none (local copy)", name, s.Mutates)
+		}
+	}
+}
+
+func TestCrossPackageInheritance(t *testing.T) {
+	pkgs := runOver(t, "sim", "machine", "state", "caller")
+	ca := pkgs["lint.test/caller"]
+
+	touch := fn(t, ca, "caller.Touch")
+	if e, ok := touch.Mutates["state.Gauge.v"]; !ok || !strings.HasSuffix(e.Via, ".Bump") {
+		t.Errorf("Touch.Mutates = %v, want state.Gauge.v via Bump", touch.Mutates)
+	}
+	chain := fn(t, ca, "caller.Chain")
+	if e, ok := chain.Mutates["state.Gauge.v"]; !ok || !strings.HasSuffix(e.Via, "caller.Touch") {
+		t.Errorf("Chain.Mutates = %v, want state.Gauge.v via Touch", chain.Mutates)
+	}
+	if s := fn(t, ca, "caller.Spin"); s.Draws["state.World.rng"] == (summary.Effect{}) {
+		t.Errorf("Spin.Draws = %v, want inherited state.World.rng", s.Draws)
+	}
+	if s := fn(t, ca, "caller.Park"); !s.Blocks || !strings.HasSuffix(s.BlocksVia, ".Wait") {
+		t.Errorf("Park: Blocks=%v via %q, want inherited via Wait", s.Blocks, s.BlocksVia)
+	}
+	if s := fn(t, ca, "caller.Clock"); s.ReadsClock["time.Now"] == (summary.Effect{}) {
+		t.Errorf("Clock.ReadsClock = %v, want inherited time.Now", s.ReadsClock)
+	}
+}
+
+func TestIndexExpand(t *testing.T) {
+	pkgs := runOver(t, "sim", "machine", "state", "caller")
+	results := map[string]interface{}{}
+	for path, p := range pkgs {
+		results[path] = p
+	}
+	ix := summary.NewIndex(results)
+	if ix.Func("no/such.Func") != nil {
+		t.Errorf("Func on unknown name should return nil")
+	}
+	touch := fn(t, pkgs["lint.test/caller"], "caller.Touch")
+	// Expand over a fresh direct-shaped summary containing only the call
+	// edge reproduces the inherited effects.
+	direct := &summary.FuncSummary{Calls: touch.Calls}
+	exp := ix.Expand(direct)
+	if _, ok := exp.Mutates["state.Gauge.v"]; !ok {
+		t.Errorf("Expand.Mutates = %v, want state.Gauge.v", exp.Mutates)
+	}
+}

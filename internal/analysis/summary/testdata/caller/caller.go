@@ -1,0 +1,16 @@
+// Package caller exercises cross-package summary inheritance: every effect
+// here is reached only through calls into lint.test/state.
+package caller
+
+import "lint.test/state"
+
+func Touch(w *state.World) { w.Bump() }
+
+func Spin(w *state.World) int { return w.Draw() }
+
+func Park(w *state.World) { w.Wait() }
+
+func Clock() int64 { return state.NowNS() }
+
+// Chain reaches the mutation two hops away, through Touch.
+func Chain(w *state.World) { Touch(w) }

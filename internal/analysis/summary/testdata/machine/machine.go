@@ -1,0 +1,28 @@
+// Package machine is a miniature stand-in for the simulator's machine
+// model: the summary substrate classifies SpinLock operations by the
+// (package name, field name) of the lock field, so these fixtures key the
+// same way the real tree does.
+package machine
+
+type IPL int
+
+type Exec struct{ ipl IPL }
+
+func (ex *Exec) RaiseIPL(l IPL) IPL {
+	prev := ex.ipl
+	ex.ipl = l
+	return prev
+}
+
+func (ex *Exec) RestoreIPL(l IPL) { ex.ipl = l }
+
+type SpinLock struct{ held bool }
+
+func (l *SpinLock) Lock(ex *Exec) IPL {
+	l.held = true
+	return 0
+}
+
+func (l *SpinLock) TryLock(ex *Exec) bool { return !l.held }
+
+func (l *SpinLock) Unlock(ex *Exec, prev IPL) { l.held = false }

@@ -1,0 +1,9 @@
+// Package sim is a miniature stand-in for the discrete-event engine: the
+// summary substrate recognizes (*sim.Proc).Block as the blocking primitive
+// by package name, type name, and method name.
+package sim
+
+type Proc struct{}
+
+// Block parks the simulated context until another context wakes it.
+func (p *Proc) Block() {}

@@ -1,0 +1,71 @@
+// Package state exercises every direct-effect class the summary substrate
+// collects: field and package-variable mutation, counted-stream draws,
+// clock reads, spin-lock acquisition, blocking, escapes, and the local-copy
+// provenance rules that keep fresh allocations and value copies out of the
+// mutation set.
+package state
+
+import (
+	"math/rand"
+	"time"
+
+	"lint.test/machine"
+	"lint.test/sim"
+)
+
+// Counter is package-level state; writes to it are mutations.
+var Counter int
+
+type Gauge struct{ v int }
+
+type World struct {
+	rng  *rand.Rand
+	lock machine.SpinLock
+	g    Gauge
+	p    sim.Proc
+	vals []int
+}
+
+// Bump writes a field through the pointer receiver.
+func (w *World) Bump() { w.g.v++ }
+
+// Draw consumes the field-homed stream.
+func (w *World) Draw() int { return w.rng.Intn(8) }
+
+// Lend hands the field-homed stream to a callee, which draws on it.
+func (w *World) Lend() { shuffle(w.rng) }
+
+func shuffle(r *rand.Rand) { r.Shuffle(3, func(i, j int) {}) }
+
+// Wait reaches the blocking primitive.
+func (w *World) Wait() { w.p.Block() }
+
+// Guard acquires the field-homed spin lock.
+func (w *World) Guard(ex *machine.Exec) {
+	ipl := w.lock.Lock(ex)
+	w.lock.Unlock(ex, ipl)
+}
+
+// Global mutates package-level state.
+func Global() { Counter++ }
+
+// NowNS reads the host clock.
+func NowNS() int64 { return time.Now().UnixNano() }
+
+// Vals returns a reference into the receiver: an escape.
+func (w *World) Vals() []int { return w.vals }
+
+// Local writes only into objects allocated here: no mutation.
+func Local() int {
+	g := Gauge{}
+	g.v = 3
+	h := &Gauge{}
+	h.v = 4
+	return g.v + h.v
+}
+
+// Copy writes into a value-receiver copy: no mutation.
+func (w World) Copy() int {
+	w.g.v = 9
+	return w.g.v
+}

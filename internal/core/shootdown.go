@@ -233,8 +233,8 @@ type Stats struct {
 // processor sets, per-processor action queues with their locks, and the
 // action-needed flags (Section 4's "small collection of data structures").
 type Shootdown struct {
-	m    *machine.Machine
-	opts Options
+	m    *machine.Machine //snap:derived wiring to the machine, re-established when the world is rebuilt for replay
+	opts Options          //snap:derived configuration, reapplied from the experiment config on replay
 
 	active       []bool
 	idle         []bool
@@ -251,25 +251,29 @@ type Shootdown struct {
 	// then the action locks.
 	memberLock machine.SpinLock
 
-	kernelPmap Pmap
-	userPmapOn func(cpu int) Pmap // pmap active on a CPU, or nil
+	kernelPmap Pmap               //snap:derived wiring to the kernel pmap, re-established at construction
+	userPmapOn func(cpu int) Pmap //snap:derived wiring installed by the kernel at construction; pmap active on a CPU, or nil
 
 	// Trace, when set, receives initiator and responder records.
+	//snap:transient observation attachment, reattached by the session
 	Trace *xpr.Buffer
 
 	// Span, when set, receives per-phase shootdown spans and instants on
 	// the session tracer (nil-safe; recording charges no virtual time).
+	//snap:transient observation attachment, reattached by the session
 	Span *trace.Tracer
 
 	// Prof, when set, feeds the causal reconstructor: typed hooks at each
 	// protocol step let the profiler link every shootdown into a DAG and
 	// compute its critical path (nil-safe; charges no virtual time).
+	//snap:transient observation attachment, reattached by the session
 	Prof *profile.Profiler
 
 	// Flight, when set, is tripped on watchdog escalation — the moment a
 	// responder has missed every retry and the initiator falls back to the
 	// full-flush path, the recorder dumps a black box with the protocol
 	// state that led there (nil-safe; charges no virtual time).
+	//snap:transient observation attachment, reattached by the session
 	Flight *trace.Recorder
 
 	stats Stats
@@ -369,13 +373,17 @@ type CPUSnap struct {
 }
 
 // Snap is the whole protocol state in wire form: the Section 4 data
-// structures per CPU plus the cumulative counters and the in-flight
-// initiator count.
+// structures per CPU plus the cumulative counters, the in-flight
+// initiator count, and the watchdog recovery-latency samples.
 type Snap struct {
 	Stats      Stats     `json:"stats"`
 	InFlight   int       `json:"in_flight,omitempty"`
 	MemberHeld bool      `json:"member_lock_held,omitempty"`
 	CPUs       []CPUSnap `json:"cpus"`
+	// RecoveryUS carries the watchdog recovery-latency samples, so a
+	// restored world reports the same recovery percentiles as the
+	// original (omitted while no rescue has happened).
+	RecoveryUS []float64 `json:"recovery_us,omitempty"`
 }
 
 // Snapshot captures the active/idle sets, action queues (contents, not
@@ -383,6 +391,7 @@ type Snap struct {
 // in id order, queues in enqueue order.
 func (s *Shootdown) Snapshot() Snap {
 	snap := Snap{Stats: s.stats, InFlight: s.inFlight, MemberHeld: s.memberLock.Held()}
+	snap.RecoveryUS = append(snap.RecoveryUS, s.recoveryUS...)
 	for cpu := range s.active {
 		cs := CPUSnap{
 			CPU:          cpu,

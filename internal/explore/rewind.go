@@ -201,6 +201,9 @@ func armStopOnViolation(k *kernel.Kernel) {
 		if prev != nil {
 			prev(v)
 		}
+		// Stopping the engine is this hook's entire purpose: the explorer
+		// wants the run to end at the violation, not observe it silently.
+		//lint:allow hookpurity deliberately impure: stop-on-violation exists to halt the engine early
 		k.Eng.Stop()
 	}
 }

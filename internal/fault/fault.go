@@ -381,15 +381,15 @@ type CPUEvent struct {
 // Injector makes fault decisions, one seeded RNG sub-stream per kind.
 // A nil *Injector injects nothing.
 type Injector struct {
-	cfg       Config
-	streams   []*rand.Rand
-	fired     []uint64 // per-kind ordinal of the next firing decision
-	draws     []uint64 // per-kind count of RNG values consumed
+	cfg       Config       //snap:derived configuration, reapplied from the experiment config on replay
+	streams   []*rand.Rand //snap:derived rebuilt from cfg.Seed by splitmix on restore; positions attested by the per-kind draw counts
+	fired     []uint64     // per-kind ordinal of the next firing decision
+	draws     []uint64     // per-kind count of RNG values consumed
 	masked    map[EventID]bool
 	events    []Event
 	stats     Stats
-	clock     func() sim.Time
-	stepClock func() uint64
+	clock     func() sim.Time //snap:derived wiring to the engine clock, re-established at construction
+	stepClock func() uint64   //snap:derived wiring to the engine step counter, re-established at construction
 
 	plan     []CPUEvent // full fail/revive plan (before masking)
 	planNCPU int

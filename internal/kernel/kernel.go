@@ -323,6 +323,9 @@ func (k *Kernel) Snapshot() (*snap.Snapshot, error) {
 			return nil, err
 		}
 	}
+	// Caching the capture for LastSnapshot is bookkeeping about
+	// observation, not simulated state: no replay decision reads it.
+	//lint:allow hookpurity lastSnap caches the capture for LastSnapshot; no simulation path reads it
 	k.lastSnap = s
 	return s, nil
 }

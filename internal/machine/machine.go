@@ -138,20 +138,20 @@ type Handler func(ex *Exec, v Vector)
 
 // Machine is the simulated multiprocessor.
 type Machine struct {
-	Eng  *sim.Engine
+	Eng  *sim.Engine //snap:derived wiring to the engine, re-established when the world is rebuilt for replay
 	Phys *mem.PhysMem
 	Bus  *Bus
 
 	cpus     []*CPU
-	opts     Options
-	costs    Costs
-	rng      *rand.Rand
-	faults   *fault.Injector
-	handlers [numVectors]Handler
-	prio     [numVectors]IPL
-	tracer   *trace.Tracer
-	prof     *profile.Profiler
-	mmuObs   MMUObserver
+	opts     Options             //snap:derived configuration, reapplied from the experiment config on replay
+	costs    Costs               //snap:derived computed from opts at construction
+	rng      *rand.Rand          //snap:derived rebuilt from opts.Seed on restore; position attested by rng_draws
+	faults   *fault.Injector     //snap:derived the injector serializes itself (fault.Injector.Snapshot, the flight recorder's "faults" section)
+	handlers [numVectors]Handler //snap:derived vector wiring installed by the protocol layers at construction
+	prio     [numVectors]IPL     //snap:derived fixed vector-to-IPL table installed at construction
+	tracer   *trace.Tracer       //snap:transient observation attachment, reattached by the session
+	prof     *profile.Profiler   //snap:transient observation attachment, reattached by the session
+	mmuObs   MMUObserver         //snap:transient observation attachment (the oracle), reattached by the session
 
 	// epoch counts CPU membership changes (fail or online transitions);
 	// protocol layers compare epochs to detect that membership moved
@@ -163,7 +163,7 @@ type Machine struct {
 	// can attest the stream position (the stream is rebuilt by replay).
 	rngDraws uint64
 
-	kernelTable *ptable.Table
+	kernelTable *ptable.Table //snap:derived contents live in physical memory, covered by mem_digest; the pointer is wiring
 }
 
 // CPUState is a processor's lifecycle state.

@@ -91,16 +91,17 @@ type shadow struct {
 // them. All methods run at engine-serialized points, so no locking is
 // needed. A nil *Oracle is safe everywhere and checks nothing.
 type Oracle struct {
-	m          *machine.Machine
+	m          *machine.Machine //snap:derived wiring to the machine, re-established when the world is rebuilt for replay
 	shadows    []*shadow
-	byTable    map[*ptable.Table]*shadow
-	byASID     map[tlb.ASID]*shadow
+	byTable    map[*ptable.Table]*shadow //snap:derived index over shadows keyed by live table pointers, rebuilt by Track on replay
+	byASID     map[tlb.ASID]*shadow      //snap:derived index over shadows, rebuilt by Track on replay
 	stats      Stats
 	violations []Violation
 
 	// OnViolation, when set, is called with each violation as it is
 	// recorded (the flight recorder trips on it). It must not perturb the
 	// simulation: no virtual time, no randomness.
+	//snap:transient observation hook, reattached by the session
 	OnViolation func(Violation)
 }
 
@@ -139,8 +140,12 @@ func (o *Oracle) Track(t *ptable.Table, asid tlb.ASID, kernel bool) {
 		if prevWrite != nil {
 			prevWrite(va, pte)
 		}
+		// The shadow IS the oracle's function: mirroring every table write
+		// is tracking, not perturbation — the machine state is untouched.
+		//lint:allow hookpurity shadow bookkeeping is the oracle's own state, not machine state
 		o.stats.TrackedWrites++
 		if pte.Valid() {
+			//lint:allow hookpurity shadow bookkeeping is the oracle's own state, not machine state
 			sh.entries[va] = pte
 		} else {
 			delete(sh.entries, va)
@@ -150,6 +155,7 @@ func (o *Oracle) Track(t *ptable.Table, asid tlb.ASID, kernel bool) {
 		if prevDestroy != nil {
 			prevDestroy()
 		}
+		//lint:allow hookpurity dropping the shadow of a destroyed table is oracle bookkeeping, not machine state
 		o.untrack(sh)
 	}
 }

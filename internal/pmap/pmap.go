@@ -78,8 +78,8 @@ type Stats struct {
 // System is the pmap module's shared state: the kernel pmap, the
 // consistency strategy, and the lazy-evaluation switch.
 type System struct {
-	M        *machine.Machine
-	Strategy core.Strategy
+	M        *machine.Machine //snap:derived wiring to the machine, re-established when the world is rebuilt for replay
+	Strategy core.Strategy    //snap:derived wiring to the consistency strategy, reinstalled by the kernel at construction
 
 	// Kernel is the kernel pmap, in use on every processor.
 	Kernel *Pmap
@@ -87,6 +87,7 @@ type System struct {
 	// LazyDisabled turns off the valid-mapping check before shootdowns
 	// (the Table 1 ablation). The structural page-table-chunk check
 	// remains, as it did in the paper's experiment.
+	//snap:derived configuration, reapplied from the experiment config on replay
 	LazyDisabled bool
 
 	// LazyASIDRelease enables the Section 10 extension for ASID-tagged
@@ -95,17 +96,19 @@ type System struct {
 	// until its entries are explicitly flushed — by a later shootdown,
 	// which then flushes the whole space and releases it. Requires a
 	// tagged TLB.
+	//snap:derived configuration, reapplied from the experiment config on replay
 	LazyASIDRelease bool
 
 	// TableHook, when set, observes every page table the system creates
 	// after the hook is installed (the consistency oracle registers its
 	// shadow here; the kernel table predates the hook and is tracked
 	// directly by the installer).
+	//snap:transient observation hook (the oracle's shadow registration), reattached by the session
 	TableHook func(t *ptable.Table, asid tlb.ASID, kernel bool)
 
 	activeUser  []*Pmap // per-CPU active user pmap
 	nextASID    tlb.ASID
-	kernelPools []KernelPool
+	kernelPools []KernelPool //snap:derived static pool map, reinstalled by ConfigureKernelPools on replay
 	stats       Stats
 	// users records every user pmap ever created, in ASID order, so
 	// snapshots can walk maps that are live but not active anywhere

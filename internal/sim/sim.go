@@ -133,16 +133,16 @@ func (p *Proc) Engine() *Engine { return p.eng }
 type Engine struct {
 	now     Time
 	procs   []*Proc
-	runq    runHeap
-	cur     *Proc
-	yield   chan yieldMsg
+	runq    runHeap       //snap:derived rebuilt from the serialized proc states (sleeping procs re-keyed by wake time)
+	cur     *Proc         //snap:transient the resumption in progress; snapshots are taken at serialized points between steps
+	yield   chan yieldMsg //snap:transient host-side goroutine handshake plumbing, recreated by Run
 	nextID  int
 	nextSeq uint64
-	stopped bool
-	maxTime Time
-	chaos   *rand.Rand
-	started bool
-	failure error
+	stopped bool       //snap:transient stop latch; a restored world restarts from Run
+	maxTime Time       //snap:derived configuration, reapplied from the experiment config on replay
+	chaos   *rand.Rand //snap:derived rebuilt from the seed on restore and fast-forwarded chaos_draws times
+	started bool       //snap:transient host-side lifecycle latch, re-armed by Run
+	failure error      //snap:transient terminal failure latch; a restored world has not failed
 
 	// step counts completed proc resumptions — the engine's monotone event
 	// cursor. Snapshots key on it: rebuilding a world from the same
@@ -159,17 +159,21 @@ type Engine struct {
 	// forced overrides tie decisions by ordinal: at tie i, forced[i]
 	// (when in range) indexes the seq-sorted tied set instead of the chaos
 	// pick. The chaos draw is still consumed — see pop.
+	//snap:derived schedule overrides, reinstalled by the explorer that drives the replay
 	forced []int
 	// tieRec, if set, observes every tie decision (after any forced
 	// override). It must not perturb the simulation.
+	//snap:transient observation hook, reattached by the recorder
 	tieRec func(TieDecision)
 
 	// TraceFn, if set, receives one line per scheduling event (debugging).
+	//snap:transient debugging hook, reattached by whoever installed it
 	TraceFn func(format string, args ...interface{})
 
 	// tracer, if set, receives typed scheduling events (proc run, sleep,
 	// block, preempt, done) on per-proc timelines. Recording charges no
 	// virtual time, so tracing cannot perturb simulation results.
+	//snap:transient observation attachment, reattached by the session
 	tracer *trace.Tracer
 }
 

@@ -173,14 +173,19 @@ type Stats struct {
 
 // TLB is a single processor's translation buffer.
 type TLB struct {
-	cfg     Config
+	cfg     Config //snap:derived configuration, reapplied from the experiment config on replay
 	entries []Entry
 	clock   uint64
-	rng     *rand.Rand
+	rng     *rand.Rand //snap:derived rebuilt from cfg.Seed on restore; position attested by rng_draws
 	stats   Stats
+	// rngDraws counts victim draws consumed from rng (Random replacement
+	// only), so snapshots can attest the stream position directly instead
+	// of implying it from the eviction counter.
+	rngDraws uint64
 
 	// Observer, when non-nil, receives every TLB event (hit, miss, insert,
 	// evict, invalidate, flush).
+	//snap:transient observation hook, reattached by the session that installs it
 	Observer Observer
 }
 
@@ -283,6 +288,7 @@ func (t *TLB) victim() int {
 		}
 		return best
 	case Random:
+		t.rngDraws++
 		return t.rng.Intn(len(t.entries))
 	default: // FIFO
 		best, bestSeq := 0, t.entries[0].seq
@@ -400,19 +406,24 @@ type EntrySnap struct {
 }
 
 // Snap is the TLB's complete state in wire form (DESIGN.md §14): valid
-// entries in slot order, the logical clock that orders them, and the event
-// counters. The Random-replacement RNG is not serialized; its position is
-// implied by the counters (victim draws happen only on eviction) and is
-// reconstructed by replay.
+// entries in slot order, the logical clock that orders them, the event
+// counters, and the replacement stream's draw count. The stream itself is
+// rebuilt from the seed on restore and fast-forwarded by replay; rng_draws
+// attests the position explicitly rather than implying it from the
+// eviction counter.
 type Snap struct {
 	Clock   uint64      `json:"clock"`
 	Entries []EntrySnap `json:"entries,omitempty"`
 	Stats   Stats       `json:"stats"`
+	// RNGDraws attests the replacement stream's position (Random mode
+	// only; omitted when no draw has happened, which keeps LRU/FIFO wire
+	// forms unchanged).
+	RNGDraws uint64 `json:"rng_draws,omitempty"`
 }
 
 // Snapshot captures the TLB's complete state in a fixed wire order.
 func (t *TLB) Snapshot() Snap {
-	s := Snap{Clock: t.clock, Stats: t.stats}
+	s := Snap{Clock: t.clock, Stats: t.stats, RNGDraws: t.rngDraws}
 	for i, e := range t.entries {
 		if !e.Valid {
 			continue

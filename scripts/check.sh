@@ -29,14 +29,8 @@ go test ./...
 echo "== tier 1: go vet ./..."
 go vet ./...
 
-echo "== tier 1: shootdownlint ./..."
+echo "== tier 1: shootdownlint ./... (full analyzer suite, one invocation)"
 go run ./cmd/shootdownlint ./...
-
-echo "== tier 1: shootdownlint ./internal/profile (profiler stays deterministic)"
-go run ./cmd/shootdownlint ./internal/profile
-
-echo "== tier 1: shootdownlint over the observability tooling"
-go run ./cmd/shootdownlint ./internal/trace ./internal/artifact ./cmd/tlbtrace
 
 echo "== tier 2: go test -race ./internal/sim/... ./internal/trace/..."
 go test -race ./internal/sim/... ./internal/trace/...
