@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check tier1 tier2 build vet lint test race bench smoke chaos explore timetravel
+.PHONY: check tier1 tier2 build vet lint test race bench smoke chaos devices explore timetravel
 
 check: ## tier-1 + tier-2 + observability and fault-campaign smoke tests
 	./scripts/check.sh
@@ -18,7 +18,7 @@ tier1: ## the hard floor: build + tests + static analysis
 
 tier2: ## race detector + chaos-campaign survival and corpus replay
 	$(GO) test -race ./internal/sim/... ./internal/trace/...
-	$(GO) test ./internal/experiments -run 'ChaosCampaignSurvivesWithoutBug|StaleReviveBugShrinks|CorpusReplay'
+	$(GO) test ./internal/experiments -run 'ChaosCampaignSurvivesWithoutBug|StaleReviveBugShrinks|CorpusReplay|DeviceBugShrinks|DeviceQuarantineBlackBox'
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,9 @@ smoke: build
 
 chaos: ## bounded fail-stop/hot-plug campaign with schedule shrinking
 	$(GO) run ./cmd/shootdownsim chaos
+
+devices: ## IOMMU/device-TLB chaos campaign against the DMA-streaming workload
+	$(GO) run ./cmd/shootdownsim devices
 
 explore: ## DPOR-lite schedule exploration under a bounded schedule budget
 	$(GO) run ./cmd/shootdownsim -explorebudget 24 explore

@@ -7,6 +7,7 @@
 package shootdown_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -258,6 +259,27 @@ func BenchmarkExtensionPageout(b *testing.B) {
 		}
 		b.ReportMetric(r.TotalPageoutMS, "pageout-ms")
 		b.ReportMetric(100*r.ShootdownShare, "shootdown-share-%")
+	}
+}
+
+// BenchmarkDeviceSweep sweeps the device-TLB count of the DMA-streaming
+// workload: the marginal cost of heterogeneous barrier members that ack by
+// completion message instead of IPI. Reports per-count device
+// invalidations posted and virtual runtime, so a device-path regression (a
+// slower completion queue, a busier watchdog ladder) moves a tracked
+// headline number.
+func BenchmarkDeviceSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, nd := range []int{1, 2, 4} {
+			r, err := workload.RunDMA(workload.AppConfig{
+				NCPUs: 4, Seed: benchSeed, Scale: 0.5, NumDevices: nd,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(r.Shootdown.DevInvalsPosted), fmt.Sprintf("devinvals-%ddev", nd))
+			b.ReportMetric(float64(r.Runtime)/1e6, fmt.Sprintf("runtime-ms-%ddev", nd))
+		}
 	}
 }
 

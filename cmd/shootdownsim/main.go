@@ -8,8 +8,8 @@
 //
 // Experiments: fig2, table1, table2, table3, table4, overhead, perturb,
 // scale, strategies, ipimodes, highprio, idleopt, threshold, queue,
-// taggedtlb, pools, pageout, faults, chaos, explore, timetravel, profile,
-// all.
+// taggedtlb, pools, pageout, faults, chaos, devices, explore, timetravel,
+// profile, all.
 //
 // -faults injects deterministic hardware faults (dropped/delayed IPIs, slow
 // responders, bus jitter) into every kernel; -failstop and -hotplug add
@@ -53,8 +53,10 @@ var (
 	oracleOn = flag.Bool("oracle", false, "attach the independent TLB-consistency oracle to every kernel; any stale translation granted fails the run")
 	failstop = flag.Bool("failstop", false, `processor fail-stop faults in every kernel (shorthand for -faults "failstop=0.9,failby=8ms"); failed CPUs stay down`)
 	hotplug  = flag.Bool("hotplug", false, `fail-stop plus hot-plug: failed CPUs revive with a cold TLB (shorthand for -faults "failstop=0.9,failby=8ms,revive=1,reviveafter=4ms")`)
-	repro    = flag.String("repro", "", "replay a minimized chaos reproducer JSON file (from the chaos experiment or testdata corpus) and exit; exits non-zero if the replay diverges from the recorded verdict")
-	chaosbug = flag.Bool("chaosbug", false, "plant the intentional stale-TLB-after-revive bug in the chaos experiment's runs, so the campaign fails on purpose (pair with -flight to exercise the black-box path end to end)")
+	repro    = flag.String("repro", "", "replay a minimized chaos reproducer JSON file (from the chaos or devices experiments or testdata corpus) and exit; exits non-zero if the replay diverges from the recorded verdict")
+	chaosbug = flag.Bool("chaosbug", false, "plant the intentional stale-translation bug in the chaos and devices experiments' runs (stale-TLB-after-revive and skip-dev-inval respectively), so the campaigns fail on purpose (pair with -flight to exercise the black-box path end to end)")
+	devices  = flag.Int("devices", 2, "device-TLB count for the devices experiment's DMA-streaming workload")
+	devfault = flag.String("devfaults", "", `extra device-fault spec run as a custom scenario of the devices experiment, e.g. "devwedge=0.3,devstall=0.5,devstallmax=6ms" (keys: devstall, devstallmax, devdrop, devwedge, devreorder)`)
 	budget   = flag.Int("explorebudget", 24, "schedule budget for the explore experiment: max forked schedules; same budget and seed explore the byte-identical set")
 	travelAt = flag.Duration("at", 5*time.Millisecond, "virtual-time instant the timetravel experiment snapshots and restores to")
 )
@@ -96,6 +98,12 @@ experiments:
   chaos       Robustness: processor fail-stop & hot-plug campaign against
               the churn workload, with delta-debugging minimization of any
               failing fault schedule (replay one with -repro)
+  devices     Robustness: IOMMU/device-TLB chaos campaign against the
+              DMA-streaming workload — stalled completions, deaf doorbells,
+              wedged queues, and CPU fail-stop during a device stall — with
+              the quarantine ladder armed and the stale-DMA oracle checking
+              every transfer (-devices sets the device count, -devfaults
+              adds a custom scenario)
   explore     Robustness: DPOR-lite schedule explorer — fork the run at
               every racy shootdown tie decision within -explorebudget,
               replay each fork down the other branch, and shrink any
@@ -282,6 +290,16 @@ func main() {
 		{"chaos", func() (any, string, error) {
 			r, err := experiments.ChaosCampaign(*seed,
 				experiments.ChaosOptions{Shrink: true, PlantBug: *chaosbug, WallClock: wallMS}, in)
+			return r, r.Render(), err
+		}},
+		{"devices", func() (any, string, error) {
+			r, err := experiments.DeviceChaosCampaign(*seed, experiments.DeviceChaosOptions{
+				Devices:   *devices,
+				Shrink:    true,
+				PlantBug:  *chaosbug,
+				ExtraSpec: *devfault,
+				WallClock: wallMS,
+			}, in)
 			return r, r.Render(), err
 		}},
 		{"explore", func() (any, string, error) {

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	tlbtrace validate [-results results.json] [-blackbox box.json] [trace.json]
-//	tlbtrace query [-cpu N] [-cat c] [-name substr] [-from us] [-to us] [-hist] <trace.json|blackbox.json>
+//	tlbtrace query [-cpu N] [-cat c] [-name substr] [-from us] [-to us] [-hist] [-events] <trace.json|blackbox.json>
 //	tlbtrace dag [-seq N] <shootdowns.json|profile-dir|blackbox.json>
 //	tlbtrace diff <old> <new>   (each: shootdowns.json | profile dir | black box)
 //
@@ -16,8 +16,12 @@
 // balanced spans from every instrumented layer, well-formed results
 // envelopes, internally consistent black boxes. It sniffs whole-simulation
 // snapshots — standalone files or a black box's embedded restore point —
-// and verifies their digest and JSON round trip. query filters spans and
-// aggregates their durations (quantiles, optional log2 histogram). dag
+// and verifies their digest and JSON round trip, and checks a device
+// black box's "devices" section (completion-queue watermarks, quarantine
+// coupling). query filters spans and aggregates their durations
+// (quantiles, optional log2 histogram); -events counts raw instants
+// instead, which is how device doorbell/completion/quarantine markers
+// surface. dag
 // prints one shootdown's critical path with per-responder attribution.
 // diff aligns two runs by shootdown identity and attributes the
 // virtual-time delta to DAG edges.
@@ -40,8 +44,9 @@ commands:
             layer), a -format json results file, a flight-recorder black box
             (plus its embedded restore point), or a whole-simulation
             snapshot (digest + JSON round trip) — formats are sniffed
-  query     [-cpu N] [-cat c] [-name substr] [-from us] [-to us] [-hist] <trace|blackbox>
-            filter spans and aggregate durations per span name
+  query     [-cpu N] [-cat c] [-name substr] [-from us] [-to us] [-hist] [-events] <trace|blackbox>
+            filter spans and aggregate durations per span name; -events
+            tallies raw instants (device markers) instead of spans
   dag       [-seq N] <shootdowns.json|profile-dir|blackbox>
             print one shootdown's critical path (default: the slowest)
   diff      <old> <new>
@@ -136,6 +141,17 @@ func cmdValidate(args []string) error {
 			}
 			fmt.Printf("validate: %s: snapshots: %s\n", *blackbox, summary)
 		}
+		// A box from a device-bearing run carries a "devices" section:
+		// check its completion-queue and quarantine invariants.
+		if devs, ok, err := artifact.DevicesFromBox(box); err != nil {
+			return fmt.Errorf("%s: %v", *blackbox, err)
+		} else if ok {
+			summary, err := artifact.ValidateDevices(devs)
+			if err != nil {
+				return fmt.Errorf("%s: devices: %v", *blackbox, err)
+			}
+			fmt.Printf("validate: %s: devices: %s\n", *blackbox, summary)
+		}
 	}
 	fmt.Println("validate: ok")
 	return nil
@@ -145,11 +161,12 @@ func cmdValidate(args []string) error {
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	cpu := fs.Int("cpu", -1, "restrict to one CPU timeline (-1 = all)")
-	cat := fs.String("cat", "", "exact category match: sim, machine, shootdown, tlb, kernel")
+	cat := fs.String("cat", "", "exact category match: sim, machine, shootdown, tlb, kernel, device")
 	name := fs.String("name", "", "substring match on the span name")
 	from := fs.Float64("from", 0, "window start in virtual microseconds")
 	to := fs.Float64("to", 0, "window end in virtual microseconds (0 = open)")
 	hist := fs.Bool("hist", false, "also print a log2 duration histogram of the matched spans")
+	events := fs.Bool("events", false, "count matched raw events per name instead of pairing spans (device doorbell/completion/quarantine markers are instants and only appear here)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: tlbtrace query [flags] <trace.json|blackbox.json>")
@@ -159,6 +176,21 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	f := artifact.Filter{CPU: *cpu, Cat: *cat, Name: *name, FromUS: *from, ToUS: *to}
+	if *events {
+		counts := artifact.CountEvents(doc, f)
+		if len(counts) == 0 {
+			fmt.Println("query: no events matched")
+			return nil
+		}
+		total := 0
+		for _, c := range counts {
+			total += c.Count
+		}
+		fmt.Printf("query: %d events matched (%d loaded, %d dropped by the ring)\n\n",
+			total, len(doc.Events), doc.Dropped)
+		fmt.Print(artifact.FormatEventTable(counts))
+		return nil
+	}
 	matched := f.Select(artifact.Spans(doc))
 	if len(matched) == 0 {
 		fmt.Println("query: no spans matched")

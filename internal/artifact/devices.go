@@ -1,0 +1,121 @@
+package artifact
+
+// Device-section support: a device-bearing run's kernel registers a
+// "devices" state section with the flight recorder, carrying every
+// device's lifecycle, completion-queue state, and IOTLB at trip time. The
+// loaders here mirror the wire form with local view structs (like
+// TraceEvent does for trace events) so the artifact layer stays decoupled
+// from the machine package.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"shootdown/internal/trace"
+)
+
+// DevReqView is one queued invalidation request in a device section.
+type DevReqView struct {
+	Seq      uint64 `json:"seq"`
+	FlushAll bool   `json:"flush_all"`
+}
+
+// DevStatsView is the device counter subset the validator checks.
+type DevStatsView struct {
+	InvalsPosted uint64 `json:"invals_posted"`
+	Completions  uint64 `json:"completions"`
+	Overflows    uint64 `json:"overflows"`
+	ReRings      uint64 `json:"rerings"`
+	Resets       uint64 `json:"resets"`
+}
+
+// DevView is the loader's view of one device's black-box state.
+type DevView struct {
+	ID       int          `json:"id"`
+	State    string       `json:"state"`
+	Wedged   bool         `json:"wedged"`
+	Poisoned bool         `json:"poisoned"`
+	Doorbell bool         `json:"doorbell"`
+	Overflow bool         `json:"overflow"`
+	Queue    []DevReqView `json:"queue"`
+	NextSeq  uint64       `json:"next_seq"`
+	DoneLow  uint64       `json:"done_low"`
+	DoneHigh []uint64     `json:"done_high"`
+	Stats    DevStatsView `json:"stats"`
+}
+
+// DevicesFromBox extracts a black box's "devices" section. ok is false
+// when the box came from a deviceless run (the section is only registered
+// on machines with devices).
+func DevicesFromBox(box *trace.BlackBox) ([]DevView, bool, error) {
+	for _, st := range box.State {
+		if st.Name != "devices" {
+			continue
+		}
+		var devs []DevView
+		if err := json.Unmarshal(st.Data, &devs); err != nil {
+			return nil, false, fmt.Errorf("devices section: %w", err)
+		}
+		return devs, true, nil
+	}
+	return nil, false, nil
+}
+
+// ValidateDevices checks a device section's internal consistency: device
+// identity, lifecycle/poison coupling, and the completion-queue
+// watermark invariants (queued and out-of-order-completed sequence
+// numbers must be consistent with the posting counter). It returns a
+// one-line summary on success.
+func ValidateDevices(devs []DevView) (string, error) {
+	if len(devs) == 0 {
+		return "", fmt.Errorf("devices section is empty")
+	}
+	var quarantined, wedged int
+	var posted, completions uint64
+	queued := 0
+	for i, d := range devs {
+		if d.ID != i {
+			return "", fmt.Errorf("device[%d] carries id %d (sections are id-ordered)", i, d.ID)
+		}
+		switch d.State {
+		case "online":
+			if d.Poisoned {
+				return "", fmt.Errorf("device %d is online but poisoned", d.ID)
+			}
+		case "quarantined":
+			if !d.Poisoned {
+				return "", fmt.Errorf("device %d is quarantined but its translations are not poisoned", d.ID)
+			}
+			quarantined++
+		default:
+			return "", fmt.Errorf("device %d in unknown state %q", d.ID, d.State)
+		}
+		if d.Wedged {
+			wedged++
+		}
+		if d.DoneLow > d.NextSeq {
+			return "", fmt.Errorf("device %d completion watermark %d past posting counter %d", d.ID, d.DoneLow, d.NextSeq)
+		}
+		for _, seq := range d.DoneHigh {
+			if seq <= d.DoneLow || seq >= d.NextSeq {
+				return "", fmt.Errorf("device %d out-of-order completion %d outside (%d, %d)", d.ID, seq, d.DoneLow, d.NextSeq)
+			}
+		}
+		for _, r := range d.Queue {
+			if r.Seq >= d.NextSeq {
+				return "", fmt.Errorf("device %d queues request %d past posting counter %d", d.ID, r.Seq, d.NextSeq)
+			}
+		}
+		if d.Overflow && (len(d.Queue) != 1 || !d.Queue[0].FlushAll) {
+			return "", fmt.Errorf("device %d overflowed but its queue did not collapse to one full flush", d.ID)
+		}
+		if d.Stats.Completions > d.Stats.InvalsPosted {
+			return "", fmt.Errorf("device %d completed %d requests but only %d were posted", d.ID, d.Stats.Completions, d.Stats.InvalsPosted)
+		}
+		posted += d.Stats.InvalsPosted
+		completions += d.Stats.Completions
+		queued += len(d.Queue)
+	}
+	return fmt.Sprintf("%d devices (%d quarantined, %d wedged), %d invals posted, %d completions, %d queued",
+		len(devs), quarantined, wedged, posted, completions, queued), nil
+}

@@ -1,0 +1,143 @@
+package artifact
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"shootdown/internal/trace"
+)
+
+// goodDevs is a consistent two-device section: device 0 healthy with one
+// queued request and an out-of-order completion, device 1 quarantined
+// after a wedge.
+func goodDevs() []DevView {
+	return []DevView{
+		{
+			ID: 0, State: "online", Doorbell: true,
+			Queue:   []DevReqView{{Seq: 5}},
+			NextSeq: 7, DoneLow: 4, DoneHigh: []uint64{6},
+			Stats: DevStatsView{InvalsPosted: 7, Completions: 6},
+		},
+		{
+			ID: 1, State: "quarantined", Wedged: true, Poisoned: true,
+			NextSeq: 3, DoneLow: 1,
+			Stats: DevStatsView{InvalsPosted: 3, Completions: 1, ReRings: 2, Resets: 1},
+		},
+	}
+}
+
+// boxWithDevices wraps a device section in a minimal black box.
+func boxWithDevices(t *testing.T, devs []DevView) *trace.BlackBox {
+	t.Helper()
+	data, err := json.Marshal(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &trace.BlackBox{
+		Format: trace.BlackBoxFormat,
+		Reason: "watchdog",
+		State:  []trace.BlackBoxState{{Name: "devices", Data: data}},
+	}
+}
+
+func TestDevicesFromBox(t *testing.T) {
+	devs, ok, err := DevicesFromBox(boxWithDevices(t, goodDevs()))
+	if err != nil || !ok {
+		t.Fatalf("DevicesFromBox: ok=%v err=%v", ok, err)
+	}
+	if len(devs) != 2 || devs[1].State != "quarantined" {
+		t.Fatalf("unexpected section: %+v", devs)
+	}
+	// A deviceless box simply has no section.
+	if _, ok, err := DevicesFromBox(&trace.BlackBox{Format: trace.BlackBoxFormat}); ok || err != nil {
+		t.Fatalf("deviceless box: ok=%v err=%v", ok, err)
+	}
+	// A corrupt section is an error, not a silent miss.
+	bad := &trace.BlackBox{State: []trace.BlackBoxState{{Name: "devices", Data: json.RawMessage(`{`)}}}
+	if _, _, err := DevicesFromBox(bad); err == nil {
+		t.Fatal("corrupt section did not error")
+	}
+}
+
+func TestValidateDevices(t *testing.T) {
+	summary, err := ValidateDevices(goodDevs())
+	if err != nil {
+		t.Fatalf("valid section rejected: %v", err)
+	}
+	for _, want := range []string{"2 devices", "1 quarantined", "1 wedged", "10 invals posted", "7 completions", "1 queued"} {
+		if !strings.Contains(summary, want) {
+			t.Errorf("summary %q missing %q", summary, want)
+		}
+	}
+
+	// Every invariant must be enforced.
+	breakers := []struct {
+		name  string
+		mut   func(d []DevView)
+		wants string
+	}{
+		{"empty", nil, "empty"},
+		{"id-order", func(d []DevView) { d[1].ID = 7 }, "id-ordered"},
+		{"bad-state", func(d []DevView) { d[0].State = "smoldering" }, "unknown state"},
+		{"online-poisoned", func(d []DevView) { d[0].Poisoned = true }, "online but poisoned"},
+		{"quarantine-unpoisoned", func(d []DevView) { d[1].Poisoned = false }, "not poisoned"},
+		{"watermark-past-counter", func(d []DevView) { d[0].DoneLow = 9 }, "watermark"},
+		{"done-high-below-low", func(d []DevView) { d[0].DoneHigh = []uint64{3} }, "out-of-order completion"},
+		{"done-high-past-counter", func(d []DevView) { d[0].DoneHigh = []uint64{8} }, "out-of-order completion"},
+		{"queued-past-counter", func(d []DevView) { d[0].Queue[0].Seq = 7 }, "queues request"},
+		{"overflow-uncollapsed", func(d []DevView) { d[0].Overflow = true }, "collapse"},
+		{"completions-past-posted", func(d []DevView) { d[0].Stats.Completions = 8 }, "completed"},
+	}
+	for _, tc := range breakers {
+		t.Run(tc.name, func(t *testing.T) {
+			devs := goodDevs()
+			if tc.mut == nil {
+				devs = nil
+			} else {
+				tc.mut(devs)
+			}
+			_, err := ValidateDevices(devs)
+			if err == nil {
+				t.Fatal("broken section accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wants) {
+				t.Fatalf("error %q missing %q", err, tc.wants)
+			}
+		})
+	}
+}
+
+// Device markers are instants: invisible to span pairing, surfaced by the
+// event-count query.
+func TestCountEvents(t *testing.T) {
+	doc := &TraceDoc{Events: []TraceEvent{
+		ev("i", "dev-post", "device", 10, 0, 4),
+		ev("i", "dev-post", "device", 20, 0, 4),
+		ev("i", "dev-quarantine", "device", 30, 0, 5),
+		ev("B", "shootdown-dev-wait", "shootdown", 5, 0, 0),
+		ev("E", "shootdown-dev-wait", "shootdown", 35, 0, 0),
+	}}
+	if got := (Filter{CPU: -1, Cat: "device"}).Select(Spans(doc)); len(got) != 0 {
+		t.Fatalf("instants paired into %d spans", len(got))
+	}
+	counts := CountEvents(doc, Filter{CPU: -1, Cat: "device"})
+	if len(counts) != 2 || counts[0].Name != "dev-post" || counts[0].Count != 2 ||
+		counts[1].Name != "dev-quarantine" || counts[1].Count != 1 {
+		t.Fatalf("unexpected counts: %+v", counts)
+	}
+	// The window clause applies to the instant itself.
+	late := CountEvents(doc, Filter{CPU: -1, Cat: "device", FromUS: 15, ToUS: 25})
+	if len(late) != 1 || late[0].Name != "dev-post" || late[0].Count != 1 {
+		t.Fatalf("windowed counts: %+v", late)
+	}
+	// One device row only.
+	dev5 := CountEvents(doc, Filter{CPU: 5})
+	if len(dev5) != 1 || dev5[0].Name != "dev-quarantine" {
+		t.Fatalf("per-row counts: %+v", dev5)
+	}
+	table := FormatEventTable(counts)
+	if !strings.Contains(table, "dev-post") || !strings.Contains(table, "device") {
+		t.Fatalf("table missing rows:\n%s", table)
+	}
+}

@@ -97,6 +97,68 @@ func (f Filter) Select(spans []Span) []Span {
 	return out
 }
 
+// MatchEvent reports whether a raw event passes the filter; the window
+// clause tests the event's instant. Instants never pair into spans, so
+// this is how device doorbell/completion/quarantine markers are queried.
+func (f Filter) MatchEvent(ev TraceEvent) bool {
+	if f.CPU >= 0 && (ev.Pid != 0 || ev.Tid != f.CPU) {
+		return false
+	}
+	if f.Cat != "" && ev.Cat != f.Cat {
+		return false
+	}
+	if f.Name != "" && !strings.Contains(ev.Name, f.Name) {
+		return false
+	}
+	if ev.TS < f.FromUS {
+		return false
+	}
+	if f.ToUS > 0 && ev.TS >= f.ToUS {
+		return false
+	}
+	return true
+}
+
+// EventCount is the per-name tally of matched raw events.
+type EventCount struct {
+	Name  string
+	Cat   string
+	Count int
+}
+
+// CountEvents tallies the events passing the filter by (name, category),
+// sorted by descending count (ties by name, so output is deterministic).
+func CountEvents(d *TraceDoc, f Filter) []EventCount {
+	type key struct{ name, cat string }
+	counts := map[key]int{}
+	for _, ev := range d.Events {
+		if f.MatchEvent(ev) {
+			counts[key{ev.Name, ev.Cat}]++
+		}
+	}
+	out := make([]EventCount, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, EventCount{Name: k.name, Cat: k.cat, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// FormatEventTable renders the event-count table for query -events.
+func FormatEventTable(counts []EventCount) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-12s %7s\n", "name", "cat", "count")
+	for _, c := range counts {
+		fmt.Fprintf(&b, "%-28s %-12s %7d\n", c.Name, c.Cat, c.Count)
+	}
+	return b.String()
+}
+
 // Agg is the duration aggregate for one span name.
 type Agg struct {
 	Name  string

@@ -114,6 +114,46 @@ func (a Action) Pages() int {
 	return int((a.End - a.Start + mem.PageSize - 1) / mem.PageSize)
 }
 
+// DeviceTLB is the protocol's view of a device-TLB participant (an IOMMU
+// or accelerator MMU; machine.Device implements it). Devices break the
+// paper's core assumption: they hold translations but take no interrupts,
+// so they cannot join the IPI+spin barrier. Instead the initiator posts an
+// invalidation request into the device's bounded queue (ringing its
+// doorbell), continues, and later polls Completed — an ATS-style
+// invalidate → wait-for-completion exchange. The watchdog ladder for a
+// device that never completes is Ring (the doorbell may have been lost),
+// then Reset (drain-and-reset, whose full IOTLB flush satisfies every
+// outstanding request), then Quarantine (fail-stop the device and finish
+// the shootdown without it — its translations are poisoned, so a missing
+// acknowledgement no longer threatens consistency).
+type DeviceTLB interface {
+	// ID identifies the device in instrumentation.
+	ID() int
+	// Online reports whether the device has not been quarantined.
+	Online() bool
+	// PostInvalidate queues an invalidation and rings the doorbell,
+	// returning the completion sequence number to poll. ok is false when
+	// the device is quarantined (nothing to wait for).
+	PostInvalidate(ex *machine.Exec, asid tlb.ASID, start, end ptable.VAddr, flushAll bool) (seq uint64, ok bool)
+	// Ring re-rings the doorbell (first escalation rung).
+	Ring(ex *machine.Exec)
+	// Completed reports whether the request has been acknowledged.
+	Completed(seq uint64) bool
+	// Reset drains and resets the device (second rung); false when the
+	// device did not respond to the reset either.
+	Reset(ex *machine.Exec) bool
+	// Quarantine fail-stops the device (final rung).
+	Quarantine(ex *machine.Exec) bool
+}
+
+// deviceMember is one registered device participant: the device plus the
+// address space it translates through. A device is shot at exactly when a
+// shootdown targets its pmap.
+type deviceMember struct {
+	dev  DeviceTLB
+	pmap Pmap
+}
+
 // Op carries one pmap operation's consistency context from Begin through
 // Sync to Finish. Strategies that defer work past the pmap update (the
 // postponed-interrupt and timer-flush baselines) stash what they need here.
@@ -179,6 +219,17 @@ type Options struct {
 	// WatchdogBackoffMax caps the exponential backoff between retries.
 	// Default 16× WatchdogTimeout.
 	WatchdogBackoffMax sim.Time
+
+	// DevCompletionTimeout bounds the initiator's wait for one device
+	// completion before the device watchdog ladder engages. Defaults to
+	// WatchdogTimeout when the watchdog is armed; with no watchdog the
+	// initiator spins unboundedly, trusting the device like the paper
+	// trusts the interrupt hardware.
+	DevCompletionTimeout sim.Time
+	// DevMaxRerings is how many timed-out waits are answered with a
+	// doorbell re-ring before the ladder escalates to drain-and-reset
+	// (and, if the reset fails or does not help, quarantine). Default 2.
+	DevMaxRerings int
 }
 
 func (o Options) withDefaults() Options {
@@ -194,6 +245,12 @@ func (o Options) withDefaults() Options {
 		}
 		if o.WatchdogBackoffMax == 0 {
 			o.WatchdogBackoffMax = 16 * o.WatchdogTimeout
+		}
+		if o.DevCompletionTimeout == 0 {
+			o.DevCompletionTimeout = o.WatchdogTimeout
+		}
+		if o.DevMaxRerings == 0 {
+			o.DevMaxRerings = 2
 		}
 	}
 	return o
@@ -227,6 +284,25 @@ type Stats struct {
 	// membership re-check found the responder fail-stopped (or failed and
 	// revived into a fresh incarnation) — the watchdog's final escalation.
 	WatchdogMembershipRescues uint64
+
+	// Device-participant counters. All carry omitempty so a deviceless
+	// run's wire forms (black boxes, snapshots, corpus reproducers) are
+	// byte-identical to the pre-device format.
+	//
+	// DevShootdowns counts Syncs that posted to at least one device;
+	// DevInvalsPosted the invalidation requests posted.
+	DevShootdowns   uint64 `json:",omitempty"`
+	DevInvalsPosted uint64 `json:",omitempty"`
+	// DevCompletionTimeouts counts completion waits that exceeded the
+	// device watchdog timeout; DevRerings, DevResets, and DevQuarantines
+	// count each escalation rung taken.
+	DevCompletionTimeouts uint64 `json:",omitempty"`
+	DevRerings            uint64 `json:",omitempty"`
+	DevResets             uint64 `json:",omitempty"`
+	DevQuarantines        uint64 `json:",omitempty"`
+	// DevOfflineSkipped counts devices excluded from a shootdown up front
+	// because they were already quarantined at membership-scan time.
+	DevOfflineSkipped uint64 `json:",omitempty"`
 }
 
 // Shootdown is the Mach shootdown algorithm state: the active and idle
@@ -250,6 +326,10 @@ type Shootdown struct {
 	// lock order, so an initiator holding the pmap lock may take it and
 	// then the action locks.
 	memberLock machine.SpinLock
+
+	// devices lists the registered device participants (serialized as
+	// the Devices section of Snap).
+	devices []deviceMember
 
 	kernelPmap Pmap               //snap:derived wiring to the kernel pmap, re-established at construction
 	userPmapOn func(cpu int) Pmap //snap:derived wiring installed by the kernel at construction; pmap active on a CPU, or nil
@@ -338,6 +418,13 @@ func (s *Shootdown) SetKernelPmap(p Pmap) { s.kernelPmap = p }
 // SetUserPmapFn registers the resolver for the user pmap active on a CPU.
 func (s *Shootdown) SetUserPmapFn(f func(cpu int) Pmap) { s.userPmapOn = f }
 
+// RegisterDevice adds a device-TLB participant translating through pmap p:
+// every subsequent shootdown targeting p posts an invalidation to the
+// device and waits for its completion alongside the CPU barrier.
+func (s *Shootdown) RegisterDevice(d DeviceTLB, p Pmap) {
+	s.devices = append(s.devices, deviceMember{dev: d, pmap: p})
+}
+
 // Active reports whether a CPU is in the active set (tests/diagnostics).
 func (s *Shootdown) Active(cpu int) bool { return s.active[cpu] }
 
@@ -372,6 +459,15 @@ type CPUSnap struct {
 	LockOwner    int          `json:"lock_owner,omitempty"`
 }
 
+// DevMemberSnap is one registered device participant in wire form. The
+// device's own protocol state (queue, watermark, IOTLB) is serialized by
+// the machine layer; this records the membership view.
+type DevMemberSnap struct {
+	Dev    int  `json:"dev"`
+	Online bool `json:"online"`
+	Kernel bool `json:"kernel,omitempty"`
+}
+
 // Snap is the whole protocol state in wire form: the Section 4 data
 // structures per CPU plus the cumulative counters, the in-flight
 // initiator count, and the watchdog recovery-latency samples.
@@ -380,6 +476,10 @@ type Snap struct {
 	InFlight   int       `json:"in_flight,omitempty"`
 	MemberHeld bool      `json:"member_lock_held,omitempty"`
 	CPUs       []CPUSnap `json:"cpus"`
+	// Devices lists the registered device participants in registration
+	// order; omitted on the CPU-only configurations every pre-device wire
+	// form describes.
+	Devices []DevMemberSnap `json:"devices,omitempty"`
 	// RecoveryUS carries the watchdog recovery-latency samples, so a
 	// restored world reports the same recovery percentiles as the
 	// original (omitted while no rescue has happened).
@@ -411,6 +511,11 @@ func (s *Shootdown) Snapshot() Snap {
 			cs.LockHeld, cs.LockOwner = true, owner
 		}
 		snap.CPUs = append(snap.CPUs, cs)
+	}
+	for _, dm := range s.devices {
+		snap.Devices = append(snap.Devices, DevMemberSnap{
+			Dev: dm.dev.ID(), Online: dm.dev.Online(), Kernel: dm.pmap.IsKernel(),
+		})
 	}
 	return snap
 }
@@ -446,13 +551,61 @@ func (s *Shootdown) Begin(ex *machine.Exec) *Op {
 }
 
 // Finish ends the initiator-side critical section after the pmap has been
-// unlocked: rejoin the active set and restore the interrupt state, which
-// delivers — and responds to — any shootdown interrupts that arrived while
-// we were initiating.
+// unlocked: synchronize any device participants, rejoin the active set,
+// and restore the interrupt state, which delivers — and responds to — any
+// shootdown interrupts that arrived while we were initiating.
+//
+// Device invalidations are posted here, after the pmap update, not in
+// Sync before it. The ordering is deliberate and differs from the CPU
+// barrier: CPU responders stall until the update is done, so a pre-update
+// queue-and-interrupt cannot re-cache a stale entry; a device has no such
+// interlock — it services its queue whenever it likes — so an invalidation
+// completed before the PTEs changed could be followed by a device walk
+// that re-caches the dying mapping, stale forever. Clearing the PTEs
+// first and then invalidating (the ATS ordering) closes that window. The
+// race window stays open (inFlight is still held) until every attached
+// device completes or is escalated away.
 func (s *Shootdown) Finish(ex *machine.Exec, op *Op) {
+	if op.Synced && len(s.devices) > 0 {
+		s.syncDevices(ex, op)
+	}
 	s.active[ex.CPUID()] = true
 	s.inFlight--
 	ex.RestoreIPL(op.prevIPL)
+}
+
+// syncDevices posts the finished operation's invalidation to every device
+// attached to its pmap and collects the completion messages, escalating
+// through the device watchdog ladder on the ones that never answer.
+func (s *Shootdown) syncDevices(ex *machine.Exec, op *Op) {
+	me := ex.CPUID()
+	var devWaiters []devWaiter
+	for _, dm := range s.devices {
+		if dm.pmap != op.Pmap {
+			continue
+		}
+		if !dm.dev.Online() {
+			// A quarantined device is excluded up front — like an offline
+			// CPU, it translates nothing.
+			s.stats.DevOfflineSkipped++
+			continue
+		}
+		if seq, ok := dm.dev.PostInvalidate(ex, op.Pmap.ASID(), op.Start.Page(), op.End, false); ok {
+			s.stats.DevInvalsPosted++
+			devWaiters = append(devWaiters, devWaiter{dev: dm.dev, seq: seq})
+		}
+	}
+	if len(devWaiters) == 0 {
+		return
+	}
+	s.stats.DevShootdowns++
+	s.Span.Begin(int64(ex.Now()), me, trace.CatShootdown, "shootdown-dev-wait", int64(len(devWaiters)), 0)
+	s.Prof.Push(int64(ex.Now()), me, profile.PhaseSpinBarrier)
+	for _, dw := range devWaiters {
+		s.waitForDevice(ex, dw)
+	}
+	s.Prof.Pop(int64(ex.Now()), me, profile.PhaseSpinBarrier)
+	s.Span.End(int64(ex.Now()), me, trace.CatShootdown, "shootdown-dev-wait")
 }
 
 // Sync is the initiator algorithm (phases 1 and 3's precondition). It must
@@ -624,6 +777,80 @@ func (s *Shootdown) waitForResponder(ex *machine.Exec, p Pmap, w waiter, start, 
 			s.Span.Instant(int64(ex.Now()), me, trace.CatShootdown, "watchdog-retry", int64(cpu), int64(retry))
 			ex.SendIPI([]int{cpu})
 			s.stats.IPIsSent++
+		}
+		if timeout < s.opts.WatchdogBackoffMax {
+			timeout *= 2
+			if timeout > s.opts.WatchdogBackoffMax {
+				timeout = s.opts.WatchdogBackoffMax
+			}
+		}
+	}
+	if firstTimeout != 0 {
+		s.recoveryUS = append(s.recoveryUS, float64(ex.Now()-firstTimeout)/1000)
+	}
+}
+
+// devWaiter is one outstanding device completion: the device plus the
+// sequence number its invalidation was posted at.
+type devWaiter struct {
+	dev DeviceTLB
+	seq uint64
+}
+
+// waitForDevice waits for one device's completion message. With no
+// watchdog configured it is an unbounded spin trusting the device, the
+// analogue of the paper's trust in the interrupt hardware. With a
+// watchdog armed, a timed-out wait climbs the device escalation ladder:
+// re-ring the doorbell (the initial ring may have been dropped and the
+// device is merely unaware of the work), up to DevMaxRerings times under
+// exponential backoff; then drain-and-reset the device (its full IOTLB
+// flush satisfies every outstanding invalidation); and finally quarantine
+// it — fail-stop the device, evict it from membership, and finish the
+// shootdown without its acknowledgement, which is safe because a
+// quarantined device's translations are poisoned and grant nothing. Each
+// rescued wait's recovery latency (first timeout → quiescence) is
+// recorded alongside the CPU watchdog's samples.
+func (s *Shootdown) waitForDevice(ex *machine.Exec, w devWaiter) {
+	d := w.dev
+	cond := func() bool { return d.Online() && !d.Completed(w.seq) }
+	if s.opts.WatchdogTimeout <= 0 {
+		ex.SpinWhile(cond)
+		return
+	}
+	me := ex.CPUID()
+	timeout := s.opts.DevCompletionTimeout
+	var firstTimeout sim.Time
+	resetTried := false
+	for retry := 0; !ex.SpinWhileFor(cond, timeout); retry++ {
+		s.stats.DevCompletionTimeouts++
+		if firstTimeout == 0 {
+			firstTimeout = ex.Now()
+		}
+		s.Span.Instant(int64(ex.Now()), me, trace.CatShootdown, "dev-watchdog-timeout", int64(d.ID()), int64(retry))
+		if !d.Online() {
+			break // quarantined by a concurrent initiator; nothing to wait for
+		}
+		switch {
+		case retry < s.opts.DevMaxRerings:
+			s.stats.DevRerings++
+			s.Span.Instant(int64(ex.Now()), me, trace.CatShootdown, "dev-watchdog-rering", int64(d.ID()), int64(retry))
+			d.Ring(ex)
+		case !resetTried:
+			resetTried = true
+			s.stats.DevResets++
+			s.Span.Instant(int64(ex.Now()), me, trace.CatShootdown, "dev-watchdog-reset", int64(d.ID()), int64(retry))
+			// On success the reset's flush completes every outstanding
+			// request and the next spin exits; on failure (a wedged
+			// device ignores reset too) the next timeout quarantines.
+			d.Reset(ex)
+		default:
+			s.stats.DevQuarantines++
+			s.Span.Instant(int64(ex.Now()), me, trace.CatShootdown, "dev-watchdog-quarantine", int64(d.ID()), int64(retry))
+			// Quarantine before tripping so the black box's devices
+			// section captures the post-escalation state.
+			d.Quarantine(ex)
+			s.Flight.Trip(int64(ex.Now()), "watchdog",
+				fmt.Sprintf("cpu%d quarantined device%d after %d retries awaiting completion %d", me, d.ID(), retry, w.seq))
 		}
 		if timeout < s.opts.WatchdogBackoffMax {
 			timeout *= 2

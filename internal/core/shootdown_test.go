@@ -724,6 +724,7 @@ func TestWatchdogEscalationTable(t *testing.T) {
 		stall  sim.Time // responder holds interrupts masked this long (0 = open)
 		failAt sim.Time // >0: fail-stop the responder's CPU at this time
 		revive bool     // bring it straight back (incarnation bump, cold TLB)
+		device bool     // device rung: the straggler is a device TLB, not a CPU
 		check  func(t *testing.T, st core.Stats, recovery []float64)
 	}{
 		{
@@ -848,10 +849,106 @@ func TestWatchdogEscalationTable(t *testing.T) {
 				}
 			},
 		},
+		// --- device rungs: the straggler acks by completion message, ---
+		// --- not IPI, so its ladder is ring -> reset -> quarantine    ---
+		{
+			// The initial doorbell ring is always lost: the request sits
+			// queued but unnoticed until the watchdog's first timeout
+			// re-rings (re-rings are reliable), which rescues the wait.
+			name:   "dev-dropped-doorbell-rering",
+			opts:   core.Options{WatchdogTimeout: 200_000, WatchdogMaxRetries: 10, DevMaxRerings: 10},
+			faults: "devdrop=1",
+			device: true,
+			check: func(t *testing.T, st core.Stats, recovery []float64) {
+				if st.DevCompletionTimeouts == 0 || st.DevRerings == 0 {
+					t.Errorf("dropped doorbell not re-rung: %+v", st)
+				}
+				if st.DevResets != 0 || st.DevQuarantines != 0 {
+					t.Errorf("escalated past re-ring against a merely deaf doorbell: %+v", st)
+				}
+				if len(recovery) != 1 || recovery[0] <= 0 {
+					t.Errorf("recovery latency %v, want one positive sample", recovery)
+				}
+			},
+		},
+		{
+			// The device services the queue but an injected stall holds the
+			// completion past the timeout: the watchdog re-rings (harmless)
+			// until the stall drains, never escalating to reset.
+			name:   "dev-stalled-completion-timeout",
+			opts:   core.Options{WatchdogTimeout: 50_000, WatchdogMaxRetries: 10, DevMaxRerings: 50},
+			faults: "devstall=1,devstallmax=3ms",
+			device: true,
+			check: func(t *testing.T, st core.Stats, recovery []float64) {
+				if st.DevCompletionTimeouts == 0 {
+					t.Errorf("stalled completion never timed out: %+v", st)
+				}
+				if st.DevResets != 0 || st.DevQuarantines != 0 {
+					t.Errorf("escalated against a merely slow device: %+v", st)
+				}
+				if len(recovery) != 1 || recovery[0] <= 0 {
+					t.Errorf("recovery latency %v, want one positive sample", recovery)
+				}
+			},
+		},
+		{
+			// Re-ring budget exhausted against a long stall: the
+			// drain-and-reset rung rescues the wait — its full IOTLB flush
+			// satisfies every outstanding request at once.
+			name: "dev-escalates-to-reset",
+			opts: core.Options{
+				WatchdogTimeout:    50_000,
+				WatchdogBackoffMax: 100_000,
+				WatchdogMaxRetries: 10,
+				DevMaxRerings:      2,
+			},
+			faults: "devstall=1,devstallmax=40ms",
+			device: true,
+			check: func(t *testing.T, st core.Stats, recovery []float64) {
+				if st.DevRerings == 0 || st.DevResets == 0 {
+					t.Errorf("re-ring budget blown but never reset: %+v", st)
+				}
+				if st.DevQuarantines != 0 {
+					t.Errorf("quarantined a device a reset had already rescued: %+v", st)
+				}
+				if len(recovery) != 1 || recovery[0] <= 0 {
+					t.Errorf("recovery latency %v, want one positive sample", recovery)
+				}
+			},
+		},
+		{
+			// A wedged device ignores re-rings and the reset too: the final
+			// rung fail-stops it and the shootdown completes without its
+			// acknowledgement (the harness asserts the initiator came back).
+			name: "dev-wedge-quarantined",
+			opts: core.Options{
+				WatchdogTimeout:    50_000,
+				WatchdogBackoffMax: 100_000,
+				WatchdogMaxRetries: 10,
+				DevMaxRerings:      2,
+			},
+			faults: "devwedge=1",
+			device: true,
+			check: func(t *testing.T, st core.Stats, recovery []float64) {
+				if st.DevRerings == 0 || st.DevResets == 0 {
+					t.Errorf("quarantine skipped ladder rungs: %+v", st)
+				}
+				if st.DevQuarantines != 1 {
+					t.Errorf("DevQuarantines = %d, want 1: %+v", st.DevQuarantines, st)
+				}
+				if len(recovery) != 1 || recovery[0] <= 0 {
+					t.Errorf("recovery latency %v, want one positive sample", recovery)
+				}
+			},
+		},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
+			if tc.device {
+				runDeviceEscalation(t, tc.opts, tc.faults, tc.check)
+				return
+			}
 			eng := sim.New(sim.WithMaxTime(60_000_000_000))
 			costs := machine.DefaultCosts()
 			costs.JitterPct = 0
@@ -928,6 +1025,78 @@ func TestWatchdogEscalationTable(t *testing.T) {
 			tc.check(t, sd.Stats(), sd.WatchdogRecoveryUS())
 		})
 	}
+}
+
+// runDeviceEscalation is the device-rung harness for the escalation table:
+// one device caches a translation via a priming DMA read, then misbehaves
+// per the injected fault while the initiator reprotects the page. The
+// initiator's completion wait must always come back — via re-ring, reset,
+// or quarantine — with the stats and recovery-latency metric recording
+// which rung did the rescuing.
+func runDeviceEscalation(t *testing.T, opts core.Options, faults string, check func(*testing.T, core.Stats, []float64)) {
+	const page = ptable.VAddr(0x90000)
+	eng := sim.New(sim.WithMaxTime(60_000_000_000))
+	costs := machine.DefaultCosts()
+	costs.JitterPct = 0
+	mo := machine.Options{NumCPUs: 2, MemFrames: 1024, Costs: costs, NumDevices: 1, DevQueueDepth: 4}
+	if faults != "" {
+		fc, err := fault.ParseSpec(faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc.Seed = 11
+		mo.Faults = fault.New(fc)
+	}
+	m := machine.New(eng, mo)
+	sd := core.New(m, opts)
+	sys, err := pmap.NewSystem(m, sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := sys.NewUser()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := m.Device(0)
+	sys.AttachDevice(dev, up)
+	f, err := m.Phys.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := up.Table.Enter(page, ptable.Make(f, true)); err != nil {
+		t.Fatal(err)
+	}
+	stop := false
+	eng.Spawn("devsvc", func(p *sim.Proc) {
+		for !stop {
+			if !dev.ServiceOne(p) {
+				p.Sleep(20_000)
+			}
+		}
+	})
+	done := false
+	eng.Spawn("initiator", func(p *sim.Proc) {
+		defer func() { stop = true }()
+		ex := m.Attach(p, 0)
+		defer ex.Detach()
+		up.Activate(ex, 0)
+		// Prime the device's IOTLB so it genuinely holds the translation
+		// the shootdown must kill.
+		if _, fa := dev.DMARead(p, page); fa != nil {
+			t.Errorf("prime DMA: %v", fa)
+			return
+		}
+		ex.Advance(100_000)
+		up.Protect(ex, page, page+mem.PageSize, pmap.ProtRead)
+		done = true
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("initiator never completed its shootdown")
+	}
+	check(t, sd.Stats(), sd.WatchdogRecoveryUS())
 }
 
 // TestTaggedTLBFlushByASID: on tagged hardware, a shootdown flush drops

@@ -65,8 +65,13 @@ func campaignCell(seed int64, ncpus int, fc fault.Config, bug bool, ties []int, 
 // — the resumed run is byte-identical to an uninterrupted one), so a
 // tripped black box carries a restore point.
 func chaosCell(seed int64, ncpus int, fc fault.Config, bug bool, ties []int, fr *trace.Recorder, obs func(*kernel.Kernel)) (verdict, detail string, events []fault.Event) {
-	cell := campaignCell(seed, ncpus, fc, bug, ties, fr)
-	if fr == nil {
+	return runFlightCell(campaignCell(seed, ncpus, fc, bug, ties, fr), obs)
+}
+
+// runFlightCell executes one campaign cell; flight-armed cells pause at
+// flightSnapshotStep for the mid-run snapshot (see chaosCell).
+func runFlightCell(cell explore.Cell, obs func(*kernel.Kernel)) (verdict, detail string, events []fault.Event) {
+	if cell.Flight == nil {
 		return cell.Run(obs)
 	}
 	k, err := cell.Start()
@@ -226,11 +231,16 @@ func ReplayRepro(r shrink.Repro, ins ...Instrument) (string, string, error) {
 	if err := r.Validate(); err != nil {
 		return "", "", err
 	}
-	if r.Workload != "churn" {
+	switch r.Workload {
+	case "churn", "dma":
+	default:
 		return "", "", fmt.Errorf("experiments: repro workload %q not supported", r.Workload)
 	}
 	in := pick(ins)
 	cell := campaignCell(r.Seed, r.NCPUs, r.Faults, r.Bug == "skip-revive-flush", r.Ties, in.Flight)
+	cell.Workload = r.Workload
+	cell.Devices = r.Devices
+	cell.DevBug = r.Bug == "skip-dev-inval"
 	// Replay under the shrinker's judging semantics: the schedule is
 	// 1-minimal for "a violation fires", so the replay stops there too
 	// instead of running on into whatever the masked world does next.

@@ -6,6 +6,7 @@ import (
 
 	"shootdown/internal/explore"
 	"shootdown/internal/fault"
+	"shootdown/internal/kernel"
 	"shootdown/internal/profile"
 	"shootdown/internal/trace"
 	"shootdown/internal/workload"
@@ -24,10 +25,11 @@ type snapCapture struct {
 	pausedDig string // digest at the pause boundary ("" for straight runs)
 }
 
-// captureRun executes one chaos cell and captures its artifacts. pauseAt 0
-// runs straight through; otherwise the run pauses at that event step,
-// takes a whole-simulation snapshot, and continues.
-func captureRun(t *testing.T, spec string, seed int64, pauseAt uint64) snapCapture {
+// captureRun executes one campaign cell — wl selects the churn or the
+// device-bearing DMA-streaming workload — and captures its artifacts.
+// pauseAt 0 runs straight through; otherwise the run pauses at that event
+// step, takes a whole-simulation snapshot, and continues.
+func captureRun(t *testing.T, wl, spec string, seed int64, pauseAt uint64) snapCapture {
 	t.Helper()
 	fc, err := fault.ParseSpec(spec)
 	if err != nil {
@@ -48,7 +50,14 @@ func captureRun(t *testing.T, spec string, seed int64, pauseAt uint64) snapCaptu
 		Tracer:           tr,
 		Profiler:         p,
 	}
-	k, err := workload.StartChurn(cfg)
+	var k *kernel.Kernel
+	switch wl {
+	case "dma":
+		cfg.NumDevices = 2
+		k, err = workload.StartDMA(cfg)
+	default:
+		k, err = workload.StartChurn(cfg)
+	}
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,21 +97,34 @@ func captureRun(t *testing.T, spec string, seed int64, pauseAt uint64) snapCaptu
 	return cap
 }
 
-// TestSnapshotRestoreContinueByteIdentical is the tentpole pin, across all
-// three chaos campaign scenarios: pausing a run at an event boundary,
-// snapshotting it, and continuing produces byte-identical traces, profile
-// exports, oracle state, and final world state versus an uninterrupted
-// run — and a second world replayed to the pause boundary lands on the
-// same snapshot digest (replay-based restore) and the same continuation.
+// TestSnapshotRestoreContinueByteIdentical is the tentpole pin, across
+// the chaos campaign scenarios and the device-chaos ladder's two deepest
+// scenarios: pausing a run at an event boundary, snapshotting it, and
+// continuing produces byte-identical traces, profile exports, oracle
+// state, and final world state versus an uninterrupted run — and a second
+// world replayed to the pause boundary lands on the same snapshot digest
+// (replay-based restore) and the same continuation.
 func TestSnapshotRestoreContinueByteIdentical(t *testing.T) {
 	const pauseAt = 1500
+	var cases []struct{ name, wl, spec string }
 	for _, sc := range chaosScenarios {
+		cases = append(cases, struct{ name, wl, spec string }{sc.Name, "churn", sc.Spec})
+	}
+	// Device-bearing runs must honor the same guarantee: a quarantine
+	// escalation and a cross-layer CPU-fail-during-device-stall window
+	// both ride the snapshot.
+	for _, sc := range deviceScenarios {
+		if sc.Name == "wedge" || sc.Name == "cpufail+devstall" {
+			cases = append(cases, struct{ name, wl, spec string }{"dev-" + sc.Name, "dma", sc.Spec})
+		}
+	}
+	for _, sc := range cases {
 		sc := sc
-		t.Run(sc.Name, func(t *testing.T) {
+		t.Run(sc.name, func(t *testing.T) {
 			t.Parallel()
-			straight := captureRun(t, sc.Spec, 7, 0)
-			paused := captureRun(t, sc.Spec, 7, pauseAt)
-			restored := captureRun(t, sc.Spec, 7, pauseAt)
+			straight := captureRun(t, sc.wl, sc.spec, 7, 0)
+			paused := captureRun(t, sc.wl, sc.spec, 7, pauseAt)
+			restored := captureRun(t, sc.wl, sc.spec, 7, pauseAt)
 
 			if straight.verdict != paused.verdict {
 				t.Fatalf("verdicts diverge: straight %s, paused %s", straight.verdict, paused.verdict)

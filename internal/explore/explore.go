@@ -65,8 +65,17 @@ type Cell struct {
 	NCPUs int          // default 6
 	Scale float64      // work multiplier (default 0.5, the campaign's)
 	Fault fault.Config // fault kinds, rates, and mask
+	// Workload selects the fixture: "churn" (default) or "dma" (device
+	// streams with unmap-under-DMA churn; requires Devices > 0 or the
+	// workload's own default of one device).
+	Workload string
+	// Devices is the device-TLB count for the "dma" workload.
+	Devices int
 	// Bug plants the intentional stale-TLB-after-revive bug.
 	Bug bool
+	// DevBug plants the intentional stale-device-TLB bug (devices
+	// acknowledge invalidations without performing them).
+	DevBug bool
 	// Shootdown tunes the protocol (the campaign passes its hardened
 	// watchdog configuration).
 	Shootdown core.Options
@@ -88,6 +97,9 @@ type Cell struct {
 }
 
 func (c Cell) withDefaults() Cell {
+	if c.Workload == "" {
+		c.Workload = "churn"
+	}
 	if c.NCPUs == 0 {
 		c.NCPUs = 6
 	}
@@ -110,6 +122,8 @@ func (c Cell) app() workload.AppConfig {
 		ShootdownOptions:   c.Shootdown,
 		Oracle:             true,
 		BugSkipReviveFlush: c.Bug,
+		NumDevices:         c.Devices,
+		BugSkipDevInval:    c.DevBug,
 		MaxVirtualTime:     c.MaxVirtualTime,
 		Faults:             &fc,
 		ForcedTies:         c.Ties,
@@ -120,7 +134,13 @@ func (c Cell) app() workload.AppConfig {
 // Start assembles the cell's kernel with workers spawned but the engine
 // not yet run, so callers can attach tie recorders or drive it in steps.
 func (c Cell) Start() (*kernel.Kernel, error) {
-	return workload.StartChurn(c.withDefaults().app())
+	c = c.withDefaults()
+	switch c.Workload {
+	case "dma":
+		return workload.StartDMA(c.app())
+	default:
+		return workload.StartChurn(c.app())
+	}
 }
 
 // Run executes the cell to completion. obs, when non-nil, sees the

@@ -228,16 +228,20 @@ func BuildRepro(c Cell, verdict string, events []fault.Event, keep []fault.Event
 	})
 	r := shrink.Repro{
 		Version:  shrink.ReproVersion,
-		Workload: "churn",
+		Workload: c.Workload,
 		Seed:     c.Seed,
 		NCPUs:    c.NCPUs,
+		Devices:  c.Devices,
 		Faults:   cfg,
 		Keep:     keep,
 		Verdict:  verdict,
 		Ties:     c.Ties,
 		Shrink:   meta,
 	}
-	if c.Bug {
+	switch {
+	case c.DevBug:
+		r.Bug = "skip-dev-inval"
+	case c.Bug:
 		r.Bug = "skip-revive-flush"
 	}
 	return r

@@ -4,7 +4,10 @@
 // dropped or delayed by the interrupt hardware, responders that are slow
 // (or briefly stuck) servicing the shootdown interrupt, spurious shootdown
 // interrupts, jittered bus timing, and processors that fail-stop outright
-// (optionally reviving later with a cold TLB) — so the protocol-hardening
+// (optionally reviving later with a cold TLB) — plus the device-side
+// failure modes of IOMMU/device-TLB participants: stalled completion
+// queues, dropped doorbell rings, wedged devices, and completion
+// reordering — so the protocol-hardening
 // layer (watchdog retry/escalation and membership re-check in
 // internal/core) and the consistency oracle (internal/oracle) can be
 // exercised under adversity.
@@ -50,12 +53,18 @@ const (
 	KindBusJitter      Kind = "jitter"
 	KindFailStop       Kind = "failstop"
 	KindRevive         Kind = "revive"
+	KindDevStall       Kind = "devstall"
+	KindDevDrop        Kind = "devdrop"
+	KindDevWedge       Kind = "devwedge"
+	KindDevReorder     Kind = "devreorder"
 )
 
 // kindList orders the kinds; the index is each kind's RNG stream slot.
+// Device kinds are appended, so pre-device campaigns keep their slots.
 var kindList = []Kind{
 	KindDropIPI, KindDelayIPI, KindSlowResponder, KindStuckResponder,
 	KindSpuriousIPI, KindBusJitter, KindFailStop, KindRevive,
+	KindDevStall, KindDevDrop, KindDevWedge, KindDevReorder,
 }
 
 func kindIndex(k Kind) int {
@@ -133,6 +142,29 @@ type Config struct {
 	Revive         float64
 	ReviveAfterMax sim.Time
 
+	// DevStall is the probability, per completion-queue entry a device
+	// services, that servicing stalls for a uniform extra (0, DevStallMax]
+	// before the completion posts (a congested device pipeline). Long
+	// enough stalls trip the initiator's completion watchdog.
+	DevStall    float64
+	DevStallMax sim.Time
+
+	// DevDrop is the probability that one doorbell ring to a device is
+	// lost: the invalidation request is queued but the device never
+	// notices until the watchdog re-rings the doorbell.
+	DevDrop float64
+
+	// DevWedge is the probability, per queue entry a device begins to
+	// service, that the device wedges permanently: it stops servicing its
+	// queue and stays wedged across drain-and-reset, so only quarantine
+	// recovers the shootdown.
+	DevWedge float64
+
+	// DevReorder is the probability, per service pass with more than one
+	// queued invalidation, that the device completes a non-head entry
+	// first (relaxed completion ordering on the device fabric).
+	DevReorder float64
+
 	// Mask suppresses the listed events: the RNG is drawn exactly as
 	// without the mask, then the fault's effect is discarded. Not part of
 	// the Spec syntax; the shrinker and -repro set it programmatically.
@@ -148,6 +180,7 @@ const (
 	defaultBusJitterMax       = sim.Time(2_000)      // 2 µs
 	defaultFailStopBy         = sim.Time(10_000_000) // 10 ms
 	defaultReviveAfterMax     = sim.Time(5_000_000)  // 5 ms
+	defaultDevStallMax        = sim.Time(8_000_000)  // 8 ms
 )
 
 func (c Config) withDefaults() Config {
@@ -169,6 +202,9 @@ func (c Config) withDefaults() Config {
 	if c.Revive > 0 && c.ReviveAfterMax == 0 {
 		c.ReviveAfterMax = defaultReviveAfterMax
 	}
+	if c.DevStall > 0 && c.DevStallMax == 0 {
+		c.DevStallMax = defaultDevStallMax
+	}
 	return c
 }
 
@@ -181,6 +217,8 @@ func (c Config) Validate() error {
 		{"drop", c.DropIPI}, {"delay", c.DelayIPI}, {"slow", c.SlowResponder},
 		{"stuck", c.StuckResponder}, {"spurious", c.SpuriousIPI}, {"jitter", c.BusJitter},
 		{"failstop", c.FailStop}, {"revive", c.Revive},
+		{"devstall", c.DevStall}, {"devdrop", c.DevDrop},
+		{"devwedge", c.DevWedge}, {"devreorder", c.DevReorder},
 	}
 	for _, p := range probs {
 		if p.v < 0 || p.v > 1 {
@@ -194,6 +232,7 @@ func (c Config) Validate() error {
 		{"delaymax", c.DelayIPIMax}, {"slowmax", c.SlowResponderMax},
 		{"stuckfor", c.StuckResponderTime}, {"jittermax", c.BusJitterMax},
 		{"failby", c.FailStopBy}, {"reviveafter", c.ReviveAfterMax},
+		{"devstallmax", c.DevStallMax},
 	}
 	for _, d := range durs {
 		if d.v < 0 {
@@ -207,7 +246,8 @@ func (c Config) Validate() error {
 func (c Config) Enabled() bool {
 	return c.DropIPI > 0 || c.DelayIPI > 0 || c.SlowResponder > 0 ||
 		c.StuckResponder > 0 || c.SpuriousIPI > 0 || c.BusJitter > 0 ||
-		c.FailStop > 0
+		c.FailStop > 0 || c.DevStall > 0 || c.DevDrop > 0 ||
+		c.DevWedge > 0 || c.DevReorder > 0
 }
 
 // Spec renders the config in ParseSpec's syntax (stable key order), for
@@ -232,6 +272,10 @@ func (c Config) Spec() string {
 	add("jitter", c.BusJitter, "jittermax", c.BusJitterMax)
 	add("failstop", c.FailStop, "failby", c.FailStopBy)
 	add("revive", c.Revive, "reviveafter", c.ReviveAfterMax)
+	add("devstall", c.DevStall, "devstallmax", c.DevStallMax)
+	add("devdrop", c.DevDrop, "", 0)
+	add("devwedge", c.DevWedge, "", 0)
+	add("devreorder", c.DevReorder, "", 0)
 	if len(parts) == 0 {
 		return "none"
 	}
@@ -242,9 +286,10 @@ func (c Config) Spec() string {
 //
 //	drop=0.15,delay=0.1,delaymax=2ms,slow=0.1,spurious=0.05,failstop=0.5
 //
-// Keys: drop, delay, slow, stuck, spurious, jitter, failstop, revive
-// (probabilities in [0, 1]); delaymax, slowmax, stuckfor, jittermax,
-// failby, reviveafter (Go durations). Unset magnitudes take kind-specific
+// Keys: drop, delay, slow, stuck, spurious, jitter, failstop, revive,
+// devstall, devdrop, devwedge, devreorder (probabilities in [0, 1]);
+// delaymax, slowmax, stuckfor, jittermax, failby, reviveafter,
+// devstallmax (Go durations). Unset magnitudes take kind-specific
 // defaults. "none" or "" yields a zero config. The Seed and Mask fields
 // are not part of the spec; callers set them.
 func ParseSpec(spec string) (Config, error) {
@@ -301,6 +346,14 @@ func probField(c *Config, k string) (*float64, bool) {
 		return &c.FailStop, true
 	case "revive":
 		return &c.Revive, true
+	case "devstall":
+		return &c.DevStall, true
+	case "devdrop":
+		return &c.DevDrop, true
+	case "devwedge":
+		return &c.DevWedge, true
+	case "devreorder":
+		return &c.DevReorder, true
 	}
 	return nil, false
 }
@@ -319,6 +372,8 @@ func durField(c *Config, k string) (*sim.Time, bool) {
 		return &c.FailStopBy, true
 	case "reviveafter":
 		return &c.ReviveAfterMax, true
+	case "devstallmax":
+		return &c.DevStallMax, true
 	}
 	return nil, false
 }
@@ -326,7 +381,8 @@ func durField(c *Config, k string) (*sim.Time, bool) {
 func specKeys() []string {
 	ks := []string{"drop", "delay", "delaymax", "slow", "slowmax",
 		"stuck", "stuckfor", "spurious", "jitter", "jittermax",
-		"failstop", "failby", "revive", "reviveafter"}
+		"failstop", "failby", "revive", "reviveafter",
+		"devstall", "devstallmax", "devdrop", "devwedge", "devreorder"}
 	sort.Strings(ks)
 	return ks
 }
@@ -341,13 +397,18 @@ type Stats struct {
 	JitteredBusOps uint64
 	FailStops      uint64
 	Revives        uint64
+	DevStalls    uint64 `json:",omitempty"`
+	DevDoorbells uint64 `json:",omitempty"` // dropped doorbell rings
+	DevWedges    uint64 `json:",omitempty"`
+	DevReorders  uint64 `json:",omitempty"`
 }
 
 // Total sums all injected faults.
 func (s Stats) Total() uint64 {
 	return s.DroppedIPIs + s.DelayedIPIs + s.SpuriousIPIs +
 		s.SlowResponses + s.StuckResponses + s.JitteredBusOps +
-		s.FailStops + s.Revives
+		s.FailStops + s.Revives + s.DevStalls + s.DevDoorbells +
+		s.DevWedges + s.DevReorders
 }
 
 // splitmix64 is the SplitMix64 finalizer, used to derive well-separated
@@ -668,6 +729,84 @@ func (in *Injector) BusJitter(cpu int) sim.Time {
 	in.stats.JitteredBusOps++
 	in.record(id, cpu, int64(d))
 	return d
+}
+
+// DoorbellDrop decides whether one doorbell ring to device dev is lost
+// (the queued invalidation sits unserviced until a re-ring). For device
+// kinds the event's CPU field carries the device id.
+func (in *Injector) DoorbellDrop(dev int) bool {
+	if in == nil || in.cfg.DevDrop <= 0 {
+		return false
+	}
+	if in.f64(KindDevDrop) >= in.cfg.DevDrop {
+		return false
+	}
+	id, apply := in.fire(KindDevDrop)
+	if !apply {
+		return false
+	}
+	in.stats.DevDoorbells++
+	in.record(id, dev, 0)
+	return true
+}
+
+// DevServiceDelay decides the extra stall before device dev completes
+// one queued invalidation: a uniform (0, DevStallMax], or zero.
+func (in *Injector) DevServiceDelay(dev int) sim.Time {
+	if in == nil || in.cfg.DevStall <= 0 {
+		return 0
+	}
+	if in.f64(KindDevStall) >= in.cfg.DevStall {
+		return 0
+	}
+	d := in.uniform(KindDevStall, in.cfg.DevStallMax)
+	id, apply := in.fire(KindDevStall)
+	if !apply {
+		return 0
+	}
+	in.stats.DevStalls++
+	in.record(id, dev, int64(d))
+	return d
+}
+
+// DevWedged decides, per queue entry device dev begins to service,
+// whether the device wedges permanently. A wedged device never
+// completes again (drain-and-reset does not clear it), so the
+// initiator's only way out is quarantine.
+func (in *Injector) DevWedged(dev int) bool {
+	if in == nil || in.cfg.DevWedge <= 0 {
+		return false
+	}
+	if in.f64(KindDevWedge) >= in.cfg.DevWedge {
+		return false
+	}
+	id, apply := in.fire(KindDevWedge)
+	if !apply {
+		return false
+	}
+	in.stats.DevWedges++
+	in.record(id, dev, 0)
+	return true
+}
+
+// DevReorder decides whether device dev services a non-head entry of its
+// n-deep completion queue first, and which index in [1, n). The head
+// (index 0) is never chosen: a reorder that picks the head is a no-op.
+func (in *Injector) DevReorder(dev, n int) (int, bool) {
+	if in == nil || in.cfg.DevReorder <= 0 || n < 2 {
+		return 0, false
+	}
+	if in.f64(KindDevReorder) >= in.cfg.DevReorder {
+		return 0, false
+	}
+	idx := 1 + in.intn(KindDevReorder, n-1)
+	id, apply := in.fire(KindDevReorder)
+	if !apply {
+		return 0, false
+	}
+	in.stats.DevReorders++
+	in.record(id, dev, int64(idx))
+	return idx, true
 }
 
 // Plan returns the deterministic fail/revive schedule for an ncpu-way

@@ -191,8 +191,12 @@ type Repro struct {
 	Faults   fault.Config    `json:"faults"`         // fault config, Mask set to replay only Keep
 	Keep     []fault.EventID `json:"keep"`           // the minimized schedule (informational; Mask is operative)
 	Verdict  string          `json:"verdict"`        // what the failing run produced ("oracle", "deadlock", …)
-	Bug      string          `json:"bug,omitempty"`  // planted-bug knob, if any ("skip-revive-flush")
+	Bug      string          `json:"bug,omitempty"`  // planted-bug knob, if any ("skip-revive-flush", "skip-dev-inval")
 	Note     string          `json:"note,omitempty"` // free-form provenance
+	// Devices is the device-TLB count for device-bearing workloads
+	// ("dma"). Omitted — and zero — for the CPU-only reproducers, which
+	// keeps the pre-device corpus files byte-identical.
+	Devices int `json:"devices,omitempty"`
 	// Ties forces the engine's chaos tie decisions by ordinal
 	// (sim.Engine.SetForcedTies), for reproducers found by the schedule
 	// explorer: the failure lives in an interleaving the seed alone would

@@ -47,6 +47,9 @@ type Config struct {
 	Quantum sim.Time
 	// IdleTick is the idle loop's poll period.
 	IdleTick sim.Time
+	// DevicePollTick is the device service loop's poll period — how often
+	// an idle device checks its doorbell (machines with devices only).
+	DevicePollTick sim.Time
 	// ChaosSeed randomizes equal-time scheduling order (0 = FIFO).
 	ChaosSeed int64
 	// ForcedTies overrides the engine's chaos tie decisions by ordinal
@@ -92,6 +95,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdleTick == 0 {
 		c.IdleTick = 50_000 // 50 µs
+	}
+	if c.DevicePollTick == 0 {
+		c.DevicePollTick = 20_000 // 20 µs
 	}
 	if c.MaxTime == 0 {
 		c.MaxTime = 600_000_000_000 // 10 virtual minutes
@@ -239,7 +245,8 @@ type faultSnap struct {
 // registerFlight points the flight recorder's trip sources and state
 // providers at this kernel. Providers are snapshotted in registration
 // order at trip time, so the order here is part of the black-box format:
-// engine, cpus, shootdown, sched, oracle, faults, dags, snapshots.
+// engine, cpus, devices (machines with devices only), shootdown, sched,
+// oracle, faults, dags, snapshots.
 func (k *Kernel) registerFlight(fr *trace.Recorder) {
 	if k.Shoot != nil {
 		k.Shoot.Flight = fr
@@ -251,6 +258,15 @@ func (k *Kernel) registerFlight(fr *trace.Recorder) {
 	}
 	fr.Register("engine", func() any { return k.Eng.Snapshot() })
 	fr.Register("cpus", func() any { return k.M.Snapshot() })
+	if k.M.NumDevices() > 0 {
+		fr.Register("devices", func() any {
+			out := make([]machine.DevSnap, 0, k.M.NumDevices())
+			for i := 0; i < k.M.NumDevices(); i++ {
+				out = append(out, k.M.Device(i).Snapshot())
+			}
+			return out
+		})
+	}
 	if k.Shoot != nil {
 		fr.Register("shootdown", func() any { return k.Shoot.Snapshot() })
 	}
@@ -378,6 +394,19 @@ func (k *Kernel) Start() {
 		})
 	}
 	k.startLifecycle()
+	for i := 0; i < k.M.NumDevices(); i++ {
+		dev := k.M.Device(i)
+		// The device's service engine: drain the invalidation queue when
+		// the doorbell is rung, otherwise poll. It polls rather than
+		// blocks so a run can end while a device sits idle.
+		k.Eng.Spawn(fmt.Sprintf("devsvc%d", i), func(p *sim.Proc) {
+			for !k.stopping {
+				if !dev.ServiceOne(p) {
+					p.Sleep(k.cfg.DevicePollTick)
+				}
+			}
+		})
+	}
 	if k.cfg.TimerInterval > 0 {
 		k.Eng.Spawn("clock", func(p *sim.Proc) {
 			for !k.stopping {
@@ -460,6 +489,14 @@ func (k *Kernel) closeOpenSpans() {
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() sim.Time { return k.Eng.Now() }
+
+// AttachDevice points device dev's MMU at the task's address space and
+// registers it as a shootdown participant; DMA through the device then
+// translates via the task's page table. Panics on a bad device index —
+// attaching is setup, not a runtime path.
+func (k *Kernel) AttachDevice(dev int, t *Task) {
+	k.Pmaps.AttachDevice(k.M.Device(dev), t.Map.Pmap)
+}
 
 // enqueue appends t to the run queue (caller must be an attached exec).
 func (k *Kernel) enqueue(ex *machine.Exec, t *Thread) {

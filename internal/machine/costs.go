@@ -79,6 +79,25 @@ type Costs struct {
 	// JitterPct adds a uniform ±pct% perturbation to every charged cost,
 	// modeling the timing noise of a real machine. 0 disables it.
 	JitterPct float64
+	// DevDoorbell is the CPU-side cost of a doorbell-register write to a
+	// device's invalidation queue (posting, re-ringing, resetting all go
+	// through the doorbell page).
+	DevDoorbell sim.Time
+	// DevService is a device's base latency to service one queued
+	// invalidation request (ATS invalidate → completion turnaround).
+	DevService sim.Time
+	// DevWalk is the device MMU's table-walk overhead on an IOTLB miss,
+	// excluding the bus transactions for the PTE reads.
+	DevWalk sim.Time
+	// DevXfer is the data-movement time of one DMA transfer while its
+	// translation pins the page.
+	DevXfer sim.Time
+	// DevReset is the CPU-side cost of a device drain-and-reset (the
+	// watchdog's second device escalation rung).
+	DevReset sim.Time
+	// DevPinPoll is the device's poll period while a queued invalidation
+	// waits for overlapping in-flight DMA pins to drain.
+	DevPinPoll sim.Time
 }
 
 // DefaultCosts returns the Multimax-calibrated cost model.
@@ -110,6 +129,12 @@ func DefaultCosts() Costs {
 		PageCopyBusWrites:     32,
 		SwapIO:                22_000_000,
 		JitterPct:             0.04,
+		DevDoorbell:           2_000,
+		DevService:            30_000,
+		DevWalk:               4_000,
+		DevXfer:               8_000,
+		DevReset:              400_000,
+		DevPinPoll:            4_000,
 	}
 }
 

@@ -98,6 +98,20 @@ type Options struct {
 	TLB       tlb.Config // per-CPU TLB configuration
 	Costs     Costs      // zero value means DefaultCosts
 	IPIMode   IPIMode
+	// NumDevices adds DMA engines / accelerator MMUs with their own
+	// IOTLBs — shootdown participants that take no interrupts and ack
+	// through a doorbell-rung invalidation queue instead. Default 0: the
+	// CPU-only machine the paper describes.
+	NumDevices int
+	// DevQueueDepth bounds each device's invalidation queue; an overflow
+	// collapses the queue to a single full flush. Default 4.
+	DevQueueDepth int
+	// SkipDevInval makes devices acknowledge invalidation requests
+	// without actually dropping the covered IOTLB entries. This is an
+	// intentional bug knob, the device-side sibling of SkipReviveFlush:
+	// the oracle's stale-DMA property must catch the first DMA that uses
+	// a translation a completed shootdown invalidated.
+	SkipDevInval bool
 	// HighPriorityIPI gives the shootdown IPI a priority above device
 	// interrupts (the paper's first proposed hardware feature, §9), so
 	// kernel code at IPLDevice no longer delays shootdowns.
@@ -129,6 +143,9 @@ func (o Options) withDefaults() Options {
 	if o.Costs == (Costs{}) {
 		o.Costs = DefaultCosts()
 	}
+	if o.DevQueueDepth == 0 {
+		o.DevQueueDepth = 4
+	}
 	return o
 }
 
@@ -143,6 +160,7 @@ type Machine struct {
 	Bus  *Bus
 
 	cpus     []*CPU
+	devs     []*Device
 	opts     Options             //snap:derived configuration, reapplied from the experiment config on replay
 	costs    Costs               //snap:derived computed from opts at construction
 	rng      *rand.Rand          //snap:derived rebuilt from opts.Seed on restore; position attested by rng_draws
@@ -240,6 +258,13 @@ func New(eng *sim.Engine, opts Options) *Machine {
 		cfg.Seed = opts.Seed + int64(i)*7919
 		m.cpus = append(m.cpus, &CPU{m: m, id: i, TLB: tlb.New(cfg)})
 	}
+	for i := 0; i < opts.NumDevices; i++ {
+		cfg := opts.TLB
+		// Device IOTLB streams are seeded in a range disjoint from every
+		// CPU's, so adding a device never shifts a CPU's replacement draws.
+		cfg.Seed = opts.Seed + 500_009 + int64(i)*7919
+		m.devs = append(m.devs, newDevice(m, i, cfg))
+	}
 	if m.faults != nil {
 		m.faults.SetClock(func() sim.Time { return eng.Now() })
 		m.faults.SetStepClock(eng.StepCount)
@@ -249,7 +274,8 @@ func New(eng *sim.Engine, opts Options) *Machine {
 
 // SetTracer attaches the observability tracer to the machine and wires a
 // per-CPU TLB observer so hit/miss/invalidate/flush events land on the
-// owning CPU's timeline. A nil tracer detaches instrumentation.
+// owning CPU's timeline (device IOTLB events land on the device's own
+// timeline above the CPU rows). A nil tracer detaches instrumentation.
 func (m *Machine) SetTracer(t *trace.Tracer) {
 	m.tracer = t
 	for _, c := range m.cpus {
@@ -260,6 +286,16 @@ func (m *Machine) SetTracer(t *trace.Tracer) {
 		cpu := c.id
 		c.TLB.Observer = func(op tlb.Op, n int) {
 			m.tracer.Instant(int64(m.Eng.Now()), cpu, trace.CatTLB, op.String(), int64(n), 0)
+		}
+	}
+	for _, d := range m.devs {
+		if t == nil {
+			d.TLB.Observer = nil
+			continue
+		}
+		tid := d.tid()
+		d.TLB.Observer = func(op tlb.Op, n int) {
+			m.tracer.Instant(int64(m.Eng.Now()), tid, trace.CatTLB, op.String(), int64(n), 0)
 		}
 	}
 }
@@ -282,6 +318,12 @@ func (m *Machine) NumCPUs() int { return len(m.cpus) }
 
 // CPU returns processor i.
 func (m *Machine) CPU(i int) *CPU { return m.cpus[i] }
+
+// NumDevices returns the device count.
+func (m *Machine) NumDevices() int { return len(m.devs) }
+
+// Device returns device i.
+func (m *Machine) Device(i int) *Device { return m.devs[i] }
 
 // Options returns the machine's configuration (defaults applied).
 func (m *Machine) Options() Options { return m.opts }
@@ -386,6 +428,9 @@ type Snap struct {
 	MemDigest string    `json:"mem_digest,omitempty"`
 	BusBusyNS int64     `json:"bus_busy_ns,omitempty"`
 	CPUs      []CPUSnap `json:"cpus"`
+	// Devices holds each device's state in id order; omitted on the
+	// deviceless machines every pre-device wire form describes.
+	Devices []DevSnap `json:"devices,omitempty"`
 }
 
 // Snapshot captures every CPU's lifecycle state, IPL, pending vectors,
@@ -419,6 +464,9 @@ func (m *Machine) Snapshot() Snap {
 			}
 		}
 		snap.CPUs = append(snap.CPUs, cs)
+	}
+	for _, d := range m.devs {
+		snap.Devices = append(snap.Devices, d.Snapshot())
 	}
 	return snap
 }
@@ -611,6 +659,13 @@ const (
 	FaultProtection
 	// FaultNoSpace: no address space is active for the address range.
 	FaultNoSpace
+	// FaultQuarantined: the access went through a quarantined device,
+	// whose translations are poisoned and grant nothing.
+	FaultQuarantined
+	// FaultBusError: a DMA transfer targeted a physical frame that is no
+	// longer allocated — the observable wreckage of streaming through a
+	// stale device translation after the backing frame was reclaimed.
+	FaultBusError
 )
 
 func (k FaultKind) String() string {
@@ -621,6 +676,10 @@ func (k FaultKind) String() string {
 		return "protection"
 	case FaultNoSpace:
 		return "no-space"
+	case FaultQuarantined:
+		return "quarantined"
+	case FaultBusError:
+		return "bus-error"
 	default:
 		return fmt.Sprintf("faultkind(%d)", int(k))
 	}

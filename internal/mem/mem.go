@@ -121,6 +121,15 @@ func (m *PhysMem) FreeFrame(f Frame) {
 	m.allocated--
 }
 
+// FrameAllocated reports whether f is currently allocated. DMA paths use
+// it to turn a transfer into a decodable bus error instead of the
+// use-after-free panic a CPU access deserves: a device streaming through a
+// stale (but shootdown-covered) translation is a modeled hazard, not a
+// simulator bug.
+func (m *PhysMem) FrameAllocated(f Frame) bool {
+	return int(f) < len(m.frames) && m.frames[f] != nil
+}
+
 func (m *PhysMem) frameFor(pa PAddr, op string) []uint32 {
 	f := FrameOf(pa)
 	if int(f) >= len(m.frames) || m.frames[f] == nil {

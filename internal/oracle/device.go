@@ -1,0 +1,190 @@
+package oracle
+
+import (
+	"sort"
+
+	"shootdown/internal/machine"
+	"shootdown/internal/ptable"
+	"shootdown/internal/tlb"
+)
+
+// Device-TLB checking. Devices are shootdown participants without the CPU
+// responders' stall interlock: the protocol clears the PTEs first and only
+// then invalidates the device TLB (the ATS ordering), so there is a window
+// — from the table update until the device's completion message — in which
+// the device may legally keep translating through the dying mapping. The
+// kernel must not recycle the frame until the completion arrives, so such
+// uses are counted (DevGraceUses) but are not violations.
+//
+// The violation is using a translation a *completed* invalidation was
+// supposed to remove. The oracle detects it without trusting the device:
+// at each completion it peeks at the device TLB and marks the page of
+// every entry the invalidation should have removed but did not. Under
+// correct operation that set is always empty — the invalidation just
+// removed them — so non-faulted runs can never false-positive. Under an
+// invalidation-skipping bug (Options.SkipDevInval) the survivors are
+// marked, and any later DMA translation through one is reported as
+// "stale-dma-use". A page is unmarked the moment its mapping changes
+// again (the shadow's OnWrite), which reopens the grace window for the
+// next unmap, and while an invalidation for it is back in flight.
+
+// devShadow is the oracle's per-device state.
+type devShadow struct {
+	// completed holds page VAs covered by a completed device-TLB
+	// invalidation whose entries nonetheless survived in the device TLB.
+	completed map[ptable.VAddr]bool
+	// quarantined records that the watchdog fail-stopped the device; its
+	// poisoned translations grant nothing, so no further checks apply.
+	quarantined bool
+}
+
+var _ machine.DevMMUObserver = (*Oracle)(nil)
+
+// deviceState returns (creating on first use) the per-device state.
+func (o *Oracle) deviceState(dev int) *devShadow {
+	ds := o.devs[dev]
+	if ds == nil {
+		ds = &devShadow{completed: make(map[ptable.VAddr]bool)}
+		o.devs[dev] = ds
+	}
+	return ds
+}
+
+// devPageTouched is called from the shadow's OnWrite mirror for every
+// tracked PTE write: a page whose mapping just changed is back inside a
+// shootdown's grace window, so its covered-but-survived marks are stale.
+func (o *Oracle) devPageTouched(va ptable.VAddr) {
+	page := va.Page()
+	for _, ds := range o.devs {
+		delete(ds.completed, page)
+	}
+}
+
+// OnDevTLBUse implements machine.DevMMUObserver: a cached device-TLB entry
+// granted a DMA translation.
+func (o *Oracle) OnDevTLBUse(dev int, va ptable.VAddr, asid tlb.ASID, entry ptable.PTE, table *ptable.Table, write bool) {
+	if o == nil {
+		return
+	}
+	sh, ok := o.byTable[table]
+	if !ok {
+		return
+	}
+	o.stats.DevUseChecks++
+	want, stale := staleAgainst(sh, va, entry, write)
+	if !stale {
+		return
+	}
+	if o.deviceState(dev).completed[va.Page()] {
+		o.record(Violation{Time: o.m.Eng.Now(), CPU: dev, Kind: "stale-dma-use",
+			VA: va.Page(), ASID: asid, Got: entry, Want: want})
+		return
+	}
+	// Stale but no completed invalidation covers it: the legal ATS grace
+	// window between the PTE clear and the device's completion message.
+	o.stats.DevGraceUses++
+}
+
+// OnDevTLBInsert implements machine.DevMMUObserver: the device MMU walked
+// the table and cached a PTE. Like a CPU reload, the walk just read the
+// physical table, so any disagreement with the shadow means the table
+// itself has diverged.
+func (o *Oracle) OnDevTLBInsert(dev int, va ptable.VAddr, asid tlb.ASID, entry ptable.PTE, table *ptable.Table) {
+	if o == nil {
+		return
+	}
+	sh, ok := o.byTable[table]
+	if !ok {
+		return
+	}
+	o.stats.DevInsertChecks++
+	want, mapped := sh.entries[va.Page()]
+	if !mapped || entry.Frame() != want.Frame() || (entry.Writable() && !want.Writable()) {
+		o.record(Violation{Time: o.m.Eng.Now(), CPU: dev, Kind: "stale-dma-insert",
+			VA: va.Page(), ASID: asid, Got: entry, Want: want})
+	}
+}
+
+// OnDevInvalPosted implements machine.DevMMUObserver: an invalidation was
+// queued to the device. The covered pages re-enter the grace window — an
+// invalidation in flight means the kernel is still holding the frame.
+func (o *Oracle) OnDevInvalPosted(dev int, seq uint64, asid tlb.ASID, start, end ptable.VAddr, flushAll bool) {
+	if o == nil {
+		return
+	}
+	o.stats.DevInvalsSeen++
+	ds := o.deviceState(dev)
+	if flushAll {
+		ds.completed = make(map[ptable.VAddr]bool)
+		return
+	}
+	first := start.Page()
+	for va := range ds.completed {
+		if va >= first && va < end {
+			delete(ds.completed, va)
+		}
+	}
+}
+
+// OnDevInvalComplete implements machine.DevMMUObserver: the device reported
+// an invalidation done (or a drain-and-reset settled everything queued).
+// Entries the invalidation should have removed but which still sit in the
+// device TLB are marked covered-but-survived; their later use is the
+// stale-DMA violation. A correct invalidation leaves nothing to mark.
+func (o *Oracle) OnDevInvalComplete(dev int, seq uint64, asid tlb.ASID, start, end ptable.VAddr, flushAll bool) {
+	if o == nil {
+		return
+	}
+	o.stats.DevCompletionsSeen++
+	ds := o.deviceState(dev)
+	first := start.Page()
+	for _, e := range o.m.Device(dev).TLB.Entries() {
+		if flushAll || (e.VA >= first && e.VA < end) {
+			ds.completed[e.VA.Page()] = true
+		}
+	}
+}
+
+// OnDevQuarantine implements machine.DevMMUObserver: the watchdog
+// fail-stopped the device and poisoned its translations.
+func (o *Oracle) OnDevQuarantine(dev int) {
+	if o == nil {
+		return
+	}
+	o.stats.DevQuarantines++
+	o.deviceState(dev).quarantined = true
+}
+
+// DevOracleSnap is one device's oracle state in wire form.
+type DevOracleSnap struct {
+	Dev         int      `json:"dev"`
+	Quarantined bool     `json:"quarantined,omitempty"`
+	Completed   []uint32 `json:"completed,omitempty"` // covered-but-survived pages, VA-ascending
+}
+
+// devSnaps serializes the per-device states in device-id order.
+func (o *Oracle) devSnaps() []DevOracleSnap {
+	if len(o.devs) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(o.devs))
+	for id := range o.devs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]DevOracleSnap, 0, len(ids))
+	for _, id := range ids {
+		ds := o.devs[id]
+		d := DevOracleSnap{Dev: id, Quarantined: ds.quarantined}
+		vas := make([]ptable.VAddr, 0, len(ds.completed))
+		for va := range ds.completed {
+			vas = append(vas, va)
+		}
+		sort.Slice(vas, func(i, j int) bool { return vas[i] < vas[j] })
+		for _, va := range vas {
+			d.Completed = append(d.Completed, uint32(va))
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -61,13 +61,27 @@ type Stats struct {
 	CPUFails   uint64
 	CPURevives uint64
 	Violations uint64
+	// Device-TLB checking counters (zero — and omitted from the wire —
+	// in deviceless runs; see device.go).
+	DevUseChecks       uint64 `json:",omitempty"` // device-TLB hit translations checked
+	DevInsertChecks    uint64 `json:",omitempty"` // device MMU walks checked
+	DevInvalsSeen      uint64 `json:",omitempty"` // invalidation postings observed
+	DevCompletionsSeen uint64 `json:",omitempty"` // invalidation completions observed
+	// DevGraceUses counts DMA translations through a stale entry inside
+	// the legal ATS grace window (PTE cleared, completion not yet in) —
+	// informational, like StaleCached.
+	DevGraceUses   uint64 `json:",omitempty"`
+	DevQuarantines uint64 `json:",omitempty"` // device fail-stops observed
 }
 
 // Violation is one observed breach of the consistency invariant.
 type Violation struct {
 	Time sim.Time
 	CPU  int
-	Kind string // "stale-use", "stale-insert", "table-divergence", "stale-after-revive"
+	// Kind is one of "stale-use", "stale-insert", "table-divergence",
+	// "stale-after-revive", or — with CPU carrying the device id —
+	// "stale-dma-use", "stale-dma-insert".
+	Kind string
 	VA   ptable.VAddr
 	ASID tlb.ASID
 	Got  ptable.PTE // what the TLB (or table) held
@@ -97,6 +111,7 @@ type Oracle struct {
 	byASID     map[tlb.ASID]*shadow      //snap:derived index over shadows, rebuilt by Track on replay
 	stats      Stats
 	violations []Violation
+	devs       map[int]*devShadow // per-device covered-but-survived state (device.go)
 
 	// OnViolation, when set, is called with each violation as it is
 	// recorded (the flight recorder trips on it). It must not perturb the
@@ -114,6 +129,7 @@ func New(m *machine.Machine) *Oracle {
 		m:       m,
 		byTable: make(map[*ptable.Table]*shadow),
 		byASID:  make(map[tlb.ASID]*shadow),
+		devs:    make(map[int]*devShadow),
 	}
 }
 
@@ -144,6 +160,8 @@ func (o *Oracle) Track(t *ptable.Table, asid tlb.ASID, kernel bool) {
 		// is tracking, not perturbation — the machine state is untouched.
 		//lint:allow hookpurity shadow bookkeeping is the oracle's own state, not machine state
 		o.stats.TrackedWrites++
+		// A changed mapping reopens the device grace window for its page.
+		o.devPageTouched(va)
 		if pte.Valid() {
 			//lint:allow hookpurity shadow bookkeeping is the oracle's own state, not machine state
 			sh.entries[va] = pte
@@ -327,6 +345,23 @@ func (o *Oracle) countStaleCached() uint64 {
 			}
 		}
 	}
+	for i := 0; i < o.m.NumDevices(); i++ {
+		d := o.m.Device(i)
+		if !d.Online() {
+			continue // a quarantined device's poisoned TLB grants nothing
+		}
+		for _, e := range d.TLB.Entries() {
+			sh, ok := o.byASID[e.ASID]
+			if !ok {
+				continue
+			}
+			if _, stale := staleAgainst(sh, e.VA, e.PTE, false); stale {
+				n++
+			} else if e.PTE.Writable() && !sh.entries[e.VA.Page()].Writable() {
+				n++
+			}
+		}
+	}
 	return n
 }
 
@@ -342,9 +377,10 @@ type ShadowSnap struct {
 // counters, retained violations, and every shadow table with its mappings
 // sorted by VA.
 type Snap struct {
-	Stats      Stats        `json:"stats"`
-	Violations []string     `json:"violations,omitempty"`
-	Shadows    []ShadowSnap `json:"shadows,omitempty"`
+	Stats      Stats           `json:"stats"`
+	Violations []string        `json:"violations,omitempty"`
+	Shadows    []ShadowSnap    `json:"shadows,omitempty"`
+	Devices    []DevOracleSnap `json:"devices,omitempty"`
 }
 
 // Snapshot captures the oracle's complete state in a fixed wire order:
@@ -370,6 +406,7 @@ func (o *Oracle) Snapshot() Snap {
 		}
 		s.Shadows = append(s.Shadows, ss)
 	}
+	s.Devices = o.devSnaps()
 	return s
 }
 

@@ -123,6 +123,13 @@ type envAware interface {
 	SetUserPmapFn(func(cpu int) core.Pmap)
 }
 
+// deviceAware is implemented by strategies that accept device-TLB
+// participants (the Mach shootdown; baselines without a membership
+// protocol cannot keep a device consistent and simply never see it).
+type deviceAware interface {
+	RegisterDevice(core.DeviceTLB, core.Pmap)
+}
+
 // NewSystem creates the pmap module, builds the kernel pmap, installs its
 // page table as the machine's kernel translation root, and wires the
 // strategy's environment.
@@ -160,6 +167,22 @@ func NewSystem(m *machine.Machine, strat core.Strategy) (*System, error) {
 // Stats returns a snapshot of the module counters.
 func (sys *System) Stats() Stats { return sys.stats }
 
+// AttachDevice points a device's MMU at the pmap's page table and
+// registers it with the consistency strategy as a shootdown participant.
+// Baseline strategies that cannot keep a device consistent simply never
+// learn about it (the device still translates; consistency is then on the
+// caller, which is the point of the comparison).
+func (sys *System) AttachDevice(d *machine.Device, pm *Pmap) {
+	if d == nil || pm == nil {
+		return
+	}
+	d.SetTable(pm.Table, pm.asid)
+	pm.devices = append(pm.devices, d)
+	if da, ok := sys.Strategy.(deviceAware); ok {
+		da.RegisterDevice(d, pm)
+	}
+}
+
 // ActiveUser returns the user pmap active on the CPU, or nil.
 func (sys *System) ActiveUser(cpu int) *Pmap { return sys.activeUser[cpu] }
 
@@ -172,6 +195,12 @@ type Pmap struct {
 	asid   tlb.ASID
 	kernel bool
 	inUse  []bool // user pmaps only; the kernel pmap is in use everywhere
+
+	// devices lists the device MMUs translating through this map. An
+	// attached device keeps the map "in use" for lazy evaluation even
+	// when no processor has it active — its IOTLB caches entries that a
+	// permission reduction must reach.
+	devices []*machine.Device
 
 	destroyed bool
 }
@@ -208,7 +237,9 @@ type PmapSnap struct {
 	// InUse lists the CPUs translating through the map, ascending.
 	InUse []int `json:"in_use,omitempty"`
 	// ActiveOn lists the CPUs where this is the active user pmap.
-	ActiveOn     []int  `json:"active_on,omitempty"`
+	ActiveOn []int `json:"active_on,omitempty"`
+	// Devices lists the attached device MMUs, in attach order.
+	Devices      []int  `json:"devices,omitempty"`
 	LockHeld     bool   `json:"lock_held,omitempty"`
 	LockOwner    int    `json:"lock_owner,omitempty"`
 	LockOwnerInc uint64 `json:"lock_owner_inc,omitempty"`
@@ -252,6 +283,9 @@ func (pm *Pmap) snap() PmapSnap {
 			ps.ActiveOn = append(ps.ActiveOn, cpu)
 		}
 	}
+	for _, d := range pm.devices {
+		ps.Devices = append(ps.Devices, d.ID())
+	}
 	if owner, inc, held := pm.lock.Owner(); held {
 		ps.LockHeld, ps.LockOwner, ps.LockOwnerInc = true, owner, inc
 	}
@@ -286,13 +320,19 @@ func (pm *Pmap) IsKernel() bool { return pm.kernel }
 // runtime and are reconstructed from scratch by page faults).
 func (pm *Pmap) Destroyed() bool { return pm.destroyed }
 
-// inUseAnywhere reports whether any processor translates through this map.
+// inUseAnywhere reports whether any processor or attached device
+// translates through this map.
 func (pm *Pmap) inUseAnywhere() bool {
 	if pm.kernel {
 		return true
 	}
 	for _, u := range pm.inUse {
 		if u {
+			return true
+		}
+	}
+	for _, d := range pm.devices {
+		if d.Online() {
 			return true
 		}
 	}
@@ -476,6 +516,12 @@ func (pm *Pmap) Destroy(ex *machine.Exec) {
 	pm.destroyed = true
 	pm.lock.Unlock(ex, prev)
 	sys.Strategy.Finish(ex, op)
+	// Finish has synchronized any attached device TLBs against the
+	// now-empty map; detach them before the table itself goes away.
+	for _, d := range pm.devices {
+		d.SetTable(nil, tlb.ASIDNone)
+	}
+	pm.devices = nil
 	pm.Table.Destroy()
 }
 

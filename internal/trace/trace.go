@@ -44,6 +44,10 @@ const (
 	CatKernel
 	// CatMeta: tracer-internal markers (run boundaries from Rebase).
 	CatMeta
+	// CatDevice: device (IOMMU/device-TLB) events — doorbell posts and
+	// rings, queue service, completions, resets, quarantines. Appended
+	// after CatMeta so pre-device category numbering is unchanged.
+	CatDevice
 	numCategories
 )
 
@@ -61,6 +65,8 @@ func (c Category) String() string {
 		return "kernel"
 	case CatMeta:
 		return "meta"
+	case CatDevice:
+		return "device"
 	default:
 		return "unknown"
 	}

@@ -91,6 +91,14 @@ type AppConfig struct {
 	// (a hot-plugged CPU skips its hardware TLB reset) so chaos campaigns
 	// can prove the oracle catches it and the shrinker minimizes it.
 	BugSkipReviveFlush bool
+	// NumDevices adds device TLBs (DMA engines with their own MMUs) as
+	// shootdown participants; the DMA workload attaches them to its
+	// streaming tasks.
+	NumDevices int
+	// BugSkipDevInval plants the intentional stale-device-TLB bug (the
+	// device acknowledges invalidations without performing them), the
+	// device sibling of BugSkipReviveFlush.
+	BugSkipDevInval bool
 	// Profiler, when set, attaches the virtual-time profiler (phase
 	// attribution, per-shootdown critical paths, contention histograms).
 	// Recording charges no virtual time, so results are bit-identical
@@ -136,6 +144,8 @@ func (c AppConfig) newKernel() (*kernel.Kernel, error) {
 		RemoteInvalidate: c.RemoteInvalidate,
 		IPIMode:          c.IPIMode,
 		SkipReviveFlush:  c.BugSkipReviveFlush,
+		NumDevices:       c.NumDevices,
+		SkipDevInval:     c.BugSkipDevInval,
 	}
 	if c.Faults != nil && c.Faults.Enabled() {
 		mo.Faults = fault.New(*c.Faults)

@@ -13,7 +13,9 @@
 # explores a byte-identical set on a repeated run, time travel restores a
 # mid-run snapshot byte for byte, a seeded chaos failure auto-writes a
 # flight-recorder black box (whose embedded restore point round-trips
-# through validate), and the benchmark gate compares a quick subset
+# through validate), the device-chaos campaign is deterministic and a
+# forced device quarantine dumps a black box whose devices section
+# validates, and the benchmark gate compares a quick subset
 # against the last committed BENCH_<n>.json snapshot (threshold
 # BENCH_GATE_THRESHOLD percent, default 50; intentional regressions go in
 # scripts/bench-allow.txt).
@@ -36,7 +38,7 @@ echo "== tier 2: go test -race ./internal/sim/... ./internal/trace/..."
 go test -race ./internal/sim/... ./internal/trace/...
 
 echo "== tier 2: chaos campaign survival + reproducer corpus replay"
-go test ./internal/experiments -run 'ChaosCampaignSurvivesWithoutBug|StaleReviveBugShrinks|CorpusReplay'
+go test ./internal/experiments -run 'ChaosCampaignSurvivesWithoutBug|StaleReviveBugShrinks|CorpusReplay|DeviceBugShrinks|DeviceQuarantineBlackBox'
 
 echo "== smoke: shootdownsim trace/metrics/json"
 tmp=$(mktemp -d)
@@ -76,6 +78,18 @@ cmp "$tmp/chaos1.json" "$tmp/chaos2.json"
 for repro in internal/experiments/testdata/corpus/*.json; do
 	go run ./cmd/shootdownsim -repro "$repro"
 done
+
+echo "== device-chaos: campaign is deterministic (same seed, identical bytes)"
+go run ./cmd/shootdownsim -seed 7 -format json devices >"$tmp/devices1.json"
+go run ./cmd/shootdownsim -seed 7 -format json devices >"$tmp/devices2.json"
+cmp "$tmp/devices1.json" "$tmp/devices2.json"
+
+echo "== device-chaos: a forced device quarantine dumps a black box whose devices section round-trips"
+# The wedge scenario drives the watchdog ladder all the way down: the
+# quarantine trips the recorder even though the campaign survives.
+go run ./cmd/shootdownsim -seed 7 -format json -flight "$tmp/devflight" devices >/dev/null 2>"$tmp/devflight.log"
+go run ./cmd/tlbtrace validate -blackbox "$tmp/devflight"/blackbox-0-watchdog.json | grep -q 'devices: .* quarantined'
+go run ./cmd/tlbtrace query -events -cat device "$tmp/devflight"/blackbox-0-watchdog.json | grep -q 'dev-quarantine'
 
 echo "== smoke: schedule explorer is deterministic (same budget+seed, byte-identical explored set)"
 # wall_ms is shrink-campaign wall-clock accounting, the one legitimately
