@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check tier1 tier2 build vet lint test race bench smoke chaos devices explore timetravel
+.PHONY: check tier1 tier2 build vet lint test race bench smoke chaos devices explore timetravel hostcost trend
 
 check: ## tier-1 + tier-2 + observability and fault-campaign smoke tests
 	./scripts/check.sh
@@ -57,3 +57,10 @@ explore: ## DPOR-lite schedule exploration under a bounded schedule budget
 
 timetravel: ## snapshot a run mid-flight, restore by replay, verify byte identity
 	$(GO) run ./cmd/shootdownsim timetravel
+
+hostcost: ## host-cost attribution: per-site allocation table + validation (DESIGN.md §17)
+	$(GO) run ./cmd/shootdownsim -hostcost /tmp/shootdown-hostcost.json hostcost >/dev/null
+	$(GO) run ./cmd/tlbtrace hostcost -validate /tmp/shootdown-hostcost.json
+
+trend: ## benchmark trajectory across every BENCH_<n>.json, with provenance flags
+	$(GO) run ./scripts/benchreport trend

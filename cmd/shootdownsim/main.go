@@ -42,23 +42,27 @@ import (
 	"shootdown/internal/experiments"
 	"shootdown/internal/fault"
 	"shootdown/internal/fault/shrink"
+	"shootdown/internal/hostprof"
 	"shootdown/internal/sim"
 )
 
 var (
-	seed     = flag.Int64("seed", 42, "simulation seed (jitter, scheduling, workload randomness)")
-	runs     = flag.Int("runs", 10, "runs per data point for the fig2/scale sweeps")
-	format   = flag.String("format", "table", "result output format: table, json, or csv")
-	faults   = flag.String("faults", "", `fault-injection spec applied to every kernel, e.g. "drop=0.1,delay=0.2,delaymax=2ms" (keys: drop, delay, delaymax, slow, slowmax, stuck, stuckfor, spurious, jitter, jittermax, failstop, failby, revive, reviveafter; "none" disables). The faults experiment adds this as a custom scenario.`)
-	oracleOn = flag.Bool("oracle", false, "attach the independent TLB-consistency oracle to every kernel; any stale translation granted fails the run")
-	failstop = flag.Bool("failstop", false, `processor fail-stop faults in every kernel (shorthand for -faults "failstop=0.9,failby=8ms"); failed CPUs stay down`)
-	hotplug  = flag.Bool("hotplug", false, `fail-stop plus hot-plug: failed CPUs revive with a cold TLB (shorthand for -faults "failstop=0.9,failby=8ms,revive=1,reviveafter=4ms")`)
-	repro    = flag.String("repro", "", "replay a minimized chaos reproducer JSON file (from the chaos or devices experiments or testdata corpus) and exit; exits non-zero if the replay diverges from the recorded verdict")
-	chaosbug = flag.Bool("chaosbug", false, "plant the intentional stale-translation bug in the chaos and devices experiments' runs (stale-TLB-after-revive and skip-dev-inval respectively), so the campaigns fail on purpose (pair with -flight to exercise the black-box path end to end)")
-	devices  = flag.Int("devices", 2, "device-TLB count for the devices experiment's DMA-streaming workload")
-	devfault = flag.String("devfaults", "", `extra device-fault spec run as a custom scenario of the devices experiment, e.g. "devwedge=0.3,devstall=0.5,devstallmax=6ms" (keys: devstall, devstallmax, devdrop, devwedge, devreorder)`)
-	budget   = flag.Int("explorebudget", 24, "schedule budget for the explore experiment: max forked schedules; same budget and seed explore the byte-identical set")
-	travelAt = flag.Duration("at", 5*time.Millisecond, "virtual-time instant the timetravel experiment snapshots and restores to")
+	seed      = flag.Int64("seed", 42, "simulation seed (jitter, scheduling, workload randomness)")
+	runs      = flag.Int("runs", 10, "runs per data point for the fig2/scale sweeps")
+	format    = flag.String("format", "table", "result output format: table, json, or csv")
+	faults    = flag.String("faults", "", `fault-injection spec applied to every kernel, e.g. "drop=0.1,delay=0.2,delaymax=2ms" (keys: drop, delay, delaymax, slow, slowmax, stuck, stuckfor, spurious, jitter, jittermax, failstop, failby, revive, reviveafter; "none" disables). The faults experiment adds this as a custom scenario.`)
+	oracleOn  = flag.Bool("oracle", false, "attach the independent TLB-consistency oracle to every kernel; any stale translation granted fails the run")
+	failstop  = flag.Bool("failstop", false, `processor fail-stop faults in every kernel (shorthand for -faults "failstop=0.9,failby=8ms"); failed CPUs stay down`)
+	hotplug   = flag.Bool("hotplug", false, `fail-stop plus hot-plug: failed CPUs revive with a cold TLB (shorthand for -faults "failstop=0.9,failby=8ms,revive=1,reviveafter=4ms")`)
+	repro     = flag.String("repro", "", "replay a minimized chaos reproducer JSON file (from the chaos or devices experiments or testdata corpus) and exit; exits non-zero if the replay diverges from the recorded verdict")
+	chaosbug  = flag.Bool("chaosbug", false, "plant the intentional stale-translation bug in the chaos and devices experiments' runs (stale-TLB-after-revive and skip-dev-inval respectively), so the campaigns fail on purpose (pair with -flight to exercise the black-box path end to end)")
+	devices   = flag.Int("devices", 2, "device-TLB count for the devices experiment's DMA-streaming workload")
+	devfault  = flag.String("devfaults", "", `extra device-fault spec run as a custom scenario of the devices experiment, e.g. "devwedge=0.3,devstall=0.5,devstallmax=6ms" (keys: devstall, devstallmax, devdrop, devwedge, devreorder)`)
+	budget    = flag.Int("explorebudget", 24, "schedule budget for the explore experiment: max forked schedules; same budget and seed explore the byte-identical set")
+	travelAt  = flag.Duration("at", 5*time.Millisecond, "virtual-time instant the timetravel experiment snapshots and restores to")
+	hostout   = flag.String("hostcost", "", "write the hostcost experiment's host-cost/v1 JSON artifact to this file")
+	hostprofD = flag.String("hostprof", "", "also capture real cpu.pprof/heap.pprof profiles of the hostcost experiment into this directory")
+	commit    = flag.String("commit", "", "commit hash stamped into the hostcost artifact's provenance")
 )
 
 // cli carries the shared -trace/-tracebuf/-metrics/-profile plumbing.
@@ -115,6 +119,11 @@ experiments:
   profile     Observability: the Figure 2 workload under the virtual-time
               profiler, every shootdown's critical path reconstructed and
               its cost attributed to phases (pair with -profile <dir>)
+  hostcost    Observability: host-cost attribution — real wall time and
+              heap bytes of the simulator itself, attributed to per-site
+              counters in the simulated packages, phase by phase (fig2,
+              table1, snapshot). -hostcost <file> writes the host-cost/v1
+              artifact; -hostprof <dir> adds cpu/heap pprof profiles
   all         everything above
 
 flags:
@@ -315,6 +324,36 @@ func main() {
 			r, err := experiments.Profile(*seed, *runs, in)
 			return r, r.Render(), err
 		}},
+		{"hostcost", func() (any, string, error) {
+			// The sampler reads the real clock, ReadMemStats, and pprof —
+			// all banned inside the simulated packages — so package main
+			// constructs it and injects it, like the wall clock above.
+			sampler := hostprof.NewSampler()
+			if *hostprofD != "" {
+				if err := sampler.StartProfiles(*hostprofD); err != nil {
+					return nil, "", err
+				}
+			}
+			r, err := experiments.HostCost(*seed, experiments.HostCostOptions{
+				Sampler: sampler,
+				Commit:  *commit,
+			}, in)
+			if *hostprofD != "" {
+				if perr := sampler.StopProfiles(); perr != nil && err == nil {
+					err = perr
+				}
+			}
+			if err != nil {
+				return nil, "", err
+			}
+			if *hostout != "" {
+				if werr := writeHostCost(*hostout, r.Report); werr != nil {
+					return nil, "", werr
+				}
+				fmt.Fprintf(os.Stderr, "shootdownsim: wrote host-cost artifact to %s\n", *hostout)
+			}
+			return r, r.Render(), nil
+		}},
 	}
 
 	known := map[string]bool{"all": true}
@@ -366,6 +405,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "shootdownsim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// writeHostCost writes the host-cost/v1 artifact to path.
+func writeHostCost(path string, r *hostprof.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // replayRepro re-executes a minimized chaos reproducer: exit 0 only if

@@ -52,6 +52,13 @@ commands:
   diff      <old> <new>
             align two profiled runs by shootdown identity and attribute
             the virtual-time delta to DAG edges
+  hostcost  [-top N] [-validate] [-mincoverage pct] [-bench bench.txt] <host-cost.json>
+            render a host-cost/v1 artifact (shootdownsim -hostcost): per-
+            phase host seconds / allocator deltas and the top-N allocation
+            sites; -validate checks internal consistency, -mincoverage
+            gates on exact-site coverage, -bench additionally gates the
+            headline phase's counted bytes against BenchmarkFig2BasicCost's
+            measured B/op from a go test -bench -benchmem output file
 `)
 	os.Exit(2)
 }
@@ -70,6 +77,8 @@ func main() {
 		err = cmdDAG(os.Args[2:])
 	case "diff":
 		err = cmdDiff(os.Args[2:])
+	case "hostcost":
+		err = cmdHostCost(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "tlbtrace: unknown command %q\n\n", os.Args[1])
 		usage()

@@ -1,0 +1,20 @@
+// Package hostprof mirrors internal/hostprof for the fixtures. Its
+// counters are observation-owned accumulators: a hook that increments
+// them writes hostprof state, which is not in hookpurity's live set, so
+// the write is allowed — unlike a write into sim or kernel state.
+package hostprof
+
+// Counters accumulates per-site op and byte counts; nil-safe.
+type Counters struct {
+	ops   int64
+	bytes int64
+}
+
+// Add records n ops and b bytes.
+func (c *Counters) Add(site int, n, b int64) {
+	if c == nil {
+		return
+	}
+	c.ops += n
+	c.bytes += b
+}

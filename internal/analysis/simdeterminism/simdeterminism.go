@@ -11,6 +11,11 @@
 //     source; every RNG must be a *rand.Rand built from a seed that is
 //     part of the experiment configuration (rand.New(rand.NewSource(s))).
 //   - os.Getenv / os.LookupEnv make results depend on the host.
+//   - runtime.ReadMemStats and the runtime/pprof entry points observe the
+//     host heap and label OS threads; host-cost sampling belongs to
+//     internal/hostprof's Sampler, which only package main may construct
+//     (hostprof.NewSampler) and inject. The nil-safe hostprof.Counters
+//     increments are plain arithmetic and remain allowed.
 //   - A `range` over a map whose body calls anything with observable
 //     effects (trace records, metric emission, rendered output, test
 //     assertions) publishes Go's randomized iteration order. Pure
@@ -21,6 +26,7 @@ package simdeterminism
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"shootdown/internal/analysis"
 )
@@ -50,6 +56,17 @@ var forbiddenFuncs = map[string]map[string]string{
 		"Getenv":    "makes results depend on the host environment; thread configuration through Options",
 		"LookupEnv": "makes results depend on the host environment; thread configuration through Options",
 		"Environ":   "makes results depend on the host environment; thread configuration through Options",
+	},
+	"runtime": {
+		"ReadMemStats": "observes the host heap; host-cost sampling lives in hostprof.Sampler, injected from package main",
+	},
+	"runtime/pprof": {
+		"Do":                 "labels host profiling phases; use an injected hostprof.Sampler from package main",
+		"SetGoroutineLabels": "labels host profiling phases; use an injected hostprof.Sampler from package main",
+		"StartCPUProfile":    "starts host CPU profiling; hostprof.Sampler owns profile lifecycles, from package main",
+		"StopCPUProfile":     "stops host CPU profiling; hostprof.Sampler owns profile lifecycles, from package main",
+		"WriteHeapProfile":   "dumps the host heap; hostprof.Sampler owns profile lifecycles, from package main",
+		"Lookup":             "reads host profiling state; hostprof.Sampler owns profile lifecycles, from package main",
 	},
 }
 
@@ -87,6 +104,17 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		if why, ok := reasons[name]; ok {
 			pass.Reportf(call.Pos(), "call to %s.%s in simulated code: %s", pkg, name, why)
 		}
+		return
+	}
+	// The hostprof package splits in two: nil-safe Counters (methods, so
+	// never reach this point) are deterministic and welcome anywhere, but
+	// the Sampler constructor pulls in wall-clock and heap observation and
+	// may only run in package main. Matched by path suffix so the fixture
+	// module's mirror package is caught too.
+	if name == "NewSampler" && (pkg == "hostprof" || strings.HasSuffix(pkg, "/hostprof")) {
+		pass.Reportf(call.Pos(),
+			"call to %s.NewSampler in simulated code: samplers read the wall clock and host heap; construct one in package main and inject it",
+			pkg)
 		return
 	}
 	if (pkg == "math/rand" || pkg == "math/rand/v2") && !randAllowed[name] {

@@ -1,11 +1,17 @@
 // Package a exercises the simdeterminism analyzer: wall-clock time,
-// global randomness, host environment, and map-order leaks.
+// global randomness, host environment, host-profiling calls, and
+// map-order leaks.
 package a
 
 import (
+	"context"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
+
+	"lint.test/hostprof"
 )
 
 func sink(string) {}
@@ -31,6 +37,29 @@ func seededRand() int {
 
 func env() string {
 	return os.Getenv("HOME") // want `call to os\.Getenv in simulated code`
+}
+
+func hostHeap() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms) // want `call to runtime\.ReadMemStats in simulated code`
+	return ms.HeapAlloc
+}
+
+func hostPhaseLabels(ctx context.Context) {
+	labels := pprof.Labels("phase", "fig2")         // ok: building a label set reads nothing
+	pprof.Do(ctx, labels, func(context.Context) {}) // want `call to runtime/pprof\.Do in simulated code`
+	pprof.StartCPUProfile(nil)                      // want `call to runtime/pprof\.StartCPUProfile in simulated code`
+	pprof.StopCPUProfile()                          // want `call to runtime/pprof\.StopCPUProfile in simulated code`
+}
+
+func hostSamplerInSim() *hostprof.Sampler {
+	return hostprof.NewSampler() // want `call to lint\.test/hostprof\.NewSampler in simulated code`
+}
+
+func hostCountersAreFine(c *hostprof.Counters) {
+	c.Add(0, 1, 64) // ok: nil-safe counter increment, plain arithmetic
+	var s hostprof.Sampler
+	s.Phase("fig2", c, func() {}) // ok: method on an injected sampler
 }
 
 func mapOrderLeak(m map[string]int) {

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"shootdown/internal/fault"
+	"shootdown/internal/hostprof"
+	"shootdown/internal/trace"
+	"shootdown/internal/workload"
+)
+
+// hostCapture is everything a counted run could conceivably perturb: the
+// full Chrome trace, the metrics snapshot, and the final whole-simulation
+// snapshot serialized to wire bytes.
+type hostCapture struct {
+	trace   []byte
+	metrics []byte
+	snap    []byte
+}
+
+// captureHostRun executes one chaos-scenario churn run with the given
+// host-cost counters attached (nil = counting off) and captures every
+// deterministic artifact.
+func captureHostRun(t *testing.T, spec string, seed int64, hc *hostprof.Counters) hostCapture {
+	t.Helper()
+	fc, err := fault.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.Seed = seed + 257
+	tr, err := trace.New(1 << 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := workload.StartChurn(workload.AppConfig{
+		NCPUs: 4, Seed: seed, Scale: 0.5,
+		ShootdownOptions: campaignWatchdog,
+		Oracle:           true,
+		MaxVirtualTime:   30_000_000_000,
+		Faults:           &fc,
+		Tracer:           tr,
+		HostCost:         hc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = k.Run() // chaos runs may end on a modeled fault; identity is the property under test
+	var cap hostCapture
+	var tb, mb, sb bytes.Buffer
+	if err := tr.WriteChromeTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Metrics().WriteTo(&mb); err != nil {
+		t.Fatal(err)
+	}
+	s, err := k.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Write(wire)
+	cap.trace, cap.metrics, cap.snap = tb.Bytes(), mb.Bytes(), sb.Bytes()
+	return cap
+}
+
+// TestHostCountersZeroPerturbation pins the hostprof guarantee: attaching
+// host-cost counters to a run leaves every deterministic artifact — the
+// Chrome trace, the metrics snapshot, and the serialized whole-simulation
+// snapshot — byte-identical to the uncounted run, across all three chaos
+// scenarios. Counting is plain integer arithmetic; if a counter ever
+// touches virtual time, randomness, or serialized state, this fails.
+func TestHostCountersZeroPerturbation(t *testing.T) {
+	for _, sc := range chaosScenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			off := captureHostRun(t, sc.Spec, 7, nil)
+			hc := &hostprof.Counters{}
+			on := captureHostRun(t, sc.Spec, 7, hc)
+
+			if !bytes.Equal(off.trace, on.trace) {
+				t.Fatalf("Chrome traces diverge with counters on (%d vs %d bytes)", len(off.trace), len(on.trace))
+			}
+			if !bytes.Equal(off.metrics, on.metrics) {
+				t.Fatalf("metrics snapshots diverge with counters on:\n  off: %d bytes\n  on:  %d bytes", len(off.metrics), len(on.metrics))
+			}
+			if !bytes.Equal(off.snap, on.snap) {
+				t.Fatalf("serialized snapshots diverge with counters on (%d vs %d bytes)", len(off.snap), len(on.snap))
+			}
+			if len(off.trace) == 0 || len(off.metrics) == 0 || len(off.snap) == 0 {
+				t.Fatal("empty artifacts — the identity check is vacuous")
+			}
+			// And the counted run must actually have counted: a shootdown
+			// workload allocates an xpr ring and syncs initiators.
+			if hc.CountedBytes() == 0 || hc.TotalOps() == 0 {
+				t.Fatalf("counters recorded nothing (bytes=%d ops=%d) — counting is not wired", hc.CountedBytes(), hc.TotalOps())
+			}
+			if n, _ := hc.Site(hostprof.SiteCoreSync); n == 0 {
+				t.Fatal("core-sync site never tallied on a churn run")
+			}
+		})
+	}
+}

@@ -1,0 +1,219 @@
+package hostprof
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCountersNilSafe(t *testing.T) {
+	var c *Counters
+	c.Add(SiteXPRRing, 1, 100) // must not panic
+	c.Reset()
+	if n, b := c.Site(SiteXPRRing); n != 0 || b != 0 {
+		t.Fatalf("nil counters report %d/%d", n, b)
+	}
+	if c.CountedBytes() != 0 || c.TotalOps() != 0 || c.Export() != nil {
+		t.Fatal("nil counters must read as empty")
+	}
+}
+
+func TestCountersTalliesAndCoverageNumerator(t *testing.T) {
+	c := &Counters{}
+	c.Add(SiteXPRRing, 2, 1000)    // exact
+	c.Add(SiteSnapLayer, 3, 300)   // exact
+	c.Add(SiteSimDispatch, 50, 99) // estimate: excluded from CountedBytes
+	if n, b := c.Site(SiteXPRRing); n != 2 || b != 1000 {
+		t.Fatalf("xpr site = %d/%d", n, b)
+	}
+	if got := c.CountedBytes(); got != 1300 {
+		t.Fatalf("CountedBytes = %d, want 1300 (estimates excluded)", got)
+	}
+	if got := c.TotalOps(); got != 55 {
+		t.Fatalf("TotalOps = %d, want 55", got)
+	}
+	ex := c.Export()
+	if len(ex) != 3 {
+		t.Fatalf("Export len = %d, want 3", len(ex))
+	}
+	// Ordered by bytes descending.
+	if ex[0].Site != "xpr-ring" || ex[1].Site != "snap-layer" || ex[2].Site != "sim-dispatch" {
+		t.Fatalf("Export order = %s, %s, %s", ex[0].Site, ex[1].Site, ex[2].Site)
+	}
+	if !ex[0].Exact || ex[2].Exact {
+		t.Fatal("exactness flags wrong in export")
+	}
+	c.Reset()
+	if c.TotalOps() != 0 || c.Export() != nil {
+		t.Fatal("Reset did not clear tallies")
+	}
+}
+
+func TestSiteInfoComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Site(0); s < NumSites; s++ {
+		info := s.Info()
+		if info.Name == "" || info.Pkg == "" || info.Desc == "" {
+			t.Fatalf("site %d has incomplete metadata: %+v", s, info)
+		}
+		if seen[info.Name] {
+			t.Fatalf("duplicate site name %q", info.Name)
+		}
+		seen[info.Name] = true
+	}
+	if got := Site(200).Info().Name; got != "unknown" {
+		t.Fatalf("out-of-range site name = %q", got)
+	}
+}
+
+func TestSamplerPhasesAndReport(t *testing.T) {
+	s := NewSampler()
+	c := &Counters{}
+	err := s.Phase("alloc", c, func() error {
+		sink = make([]byte, 1<<20)
+		c.Add(SiteXPRRing, 1, 1<<20)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Phase("idle", nil, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Report("alloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("fresh report fails validation: %v", err)
+	}
+	hp := r.HeadlinePhase()
+	if hp == nil || hp.Name != "alloc" {
+		t.Fatal("headline phase not resolved")
+	}
+	if hp.MeasuredBytes < 1<<20 {
+		t.Fatalf("measured %d bytes, expected at least the 1 MB allocation", hp.MeasuredBytes)
+	}
+	if hp.CountedBytes != 1<<20 {
+		t.Fatalf("counted %d bytes, want %d", hp.CountedBytes, 1<<20)
+	}
+	if r.CoveragePct <= 0 || r.CoveragePct > 100.5 {
+		t.Fatalf("coverage %.1f%% out of range", r.CoveragePct)
+	}
+	if err := r.CheckCoverage(r.CoveragePct - 1); err != nil {
+		t.Fatalf("coverage floor below actual must pass: %v", err)
+	}
+	if err := r.CheckCoverage(100.5); err == nil {
+		t.Fatal("coverage floor above actual must fail")
+	}
+	if r.GoVersion == "" || r.GOMAXPROCS <= 0 || r.NumCPU <= 0 {
+		t.Fatalf("missing provenance: %+v", r.Provenance)
+	}
+	out := r.Render(10)
+	for _, want := range []string{"host-cost/v1", "alloc", "«headline»", "xpr-ring"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// sink keeps phase allocations alive past any compiler cleverness.
+var sink []byte
+
+func TestSamplerPhaseErrorRecorded(t *testing.T) {
+	s := NewSampler()
+	wantErr := os.ErrClosed
+	if err := s.Phase("bad", nil, func() error { return wantErr }); err != wantErr {
+		t.Fatalf("Phase returned %v, want %v", err, wantErr)
+	}
+	if got := s.Phases(); len(got) != 1 || got[0].Err == "" {
+		t.Fatalf("failed phase not recorded with its error: %+v", got)
+	}
+	if _, err := s.Report("missing"); err == nil {
+		t.Fatal("Report with an unknown headline must fail")
+	}
+}
+
+func TestReportRoundTripAndValidateFailures(t *testing.T) {
+	s := NewSampler()
+	c := &Counters{}
+	if err := s.Phase("p", c, func() error {
+		c.Add(SiteSnapLayer, 1, 64)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Report("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hostcost.json")
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("round-tripped report fails validation: %v", err)
+	}
+
+	corrupt := func(mut func(*Report)) *Report {
+		var cp Report
+		if err := json.Unmarshal(buf.Bytes(), &cp); err != nil {
+			t.Fatal(err)
+		}
+		mut(&cp)
+		return &cp
+	}
+	cases := map[string]*Report{
+		"bad format":        corrupt(func(r *Report) { r.Format = "host-cost/v0" }),
+		"no phases":         corrupt(func(r *Report) { r.Phases = nil }),
+		"bad headline":      corrupt(func(r *Report) { r.Headline = "nope" }),
+		"counted mismatch":  corrupt(func(r *Report) { r.Phases[0].CountedBytes += 7 }),
+		"coverage mismatch": corrupt(func(r *Report) { r.CoveragePct += 50 }),
+		"no provenance":     corrupt(func(r *Report) { r.GoVersion = "" }),
+	}
+	for name, bad := range cases {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s: Validate passed, want failure", name)
+		}
+	}
+}
+
+func TestSamplerProfiles(t *testing.T) {
+	s := NewSampler()
+	dir := t.TempDir()
+	if err := s.StartProfiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Phase("work", nil, func() error {
+		for i := 0; i < 1000; i++ {
+			sink = append(sink[:0], byte(i))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StopProfiles(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"cpu.pprof", "heap.pprof"} {
+		st, err := os.Stat(filepath.Join(dir, f))
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("%s missing or empty (err %v)", f, err)
+		}
+	}
+	if err := s.StopProfiles(); err != nil {
+		t.Fatalf("second StopProfiles must be a no-op: %v", err)
+	}
+}

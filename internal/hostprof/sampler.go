@@ -1,0 +1,137 @@
+package hostprof
+
+// The Sampler is the host-side half of hostprof: real clock, real
+// allocator statistics, real pprof. None of this may run inside the
+// simulated packages — the simdeterminism analyzer bans runtime/pprof,
+// runtime.ReadMemStats, and this package's constructors there — so a
+// Sampler is built by package main and injected, exactly like the shrink
+// campaign's wall-clock injection.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// Sampler measures phases of a host process: wall time, allocator deltas
+// (runtime.ReadMemStats TotalAlloc/Mallocs), and the per-site counter
+// tallies the phase accumulated. Each phase runs under a pprof label
+// (phase=<name>), so externally captured CPU profiles slice by phase.
+type Sampler struct {
+	phases []PhaseCost
+
+	profileDir string
+	cpuFile    *os.File
+}
+
+// NewSampler returns an empty sampler. Host-side code only: the
+// simdeterminism analyzer flags this call inside simulated packages.
+func NewSampler() *Sampler { return &Sampler{} }
+
+// Phase runs fn under the pprof label phase=<name> and records its wall
+// seconds, allocator deltas, and the counters' site tallies. The counters
+// may be nil (a pure timing phase). fn's error aborts the phase and is
+// returned; the phase is still recorded so partial runs stay attributable.
+func (s *Sampler) Phase(name string, c *Counters, fn func() error) error {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("phase", name), func(context.Context) {
+		err = fn()
+	})
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	pc := PhaseCost{
+		Name:          name,
+		WallSeconds:   wall.Seconds(),
+		MeasuredBytes: int64(after.TotalAlloc - before.TotalAlloc),
+		Mallocs:       int64(after.Mallocs - before.Mallocs),
+		CountedBytes:  c.CountedBytes(),
+		CountedOps:    c.TotalOps(),
+		Sites:         c.Export(),
+	}
+	if err != nil {
+		pc.Err = err.Error()
+	}
+	s.phases = append(s.phases, pc)
+	return err
+}
+
+// Phases returns the recorded phases in execution order.
+func (s *Sampler) Phases() []PhaseCost { return s.phases }
+
+// StartProfiles begins a CPU profile into dir/cpu.pprof; StopProfiles
+// ends it and writes dir/heap.pprof. Optional — a sampler without
+// profiles still measures phases.
+func (s *Sampler) StartProfiles(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("hostprof: start cpu profile: %w", err)
+	}
+	s.profileDir, s.cpuFile = dir, f
+	return nil
+}
+
+// StopProfiles stops the CPU profile and writes the heap profile. No-op
+// when StartProfiles was not called.
+func (s *Sampler) StopProfiles() error {
+	if s.cpuFile == nil {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	err := s.cpuFile.Close()
+	s.cpuFile = nil
+	hf, herr := os.Create(filepath.Join(s.profileDir, "heap.pprof"))
+	if herr != nil {
+		if err == nil {
+			err = herr
+		}
+		return err
+	}
+	if werr := pprof.WriteHeapProfile(hf); werr != nil && err == nil {
+		err = werr
+	}
+	if cerr := hf.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Report seals the sampler into a host-cost/v1 artifact. headline names
+// the phase coverage is computed on (counted exact bytes / measured
+// bytes); it must be one of the recorded phases.
+func (s *Sampler) Report(headline string) (*Report, error) {
+	if len(s.phases) == 0 {
+		return nil, fmt.Errorf("hostprof: no phases recorded")
+	}
+	r := &Report{
+		Format: Format,
+		Provenance: Provenance{
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		},
+		Headline: headline,
+		Phases:   s.phases,
+	}
+	hp := r.phase(headline)
+	if hp == nil {
+		return nil, fmt.Errorf("hostprof: headline phase %q not recorded", headline)
+	}
+	if hp.MeasuredBytes > 0 {
+		r.CoveragePct = 100 * float64(hp.CountedBytes) / float64(hp.MeasuredBytes)
+	}
+	return r, nil
+}

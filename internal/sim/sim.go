@@ -25,7 +25,9 @@ import (
 	"sort"
 	"strings"
 	"time"
+	"unsafe"
 
+	"shootdown/internal/hostprof"
 	"shootdown/internal/trace"
 )
 
@@ -175,6 +177,13 @@ type Engine struct {
 	// virtual time, so tracing cannot perturb simulation results.
 	//snap:transient observation attachment, reattached by the session
 	tracer *trace.Tracer
+
+	// hc, if set, tallies host allocation costs (spawns, dispatch steps,
+	// tie breaks) for the hostprof attribution layer. Incrementing plain
+	// integers charges no virtual time and draws no randomness, so counted
+	// runs are byte-identical to uncounted ones.
+	//snap:transient host-cost accounting, reattached by the session; never serialized
+	hc *hostprof.Counters
 }
 
 // Option configures an Engine.
@@ -200,6 +209,20 @@ func WithTracer(t *trace.Tracer) Option {
 
 // Tracer returns the engine's tracer (possibly nil).
 func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// SetHostCounters attaches host-cost counters to the engine (nil detaches).
+// Counting is a pure host-side tally: it never perturbs the simulation.
+func (e *Engine) SetHostCounters(c *hostprof.Counters) { e.hc = c }
+
+// Host-cost estimates for the engine's per-operation allocations. These
+// are documented approximations (hostprof marks the sites inexact, so
+// they never count toward attribution coverage): spawn covers the Proc
+// struct and resume channel but not the goroutine stack; dispatch covers
+// the vararg boxing the debug-trace call performs per step.
+const (
+	spawnCostBytes    = int64(unsafe.Sizeof(Proc{})) + 96
+	dispatchCostBytes = 48
+)
 
 // New creates an engine at virtual time zero.
 func New(opts ...Option) *Engine {
@@ -231,6 +254,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	}
 	e.nextID++
 	e.procs = append(e.procs, p)
+	e.hc.Add(hostprof.SiteSimSpawn, 1, spawnCostBytes)
 	e.tracer.NameProc(p.id, name)
 	e.tracer.Instant(int64(e.now), p.id, trace.CatSim, "spawn", 0, 0)
 	go func() {
@@ -316,6 +340,7 @@ func (e *Engine) run(limit Time, stepLimit uint64, stepBounded bool) error {
 		p.clock = e.now
 		p.state = StateRunning
 		e.cur = p
+		e.hc.Add(hostprof.SiteSimDispatch, 1, dispatchCostBytes)
 		e.trace("[%d ns] run %q", e.now, p.name)
 		e.tracer.Instant(int64(e.now), p.id, trace.CatSim, "run", 0, 0)
 		p.resume <- struct{}{}
@@ -368,6 +393,9 @@ func (e *Engine) pop() *Proc {
 	if len(tied) == 1 {
 		return heap.Pop(&e.runq).(*Proc)
 	}
+	// The tied slice and the sort's closure are real heap traffic on every
+	// contested pop; 16 bytes/entry approximates the amortized growth.
+	e.hc.Add(hostprof.SiteSimTieBreak, 1, int64(len(tied))*16)
 	sort.Slice(tied, func(i, j int) bool { return tied[i].seq < tied[j].seq })
 	// The chaos draw is consumed even when a forced choice overrides it, so
 	// the schedule after a forced prefix continues the base run's stream:

@@ -51,8 +51,16 @@ func pctChange(oldV, newV float64) float64 {
 }
 
 // normName strips the -GOMAXPROCS suffix go test appends on multi-CPU
-// machines, so reports produced on different machines still align.
-func normName(name string) string {
+// machines, so reports produced on different machines still align. When
+// the report recorded its GOMAXPROCS, only that exact suffix is stripped —
+// a sub-benchmark whose own name ends in a dashed number
+// ("BenchmarkScale/cpus-32") must survive intact. Reports predating the
+// provenance field fall back to stripping any trailing integer, the old
+// (over-eager) behavior, since nothing better is known about them.
+func normName(name string, procs int) string {
+	if procs > 0 {
+		return strings.TrimSuffix(name, fmt.Sprintf("-%d", procs))
+	}
 	if i := strings.LastIndex(name, "-"); i > 0 {
 		if _, err := strconv.Atoi(name[i+1:]); err == nil {
 			return name[:i]
@@ -64,14 +72,15 @@ func normName(name string) string {
 // compare builds the delta rows for the benchmarks both reports carry, in
 // the old report's order (deterministic output), and returns how many
 // benchmarks matched. Names are compared with the -GOMAXPROCS suffix
-// stripped.
+// stripped (each report's own recorded GOMAXPROCS).
 func compare(oldDoc, newDoc *benchDoc) (rows []delta, matched int) {
 	newBy := map[string]benchLine{}
 	for _, b := range newDoc.Benchmarks {
-		newBy[normName(b.Name)] = b
+		newBy[normName(b.Name, newDoc.GoMaxProcs)] = b
 	}
 	for _, ob := range oldDoc.Benchmarks {
-		nb, ok := newBy[normName(ob.Name)]
+		name := normName(ob.Name, oldDoc.GoMaxProcs)
+		nb, ok := newBy[name]
 		if !ok {
 			continue
 		}
@@ -82,7 +91,7 @@ func compare(oldDoc, newDoc *benchDoc) (rows []delta, matched int) {
 			if !okOld || !okNew {
 				continue
 			}
-			rows = append(rows, delta{Name: normName(ob.Name), Metric: m, Old: ov, New: nv, Pct: pctChange(ov, nv)})
+			rows = append(rows, delta{Name: name, Metric: m, Old: ov, New: nv, Pct: pctChange(ov, nv)})
 		}
 	}
 	return rows, matched

@@ -90,12 +90,51 @@ func TestZeroBaseline(t *testing.T) {
 func TestNormName(t *testing.T) {
 	oldDoc := doc(line("BenchmarkA", 100, 10, 1))
 	newDoc := doc(line("BenchmarkA-8", 100, 10, 1))
+	newDoc.GoMaxProcs = 8
 	_, matched := compare(oldDoc, newDoc)
 	if matched != 1 {
 		t.Fatalf("suffixed name did not align: matched = %d, want 1", matched)
 	}
-	if got := normName("BenchmarkA"); got != "BenchmarkA" {
+	if got := normName("BenchmarkA", 8); got != "BenchmarkA" {
 		t.Fatalf("normName mangled an unsuffixed name: %q", got)
+	}
+}
+
+// A sub-benchmark whose own name ends in a dashed number must survive
+// normalization when the report recorded its GOMAXPROCS: only the exact
+// "-<procs>" suffix is machine noise. Reports without the provenance field
+// keep the legacy any-trailing-integer strip.
+func TestNormNameDashedSubBenchmarks(t *testing.T) {
+	cases := []struct {
+		name  string
+		procs int
+		want  string
+	}{
+		{"BenchmarkScale/cpus-32", 8, "BenchmarkScale/cpus-32"},
+		{"BenchmarkScale/cpus-32-8", 8, "BenchmarkScale/cpus-32"},
+		{"BenchmarkScale/cpus-8", 8, "BenchmarkScale/cpus"},  // ambiguous: exact -procs match strips
+		{"BenchmarkA-16", 8, "BenchmarkA-16"},                // different machine's suffix is NOT ours to strip
+		{"BenchmarkScale/cpus-32", 0, "BenchmarkScale/cpus"}, // legacy fallback, over-eager by design
+		{"BenchmarkA-notanum", 0, "BenchmarkA-notanum"},
+		{"BenchmarkA", 0, "BenchmarkA"},
+	}
+	for _, c := range cases {
+		if got := normName(c.name, c.procs); got != c.want {
+			t.Errorf("normName(%q, %d) = %q, want %q", c.name, c.procs, got, c.want)
+		}
+	}
+}
+
+// Two dash-suffixed reports from machines with different GOMAXPROCS must
+// still align on the same logical benchmark.
+func TestCompareAcrossGoMaxProcs(t *testing.T) {
+	oldDoc := doc(line("BenchmarkA-8", 100, 10, 1))
+	oldDoc.GoMaxProcs = 8
+	newDoc := doc(line("BenchmarkA-32", 100, 10, 1))
+	newDoc.GoMaxProcs = 32
+	_, matched := compare(oldDoc, newDoc)
+	if matched != 1 {
+		t.Fatalf("cross-GOMAXPROCS reports did not align: matched = %d, want 1", matched)
 	}
 }
 

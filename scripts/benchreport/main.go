@@ -32,6 +32,10 @@ commands:
           print a per-benchmark delta table for the shared benchmarks;
           with -gate, exit 1 on regressions past the threshold that are
           not named in the allow file
+  trend [-dir path]
+          print each benchmark's ns/op, B/op, allocs/op trajectory across
+          every BENCH_<n>.json, flagging environment (go version,
+          GOMAXPROCS) changes between consecutive reports
 `)
 	os.Exit(2)
 }
@@ -46,6 +50,8 @@ func main() {
 		err = cmdReport(os.Args[2:])
 	case "diff":
 		err = cmdDiff(os.Args[2:])
+	case "trend":
+		err = cmdTrend(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "benchreport: unknown command %q\n\n", os.Args[1])
 		usage()

@@ -6,6 +6,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
@@ -22,11 +23,21 @@ type benchLine struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-// benchDoc is the BENCH_<n>.json envelope.
+// benchDoc is the BENCH_<n>.json envelope. GoMaxProcs and Commit are
+// provenance: trend tables flag environment changes between reports before
+// anyone blames the code, and diff strips exactly the right -GOMAXPROCS
+// suffix when aligning names. Both are omitempty so reports predating them
+// still load.
 type benchDoc struct {
 	GoVersion  string          `json:"go_version"`
+	GoMaxProcs int             `json:"gomaxprocs,omitempty"`
+	Commit     string          `json:"commit,omitempty"`
 	Benchmarks []benchLine     `json:"benchmarks"`
 	Fig2       json.RawMessage `json:"fig2,omitempty"`
+	// HostCost embeds the run's host-cost/v1 artifact (shootdownsim
+	// -hostcost), so the trajectory carries allocation attribution
+	// alongside the benchmark numbers.
+	HostCost json.RawMessage `json:"host_cost,omitempty"`
 }
 
 // parseBench extracts result lines from `go test -bench` output.
@@ -64,28 +75,48 @@ func parseBench(path string) ([]benchLine, error) {
 // cmdReport assembles one report from bench text output and, when given,
 // the Figure 2 JSON envelope. The fig2 argument is optional so the CI
 // bench gate can snapshot a quick benchmark subset without rerunning the
-// paper experiments.
+// paper experiments. -commit stamps the producing commit and -hostcost
+// embeds a host-cost/v1 artifact into the envelope.
 func cmdReport(args []string) error {
-	if len(args) < 1 || len(args) > 2 {
-		return fmt.Errorf("usage: benchreport report <bench.txt> [fig2.json]")
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	commit := fs.String("commit", "", "commit hash recorded as provenance")
+	hostcost := fs.String("hostcost", "", "host-cost/v1 artifact (shootdownsim -hostcost) to embed")
+	fs.Parse(args)
+	if fs.NArg() < 1 || fs.NArg() > 2 {
+		return fmt.Errorf("usage: benchreport report [-commit hash] [-hostcost file] <bench.txt> [fig2.json]")
 	}
-	benches, err := parseBench(args[0])
+	benches, err := parseBench(fs.Arg(0))
 	if err != nil {
 		return err
 	}
 	if len(benches) == 0 {
-		return fmt.Errorf("no benchmark results in %s", args[0])
+		return fmt.Errorf("no benchmark results in %s", fs.Arg(0))
 	}
-	doc := benchDoc{GoVersion: runtime.Version(), Benchmarks: benches}
-	if len(args) == 2 {
-		fig2, err := os.ReadFile(args[1])
+	doc := benchDoc{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Commit:     *commit,
+		Benchmarks: benches,
+	}
+	if fs.NArg() == 2 {
+		fig2, err := os.ReadFile(fs.Arg(1))
 		if err != nil {
 			return err
 		}
 		if !json.Valid(fig2) {
-			return fmt.Errorf("%s is not valid JSON", args[1])
+			return fmt.Errorf("%s is not valid JSON", fs.Arg(1))
 		}
 		doc.Fig2 = json.RawMessage(fig2)
+	}
+	if *hostcost != "" {
+		hc, err := os.ReadFile(*hostcost)
+		if err != nil {
+			return err
+		}
+		if !json.Valid(hc) {
+			return fmt.Errorf("%s is not valid JSON", *hostcost)
+		}
+		doc.HostCost = json.RawMessage(hc)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name string, d *benchDoc) {
+	t.Helper()
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The trend table reads reports in numeric order (BENCH_2 < BENCH_10),
+// aligns dash-suffixed names, and computes the overall first→last delta.
+func TestTrendTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	d0 := doc(line("BenchmarkA", 100, 1000, 10))
+	d0.GoVersion = "go1.24.0"
+	d2 := doc(line("BenchmarkA-8", 150, 1000, 10))
+	d2.GoVersion, d2.GoMaxProcs = "go1.24.0", 8
+	d10 := doc(line("BenchmarkA-8", 200, 500, 10))
+	d10.GoVersion, d10.GoMaxProcs = "go1.24.0", 8
+	writeBench(t, dir, "BENCH_0.json", d0)
+	writeBench(t, dir, "BENCH_2.json", d2)
+	writeBench(t, dir, "BENCH_10.json", d10)
+	writeBench(t, dir, "not_a_bench.json", d0) // ignored by the name filter
+
+	reports, err := loadTrend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("loaded %d reports, want 3", len(reports))
+	}
+	for i, want := range []int{0, 2, 10} {
+		if reports[i].N != want {
+			t.Fatalf("report %d has index %d, want %d (numeric order broken)", i, reports[i].N, want)
+		}
+	}
+	out := formatTrend(reports)
+	// One aligned row per metric, not separate rows for BenchmarkA vs
+	// BenchmarkA-8.
+	if n := strings.Count(out, "BenchmarkA"); n != 3 {
+		t.Fatalf("want 3 BenchmarkA rows (one per metric), got %d in:\n%s", n, out)
+	}
+	if !strings.Contains(out, "+100.0%") {
+		t.Fatalf("ns/op overall delta 100->200 (+100.0%%) missing from:\n%s", out)
+	}
+	if !strings.Contains(out, "-50.0%") {
+		t.Fatalf("B/op overall delta 1000->500 (-50.0%%) missing from:\n%s", out)
+	}
+}
+
+// Provenance changes between consecutive reports are flagged, so a step
+// in the curve is not silently attributed to the code.
+func TestTrendFlagsEnvironmentChanges(t *testing.T) {
+	dir := t.TempDir()
+	d0 := doc(line("BenchmarkA", 100, 10, 1))
+	d0.GoVersion, d0.GoMaxProcs = "go1.24.0", 8
+	d1 := doc(line("BenchmarkA", 100, 10, 1))
+	d1.GoVersion, d1.GoMaxProcs = "go1.25.0", 8
+	writeBench(t, dir, "BENCH_0.json", d0)
+	writeBench(t, dir, "BENCH_1.json", d1)
+
+	reports, err := loadTrend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := formatTrend(reports)
+	if !strings.Contains(out, "environment changed") {
+		t.Fatalf("go version change not flagged in:\n%s", out)
+	}
+
+	// Same environment: no flag.
+	d1.GoVersion = "go1.24.0"
+	writeBench(t, dir, "BENCH_1.json", d1)
+	reports, err = loadTrend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := formatTrend(reports); strings.Contains(out, "environment changed") {
+		t.Fatalf("spurious environment flag in:\n%s", out)
+	}
+}

@@ -15,7 +15,9 @@
 # flight-recorder black box (whose embedded restore point round-trips
 # through validate), the device-chaos campaign is deterministic and a
 # forced device quarantine dumps a black box whose devices section
-# validates, and the benchmark gate compares a quick subset
+# validates, the host-cost attribution artifact validates and its exact
+# counters explain at least 80% of the Fig2 benchmark's measured B/op,
+# and the benchmark gate compares a quick subset
 # against the last committed BENCH_<n>.json snapshot (threshold
 # BENCH_GATE_THRESHOLD percent, default 50; intentional regressions go in
 # scripts/bench-allow.txt).
@@ -109,6 +111,15 @@ for box in "$tmp/flight"/blackbox-*.json; do
 	go run ./cmd/tlbtrace validate -blackbox "$box"
 done
 go run ./cmd/tlbtrace query -cat shootdown "$tmp/flight"/blackbox-0-*.json >/dev/null
+
+echo "== hostcost: attribution artifact validates and covers the Fig2 benchmark's B/op"
+# The hostcost experiment's fig2 phase is byte-for-byte the body of
+# BenchmarkFig2BasicCost, so the exact-site bytes the counters attribute
+# must explain at least 80% of what the benchmark actually allocates. A
+# drop below the floor means a new hot allocation site went unattributed.
+go run ./cmd/shootdownsim -seed 7 -hostcost "$tmp/hostcost.json" hostcost >/dev/null
+go test -bench 'Fig2BasicCost' -benchmem -benchtime 1x -run '^$' . >"$tmp/hostbench.txt"
+go run ./cmd/tlbtrace hostcost -validate -mincoverage 80 -bench "$tmp/hostbench.txt" "$tmp/hostcost.json"
 
 echo "== gate: quick benchmark subset vs last committed BENCH_<n>.json"
 n=0
